@@ -1,0 +1,157 @@
+// Command experiments regenerates the PPF paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig1,fig9 [-quick]
+//	experiments -run all
+//
+// Each experiment prints the same rows/series the paper reports, with the
+// paper's published values quoted for comparison. EXPERIMENTS.md records a
+// full paper-vs-measured log.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+type runner struct {
+	name string
+	desc string
+	// run executes the experiment, returning the rendered report and the
+	// raw result value (marshalled when -json is set).
+	run func(b experiment.Budget) (string, any)
+}
+
+// wrap adapts a typed experiment function to the runner signature.
+func wrap[T interface{ Render() string }](f func(experiment.Budget) T) func(experiment.Budget) (string, any) {
+	return func(b experiment.Budget) (string, any) {
+		r := f(b)
+		return r.Render(), r
+	}
+}
+
+func runners(mixes int) []runner {
+	text := func(f func() string) func(experiment.Budget) (string, any) {
+		return func(experiment.Budget) (string, any) {
+			out := f()
+			return out, out
+		}
+	}
+	return []runner{
+		{"table1", "simulation parameters", text(experiment.Table1)},
+		{"table2", "prefetch-table entry bits", text(experiment.Table2)},
+		{"table3", "storage overhead", text(experiment.Table3)},
+		{"fig1", "aggressive fixed-depth SPP motivation", wrap(experiment.Figure1)},
+		{"fig6", "trained-weight distributions", wrap(experiment.Figure6)},
+		{"fig7", "global Pearson factor per feature", wrap(experiment.Figure7)},
+		{"fig8", "per-trace Pearson spread", wrap(experiment.Figure8)},
+		{"fig9", "single-core SPEC CPU 2017 speedups", wrap(experiment.Figure9)},
+		{"fig10", "cache-miss coverage", wrap(experiment.Figure10)},
+		{"fig11", "4-core memory-intensive mixes", wrap(func(b experiment.Budget) experiment.MulticoreResult { return experiment.Figure11(mixes, b) })},
+		{"fig11rand", "4-core fully random mixes", wrap(func(b experiment.Budget) experiment.MulticoreResult { return experiment.Figure11Random(mixes, b) })},
+		{"fig12", "8-core memory-intensive mixes", wrap(func(b experiment.Budget) experiment.MulticoreResult { return experiment.Figure12(mixes, b) })},
+		{"fig13", "cross-validation (CloudSuite + SPEC 2006)", wrap(experiment.Figure13)},
+		{"constrained", "small-LLC and low-bandwidth variants (§6.3)", wrap(experiment.Constrained)},
+		{"ablation", "PPF design-choice ablations", wrap(experiment.Ablation)},
+		{"generality", "PPF over next-line and stride (§3.2)", wrap(experiment.Generality)},
+		{"selection", "23-candidate feature-selection procedure (§5.5)", wrap(experiment.Selection)},
+		{"thresholds", "PPF threshold calibration sweep", wrap(experiment.ThresholdSweep)},
+		{"stability", "seed-robustness of the headline result", wrap(func(b experiment.Budget) experiment.StabilityResult {
+			return experiment.Stability([]uint64{1, 2, 3}, b)
+		})},
+	}
+}
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments")
+	run := flag.String("run", "", "comma-separated experiment names, or 'all'")
+	quick := flag.Bool("quick", false, "use the short simulation budget")
+	mixes := flag.Int("mixes", 12, "number of multi-core mixes (paper uses 100)")
+	warmup := flag.Uint64("warmup", 0, "override warmup instructions")
+	detail := flag.Uint64("detail", 0, "override detailed instructions")
+	jsonDir := flag.String("json", "", "also write each result as JSON into this directory")
+	flag.Parse()
+
+	rs := runners(*mixes)
+	if *list || *run == "" {
+		fmt.Println("available experiments:")
+		for _, r := range rs {
+			fmt.Printf("  %-12s %s\n", r.name, r.desc)
+		}
+		fmt.Println("\nrun with: experiments -run fig9   (or -run all)")
+		return
+	}
+
+	b := experiment.DefaultBudget()
+	if *quick {
+		b = experiment.QuickBudget()
+	}
+	if *warmup > 0 {
+		b.Warmup = *warmup
+	}
+	if *detail > 0 {
+		b.Detail = *detail
+	}
+
+	want := map[string]bool{}
+	for _, n := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(n)] = true
+	}
+	byName := map[string]runner{}
+	var names []string
+	for _, r := range rs {
+		byName[r.name] = r
+		names = append(names, r.name)
+	}
+	sort.Strings(names)
+
+	var selected []runner
+	if want["all"] {
+		selected = rs
+	} else {
+		for _, n := range strings.Split(*run, ",") {
+			n = strings.TrimSpace(n)
+			r, ok := byName[n]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %s\n", n, strings.Join(names, ", "))
+				os.Exit(2)
+			}
+			selected = append(selected, r)
+		}
+	}
+
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "creating %s: %v\n", *jsonDir, err)
+			os.Exit(1)
+		}
+	}
+	for _, r := range selected {
+		start := time.Now()
+		fmt.Printf("==== %s: %s ====\n", r.name, r.desc)
+		rendered, data := r.run(b)
+		fmt.Println(rendered)
+		fmt.Printf("(%s in %.1fs)\n\n", r.name, time.Since(start).Seconds())
+		if *jsonDir != "" {
+			blob, err := json.MarshalIndent(data, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "marshal %s: %v\n", r.name, err)
+				continue
+			}
+			path := filepath.Join(*jsonDir, r.name+".json")
+			if err := os.WriteFile(path, blob, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "write %s: %v\n", path, err)
+			}
+		}
+	}
+}

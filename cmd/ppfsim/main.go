@@ -1,0 +1,154 @@
+// Command ppfsim runs one simulation: a named workload (or a binary trace
+// file) under a chosen prefetching scheme, printing IPC, cache, prefetch
+// and filter statistics.
+//
+// Usage:
+//
+//	ppfsim -workload 603.bwaves_s -scheme ppf
+//	ppfsim -trace bwaves.ppft -scheme spp -detail 2000000
+//	ppfsim -workload 605.mcf_s -scheme ppf -cores 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiment"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "", "workload name (see -listworkloads)")
+	traceFile := flag.String("trace", "", "binary trace file (alternative to -workload)")
+	scheme := flag.String("scheme", "ppf", "none | bop | da-ampm | spp | ppf | vldp | sms | sandbox")
+	cores := flag.Int("cores", 1, "number of cores (the workload runs on every core)")
+	warmup := flag.Uint64("warmup", 200_000, "warmup instructions per core")
+	detail := flag.Uint64("detail", 1_000_000, "detailed instructions per core")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	listWL := flag.Bool("listworkloads", false, "list workload names and exit")
+	compare := flag.Bool("compare", false, "run every scheme on the workload and print a comparison")
+	flag.Parse()
+
+	if *listWL {
+		for _, w := range workload.All() {
+			mark := " "
+			if w.MemoryIntensive {
+				mark = "*"
+			}
+			fmt.Printf("%s %-20s (%s)\n", mark, w.Name, w.Suite)
+		}
+		fmt.Println("\n* = memory-intensive (LLC MPKI > 1 subset)")
+		return
+	}
+
+	if *compare {
+		if *wl == "" {
+			fatalf("-compare requires -workload")
+		}
+		w, ok := workload.ByName(*wl)
+		if !ok {
+			fatalf("unknown workload %q (try -listworkloads)", *wl)
+		}
+		runComparison(w, *seed, *warmup, *detail)
+		return
+	}
+
+	cfg := sim.DefaultConfig(*cores)
+	setups := make([]sim.CoreSetup, *cores)
+	for c := range setups {
+		var rd trace.Reader
+		switch {
+		case *traceFile != "":
+			f, err := os.Open(*traceFile)
+			if err != nil {
+				fatalf("open trace: %v", err)
+			}
+			defer f.Close()
+			tr, err := trace.NewFileReader(f)
+			if err != nil {
+				fatalf("read trace: %v", err)
+			}
+			rd = tr
+		case *wl != "":
+			w, ok := workload.ByName(*wl)
+			if !ok {
+				fatalf("unknown workload %q (try -listworkloads)", *wl)
+			}
+			rd = w.NewReader(*seed + uint64(c))
+		default:
+			fatalf("one of -workload or -trace is required")
+		}
+		setup := experiment.NewSetup(experiment.Scheme(*scheme), workload.Workload{}, 0)
+		setup.Trace = rd
+		setups[c] = setup
+	}
+
+	sys, err := sim.NewSystem(cfg, setups)
+	if err != nil {
+		fatalf("configuring system: %v", err)
+	}
+	res := sys.Run(*warmup, *detail)
+
+	fmt.Println(cfg.Describe())
+	fmt.Printf("\nScheme: %s | warmup %d + detail %d instructions/core\n\n", *scheme, *warmup, *detail)
+	for i, c := range res.PerCore {
+		fmt.Printf("core %d: IPC %.4f (%d instructions, %d cycles)\n", i, c.IPC, c.Instructions, c.Cycles)
+		fmt.Printf("  L1D: %.2f demand MPKI, %d misses\n", c.L1D.DemandMPKI(c.Instructions), c.L1D.DemandMisses)
+		fmt.Printf("  L2 : %.2f demand MPKI, %d misses, prefetch fills %d (accuracy %.1f%%)\n",
+			c.L2.DemandMPKI(c.Instructions), c.L2.DemandMisses, c.L2.PrefetchFills, 100*c.L2.Accuracy())
+		fmt.Printf("  branch MPKI %.2f\n", c.BranchMPKI)
+		if c.Candidates > 0 {
+			fmt.Printf("  prefetcher: %d candidates, %d issued, %d useful", c.Candidates, c.PrefetchesIssued, c.PrefetchesUseful)
+			if c.AvgLookaheadDepth > 0 {
+				fmt.Printf(", avg lookahead depth %.2f", c.AvgLookaheadDepth)
+			}
+			fmt.Println()
+		}
+		if c.Filter != nil {
+			f := c.Filter
+			fmt.Printf("  PPF: %d inferences -> %d L2 / %d LLC / %d dropped (issue rate %.1f%%)\n",
+				f.Inferences, f.IssuedL2, f.IssuedLLC, f.Dropped, 100*f.IssueRate())
+			fmt.Printf("       training: %d positive, %d negative, %d false negatives recovered\n",
+				f.TrainPositive, f.TrainNegative, f.FalseNegatives)
+		}
+	}
+	fmt.Printf("\nLLC: %d demand misses, %d prefetch fills\n", res.LLC.DemandMisses, res.LLC.PrefetchFills)
+	fmt.Printf("DRAM: %d demand reads, %d prefetch reads, %d promoted, %d writes, %d row misses\n",
+		res.DRAM.Reads, res.DRAM.PrefetchReads, res.DRAM.PromotedReads, res.DRAM.Writes, res.DRAM.RowMisses)
+}
+
+// runComparison runs every scheme on one workload and prints a table.
+func runComparison(w workload.Workload, seed, warmup, detail uint64) {
+	schemes := []experiment.Scheme{
+		experiment.SchemeNone, experiment.SchemeBOP, experiment.SchemeAMPM,
+		experiment.SchemeSPP, experiment.SchemePPF, experiment.SchemeVLDP,
+		experiment.SchemeSMS, experiment.SchemeSandbox,
+	}
+	fmt.Printf("%-10s %8s %9s %10s %10s %10s\n",
+		"scheme", "IPC", "speedup", "L2 MPKI", "pf issued", "pf useful")
+	var baseIPC float64
+	for _, s := range schemes {
+		res, err := experiment.RunSingle(sim.DefaultConfig(1), s, w, seed,
+			experiment.Budget{Warmup: warmup, Detail: detail})
+		if err != nil {
+			fatalf("%s: %v", s, err)
+		}
+		c := res.PerCore[0]
+		rel := "—"
+		if s == experiment.SchemeNone {
+			baseIPC = c.IPC
+		} else if baseIPC > 0 {
+			rel = fmt.Sprintf("%+.1f%%", 100*(c.IPC/baseIPC-1))
+		}
+		fmt.Printf("%-10s %8.3f %9s %10.2f %10d %10d\n",
+			s, c.IPC, rel, c.L2.DemandMPKI(c.Instructions), c.PrefetchesIssued, c.PrefetchesUseful)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

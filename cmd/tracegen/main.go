@@ -1,0 +1,71 @@
+// Command tracegen materialises a synthetic workload as a binary trace
+// file that ppfsim (or any trace.FileReader user) can replay.
+//
+// Usage:
+//
+//	tracegen -workload 603.bwaves_s -n 1000000 -o bwaves.ppft
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "", "workload name (see ppfsim -listworkloads)")
+	n := flag.Uint64("n", 1_200_000, "number of instructions")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	out := flag.String("o", "", "output file (omit with -stats to only summarise)")
+	statsOnly := flag.Bool("stats", false, "print a workload character summary")
+	flag.Parse()
+
+	if *wl == "" || (*out == "" && !*statsOnly) {
+		fmt.Fprintln(os.Stderr, "usage: tracegen -workload NAME -n COUNT -o FILE [-stats]")
+		os.Exit(2)
+	}
+	w, ok := workload.ByName(*wl)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
+		os.Exit(1)
+	}
+	if *statsOnly {
+		fmt.Printf("%s (%s, seed %d):\n%s", w.Name, w.Suite, *seed,
+			trace.Summarize(w.NewReader(*seed), *n))
+		if *out == "" {
+			return
+		}
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "create: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	tw, err := trace.NewWriter(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "write header: %v\n", err)
+		os.Exit(1)
+	}
+	rd := w.NewReader(*seed)
+	for i := uint64(0); i < *n; i++ {
+		in, ok := rd.Next()
+		if !ok {
+			break
+		}
+		if err := tw.Write(in); err != nil {
+			fmt.Fprintf(os.Stderr, "write: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "flush: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d instructions of %s to %s\n", tw.Count(), w.Name, *out)
+}

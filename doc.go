@@ -1,0 +1,24 @@
+// Package repro is a from-scratch Go reproduction of "Perceptron-Based
+// Prefetch Filtering" (Bhatia, Chacon, Teran, Pugsley, Gratz, Jiménez;
+// ISCA 2019): an online hashed-perceptron filter that lets a lookahead
+// prefetcher speculate aggressively while rejecting the inaccurate
+// prefetches that aggression implies.
+//
+// The repository contains the complete system the paper depends on:
+//
+//   - internal/core      — the PPF perceptron filter (the contribution)
+//   - internal/prefetch  — SPP, BOP, DA-AMPM, next-line and stride engines
+//   - internal/cache     — L1/L2/LLC with MSHRs and prefetch fill levels
+//   - internal/dram      — banked, bandwidth-limited memory with
+//     demand-priority scheduling
+//   - internal/branch    — hashed-perceptron branch predictor
+//   - internal/sim       — the ChampSim-style multicore timing model
+//   - internal/trace     — trace format and synthetic SPEC-like workloads
+//   - internal/workload  — the SPEC CPU 2017/2006 and CloudSuite-like suites
+//   - internal/experiment— one entry point per paper table and figure
+//
+// The benchmarks in bench_test.go regenerate every evaluation result;
+// EXPERIMENTS.md records paper-vs-measured comparisons, and DESIGN.md
+// documents the architecture and the substitutions made for licensed
+// workloads and hardware.
+package repro

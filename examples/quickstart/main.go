@@ -1,0 +1,53 @@
+// Quickstart: simulate one memory-intensive workload three ways — no
+// prefetching, plain SPP, and SPP filtered by PPF — and print the
+// headline comparison the paper is about.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	ppf "repro/internal/core"
+	"repro/internal/prefetch"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	const warmup, detail = 200_000, 1_000_000
+	w := workload.MustByName("603.bwaves_s")
+
+	run := func(label string, pf prefetch.Prefetcher, filter *ppf.Filter) sim.Result {
+		sys, err := sim.NewSystem(sim.DefaultConfig(1), []sim.CoreSetup{{
+			Trace:      w.NewReader(1),
+			Prefetcher: pf,
+			Filter:     filter,
+		}})
+		if err != nil {
+			panic(err)
+		}
+		res := sys.Run(warmup, detail)
+		c := res.PerCore[0]
+		fmt.Printf("%-12s IPC %.3f | L2 demand misses %6d | prefetches issued %6d useful %6d\n",
+			label, c.IPC, c.L2.DemandMisses, c.PrefetchesIssued, c.PrefetchesUseful)
+		return res
+	}
+
+	fmt.Printf("workload: %s (%d instructions after %d warmup)\n\n", w.Name, detail, warmup)
+	base := run("baseline", nil, nil)
+	spp := run("spp", prefetch.NewSPP(prefetch.DefaultSPPConfig()), nil)
+
+	filter := ppf.New(ppf.DefaultConfig())
+	ppfRes := run("spp+ppf", prefetch.NewSPP(prefetch.AggressiveSPPConfig()), filter)
+
+	b, s, p := base.PerCore[0].IPC, spp.PerCore[0].IPC, ppfRes.PerCore[0].IPC
+	fmt.Printf("\nspeedup over baseline: SPP %+.1f%%, SPP+PPF %+.1f%% (PPF vs SPP %+.1f%%)\n",
+		100*(s/b-1), 100*(p/b-1), 100*(p/s-1))
+
+	fs := filter.Stats()
+	fmt.Printf("\nPPF filtered %d of %d candidates (%.1f%% issue rate); trained %d+ / %d-\n",
+		fs.Dropped, fs.Inferences, 100*fs.IssueRate(), fs.TrainPositive, fs.TrainNegative)
+	st := filter.Storage()
+	fmt.Printf("PPF hardware budget: %d bits (%.2f KB)\n", st.TotalBits(), st.TotalKB())
+}

@@ -1,0 +1,117 @@
+// Package branch implements the hashed-perceptron branch predictor the
+// paper's simulation configuration uses (Jiménez & Lin, HPCA 2001; hashed
+// organisation per Tarjan & Skadron). Branch mispredictions stall the
+// simulated core's fetch, so predictor quality shapes how much of a
+// workload's time is memory-bound — which in turn scales prefetcher
+// impact.
+package branch
+
+const (
+	numTables    = 8
+	tableBits    = 10
+	tableEntries = 1 << tableBits
+	historyBits  = numTables * 8
+
+	weightMax = 63 // 7-bit weights
+	weightMin = -64
+)
+
+// trainingThreshold follows the classic θ ≈ 1.93·h + 14 rule for the
+// effective history length.
+const trainingThreshold = 1*historyBits + 14
+
+// Predictor is a hashed-perceptron conditional branch predictor.
+type Predictor struct {
+	tables  [numTables][tableEntries]int8
+	bias    [tableEntries]int8
+	history uint64
+
+	predictions uint64
+	mispredicts uint64
+}
+
+// New returns a zeroed predictor.
+func New() *Predictor { return &Predictor{} }
+
+// Stats reports prediction counts.
+func (p *Predictor) Stats() (predictions, mispredicts uint64) {
+	return p.predictions, p.mispredicts
+}
+
+// ResetStats clears the counters, keeping learned state.
+func (p *Predictor) ResetStats() { p.predictions, p.mispredicts = 0, 0 }
+
+// MPKI returns branch mispredictions per thousand instructions.
+func (p *Predictor) MPKI(instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return float64(p.mispredicts) / float64(instructions) * 1000
+}
+
+// index hashes the PC with one 8-bit slice of global history per table.
+func (p *Predictor) index(t int, pc uint64) int {
+	h := (p.history >> (uint(t) * 8)) & 0xFF
+	x := pc ^ pc>>tableBits ^ h<<2 ^ uint64(t)*0x9E3779B9
+	x ^= x >> 15
+	x *= 0x2545F4914F6CDD1D
+	return int(x>>17) & (tableEntries - 1)
+}
+
+// sum computes the perceptron output for pc.
+func (p *Predictor) sum(pc uint64) int {
+	s := int(p.bias[int(pc>>2)&(tableEntries-1)])
+	for t := 0; t < numTables; t++ {
+		s += int(p.tables[t][p.index(t, pc)])
+	}
+	return s
+}
+
+// Predict returns the predicted direction for the branch at pc.
+func (p *Predictor) Predict(pc uint64) bool { return p.sum(pc) >= 0 }
+
+// Update trains the predictor with the actual outcome and returns whether
+// the prediction was correct. Call exactly once per executed branch.
+func (p *Predictor) Update(pc uint64, taken bool) bool {
+	s := p.sum(pc)
+	pred := s >= 0
+	correct := pred == taken
+	p.predictions++
+	if !correct {
+		p.mispredicts++
+	}
+	if !correct || abs(s) <= trainingThreshold {
+		dir := int8(-1)
+		if taken {
+			dir = 1
+		}
+		bi := int(pc>>2) & (tableEntries - 1)
+		p.bias[bi] = saturate(int(p.bias[bi]) + int(dir))
+		for t := 0; t < numTables; t++ {
+			idx := p.index(t, pc)
+			p.tables[t][idx] = saturate(int(p.tables[t][idx]) + int(dir))
+		}
+	}
+	p.history <<= 1
+	if taken {
+		p.history |= 1
+	}
+	return correct
+}
+
+func saturate(w int) int8 {
+	if w > weightMax {
+		return weightMax
+	}
+	if w < weightMin {
+		return weightMin
+	}
+	return int8(w)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

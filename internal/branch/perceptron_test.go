@@ -1,0 +1,131 @@
+package branch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLearnsAlwaysTaken(t *testing.T) {
+	p := New()
+	pc := uint64(0x400100)
+	wrong := 0
+	for i := 0; i < 1000; i++ {
+		if !p.Update(pc, true) {
+			wrong++
+		}
+	}
+	if wrong > 5 {
+		t.Fatalf("%d mispredicts on an always-taken branch", wrong)
+	}
+}
+
+func TestLearnsAlternating(t *testing.T) {
+	// Period-2 patterns are in a perceptron's representable class via
+	// global history.
+	p := New()
+	pc := uint64(0x400200)
+	wrong := 0
+	for i := 0; i < 4000; i++ {
+		taken := i%2 == 0
+		if !p.Update(pc, taken) && i > 1000 {
+			wrong++
+		}
+	}
+	if float64(wrong)/3000 > 0.05 {
+		t.Fatalf("alternating pattern mispredicted %d/3000 after warmup", wrong)
+	}
+}
+
+func TestLearnsHistoryCorrelation(t *testing.T) {
+	// Branch B's outcome equals branch A's last outcome: pure history
+	// correlation, no bias.
+	p := New()
+	a, b := uint64(0x400300), uint64(0x400304)
+	last := false
+	wrong := 0
+	rnd := uint64(88172645463325252)
+	for i := 0; i < 8000; i++ {
+		rnd ^= rnd << 13
+		rnd ^= rnd >> 7
+		rnd ^= rnd << 17
+		at := rnd&1 == 1
+		p.Update(a, at)
+		if !p.Update(b, last) && i > 4000 {
+			wrong++
+		}
+		last = at
+	}
+	if float64(wrong)/4000 > 0.10 {
+		t.Fatalf("history-correlated branch mispredicted %d/4000 after warmup", wrong)
+	}
+}
+
+func TestRandomBranchNearChance(t *testing.T) {
+	p := New()
+	pc := uint64(0x400400)
+	rnd := uint64(1234567)
+	wrong := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		rnd ^= rnd << 13
+		rnd ^= rnd >> 7
+		rnd ^= rnd << 17
+		if !p.Update(pc, rnd&1 == 1) {
+			wrong++
+		}
+	}
+	rate := float64(wrong) / n
+	if rate < 0.35 || rate > 0.65 {
+		t.Fatalf("random branch mispredict rate %.2f, expected near 0.5", rate)
+	}
+}
+
+func TestStatsAndMPKI(t *testing.T) {
+	p := New()
+	for i := 0; i < 100; i++ {
+		p.Update(0x400500, true)
+	}
+	preds, _ := p.Stats()
+	if preds != 100 {
+		t.Fatalf("predictions = %d", preds)
+	}
+	if p.MPKI(0) != 0 {
+		t.Fatal("MPKI with zero instructions should be 0")
+	}
+	if p.MPKI(1000) < 0 {
+		t.Fatal("negative MPKI")
+	}
+	p.ResetStats()
+	preds, miss := p.Stats()
+	if preds != 0 || miss != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestPredictConsistentWithUpdate(t *testing.T) {
+	// Property: Predict(pc) before Update(pc, x) must equal the
+	// correctness Update reports against x.
+	p := New()
+	prop := func(pcSeed uint16, taken bool) bool {
+		pc := 0x400000 + uint64(pcSeed)*4
+		pred := p.Predict(pc)
+		correct := p.Update(pc, taken)
+		return correct == (pred == taken)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightSaturation(t *testing.T) {
+	// Hammering one branch must not overflow int8 weights (panics or
+	// flipped predictions would show up as mispredicts).
+	p := New()
+	pc := uint64(0x400600)
+	for i := 0; i < 100_000; i++ {
+		p.Update(pc, true)
+	}
+	if !p.Predict(pc) {
+		t.Fatal("saturated always-taken branch predicted not-taken")
+	}
+}

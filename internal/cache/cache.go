@@ -1,0 +1,613 @@
+// Package cache implements the set-associative cache hierarchy used by the
+// simulator: L1I/L1D, a private L2 (where prefetching is triggered in the
+// PPF paper), and a shared last-level cache, all write-back/write-allocate
+// with LRU replacement and MSHR-style miss handling.
+//
+// Timing follows the simulator's "instant state, delayed completion"
+// model: an access mutates cache state immediately and returns the
+// absolute cycle at which its data is available. Outstanding misses are
+// tracked in an MSHR table so that accesses to in-flight blocks merge
+// onto the pending fill instead of issuing duplicate requests, and so
+// that a full MSHR back-pressures the core.
+package cache
+
+import "fmt"
+
+// BlockBits is log2 of the cache block size (64-byte blocks).
+const BlockBits = 6
+
+// BlockSize is the cache block size in bytes.
+const BlockSize = 1 << BlockBits
+
+// Level is anything that can service a block request: a cache or DRAM.
+type Level interface {
+	// Read requests the block containing addr at cycle `at` and returns
+	// the absolute cycle at which the data is available.
+	Read(addr uint64, at uint64) (done uint64)
+	// Write hands a dirty block down the hierarchy at cycle `at`.
+	// Writes are posted (fire-and-forget) but still consume resources.
+	Write(addr uint64, at uint64)
+}
+
+// EvictInfo describes a block leaving a cache, for prefetcher/PPF training.
+type EvictInfo struct {
+	// Addr is the block-aligned address of the evicted block.
+	Addr uint64
+	// Prefetched reports whether the block entered the cache via prefetch.
+	Prefetched bool
+	// Used reports whether a demand access touched the block while cached.
+	Used bool
+	// Owner is the core that issued the prefetch (-1 for demand fills);
+	// multicore simulations use it to route training to the right filter.
+	Owner int
+}
+
+// Stats aggregates the per-cache event counters.
+type Stats struct {
+	DemandAccesses  uint64
+	DemandHits      uint64
+	DemandMisses    uint64
+	WriteAccesses   uint64
+	WriteHits       uint64
+	WriteMisses     uint64
+	PrefetchFills   uint64 // prefetched blocks inserted into this cache
+	PrefetchUseful  uint64 // prefetched blocks later hit by demand
+	PrefetchLate    uint64 // demand arrived while the prefetch was in flight
+	PrefetchUnused  uint64 // prefetched blocks evicted without a demand hit
+	Evictions       uint64
+	Writebacks      uint64
+	MSHRMerges      uint64
+	MSHRFullStalls  uint64
+	PrefetchDropped uint64 // prefetches dropped because the block was present
+	PrefetchReads   uint64 // reads serviced on behalf of an upper-level prefetch
+	PrefetchReadHit uint64 // such reads that hit here (no DRAM traffic)
+	MissLatencySum  uint64 // total completion-minus-access cycles over demand misses
+	MergeWaitSum    uint64 // total wait cycles over hit-under-miss merges
+}
+
+// AvgMissLatency returns the mean demand-miss latency in cycles.
+func (s Stats) AvgMissLatency() float64 {
+	if s.DemandMisses == 0 {
+		return 0
+	}
+	return float64(s.MissLatencySum) / float64(s.DemandMisses)
+}
+
+// AvgMergeWait returns the mean wait of demand hits that merged onto an
+// in-flight fill.
+func (s Stats) AvgMergeWait() float64 {
+	if s.MSHRMerges == 0 {
+		return 0
+	}
+	return float64(s.MergeWaitSum) / float64(s.MSHRMerges)
+}
+
+// DemandMPKI returns demand misses per thousand of the given instruction
+// count.
+func (s Stats) DemandMPKI(instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return float64(s.DemandMisses) / float64(instructions) * 1000
+}
+
+// Accuracy returns the fraction of prefetches filled into this cache that
+// were used by demand accesses before eviction.
+func (s Stats) Accuracy() float64 {
+	if s.PrefetchFills == 0 {
+		return 0
+	}
+	return float64(s.PrefetchUseful) / float64(s.PrefetchFills)
+}
+
+type line struct {
+	tag        uint64
+	lastUse    uint64
+	owner      int16
+	valid      bool
+	dirty      bool
+	prefetched bool
+	used       bool
+}
+
+type mshrEntry struct {
+	block uint64 // block address (addr >> BlockBits)
+	done  uint64
+	valid bool
+	// lowPrio marks fills issued at prefetch priority; a demand merging
+	// onto one promotes the in-flight request to demand priority.
+	lowPrio bool
+}
+
+// Config describes one cache's geometry and latency.
+type Config struct {
+	Name       string
+	SizeBytes  int
+	Ways       int
+	HitLatency uint64
+	MSHRs      int
+}
+
+// Validate checks the configuration for internal consistency.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("cache %q: size and ways must be positive", c.Name)
+	}
+	sets := c.SizeBytes / BlockSize / c.Ways
+	if sets <= 0 || sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %q: set count %d is not a positive power of two", c.Name, sets)
+	}
+	if c.MSHRs <= 0 {
+		return fmt.Errorf("cache %q: MSHR count must be positive", c.Name)
+	}
+	return nil
+}
+
+// Cache is one level of the hierarchy.
+type Cache struct {
+	cfg     Config
+	sets    int
+	setMask uint64
+	lines   []line // sets*ways, row-major by set
+	useTick uint64
+	mshrs   []mshrEntry
+	next    Level
+
+	// EvictHook, when non-nil, observes every eviction of a valid block.
+	// The PPF filter uses it to detect prefetches that polluted the cache.
+	EvictHook func(EvictInfo)
+	// UsefulHook, when non-nil, observes the first demand hit to a
+	// prefetched block, with the core that issued the prefetch. SPP's
+	// global-accuracy counter and PPF's positive training feed from this.
+	UsefulHook func(addr uint64, owner int)
+	// DemandHook, when non-nil, observes every demand read access after
+	// it is serviced. The simulator attaches it to the L2 to trigger
+	// prefetching, matching the paper's "prefetching is only triggered
+	// upon L2 cache demand accesses".
+	DemandHook func(addr uint64, at uint64, hit bool)
+
+	stats Stats
+}
+
+// New constructs a cache over the given next level.
+func New(cfg Config, next Level) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if next == nil {
+		return nil, fmt.Errorf("cache %q: next level must not be nil", cfg.Name)
+	}
+	sets := cfg.SizeBytes / BlockSize / cfg.Ways
+	return &Cache{
+		cfg:     cfg,
+		sets:    sets,
+		setMask: uint64(sets - 1),
+		lines:   make([]line, sets*cfg.Ways),
+		mshrs:   make([]mshrEntry, cfg.MSHRs),
+		next:    next,
+	}, nil
+}
+
+// MustNew is New that panics on error, for statically-valid configs.
+func MustNew(cfg Config, next Level) *Cache {
+	c, err := New(cfg, next)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Name returns the configured cache name.
+func (c *Cache) Name() string { return c.cfg.Name }
+
+// Stats returns a copy of the accumulated counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats clears the counters (used after warmup).
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Sets returns the number of sets (exported for tests and storage audits).
+func (c *Cache) Sets() int { return c.sets }
+
+func (c *Cache) setOf(block uint64) int { return int(block & c.setMask) }
+
+// lookup returns the index into c.lines of the block, or -1.
+func (c *Cache) lookup(block uint64) int {
+	set := c.setOf(block)
+	base := set * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		ln := &c.lines[base+w]
+		if ln.valid && ln.tag == block {
+			return base + w
+		}
+	}
+	return -1
+}
+
+// Contains reports whether the block holding addr is resident.
+func (c *Cache) Contains(addr uint64) bool { return c.lookup(addr>>BlockBits) >= 0 }
+
+// pendingFill returns the in-flight fill entry for block, if one is
+// outstanding and still in the future at cycle `at`.
+func (c *Cache) pendingFill(block, at uint64) (*mshrEntry, bool) {
+	for i := range c.mshrs {
+		e := &c.mshrs[i]
+		if e.valid && e.block == block {
+			if e.done <= at {
+				e.valid = false
+				return nil, false
+			}
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// reserveMSHR claims an MSHR slot for a new miss at cycle `at`. It returns
+// the slot index and the earliest cycle the miss may issue: `at` when a
+// slot is free, otherwise the completion cycle of the earliest outstanding
+// fill (a structural-hazard stall). The caller must fill the slot with
+// commitMSHR once the completion time is known.
+func (c *Cache) reserveMSHR(at uint64) (idx int, start uint64) {
+	freeIdx := -1
+	var minDone uint64 = ^uint64(0)
+	minIdx := 0
+	prefIdx := -1
+	var prefMin uint64 = ^uint64(0)
+	for i := range c.mshrs {
+		e := &c.mshrs[i]
+		if e.valid && e.done <= at {
+			e.valid = false
+		}
+		if !e.valid {
+			if freeIdx < 0 {
+				freeIdx = i
+			}
+			continue
+		}
+		if e.done < minDone {
+			minDone = e.done
+			minIdx = i
+		}
+		if e.lowPrio && e.done < prefMin {
+			prefMin = e.done
+			prefIdx = i
+		}
+	}
+	if freeIdx >= 0 {
+		return freeIdx, at
+	}
+	if prefIdx >= 0 {
+		// Sacrifice a prefetch's tracking slot rather than stalling the
+		// demand: the speculative fill loses its merge entry (real
+		// designs drop prefetches under MSHR pressure) and the demand
+		// issues immediately.
+		c.mshrs[prefIdx].valid = false
+		return prefIdx, at
+	}
+	// Structural hazard among demand fills only: the miss issues when
+	// the earliest outstanding fill retires.
+	c.stats.MSHRFullStalls++
+	c.mshrs[minIdx].valid = false
+	return minIdx, minDone
+}
+
+// commitMSHR records the outstanding fill in a reserved slot.
+func (c *Cache) commitMSHR(idx int, block, done uint64) {
+	c.mshrs[idx] = mshrEntry{block: block, done: done, valid: true}
+}
+
+// commitMSHRPrefetch records an outstanding prefetch-priority fill.
+func (c *Cache) commitMSHRPrefetch(idx int, block, done uint64) {
+	c.mshrs[idx] = mshrEntry{block: block, done: done, valid: true, lowPrio: true}
+}
+
+// reserveMSHRPrefetch claims a slot for a prefetch fill without ever
+// displacing or waiting on outstanding misses: prefetches are dropped
+// under MSHR pressure rather than back-pressuring demands, and a quarter
+// of the file is kept free for demand traffic.
+func (c *Cache) reserveMSHRPrefetch(at uint64) (idx int, ok bool) {
+	free := 0
+	freeIdx := -1
+	for i := range c.mshrs {
+		e := &c.mshrs[i]
+		if e.valid && e.done <= at {
+			e.valid = false
+		}
+		if !e.valid {
+			free++
+			if freeIdx < 0 {
+				freeIdx = i
+			}
+		}
+	}
+	if freeIdx < 0 || free <= len(c.mshrs)/4 {
+		return 0, false
+	}
+	return freeIdx, true
+}
+
+// victim picks the LRU way in set and returns its line index.
+func (c *Cache) victim(set int) int {
+	base := set * c.cfg.Ways
+	best := base
+	var bestUse uint64 = ^uint64(0)
+	for w := 0; w < c.cfg.Ways; w++ {
+		ln := &c.lines[base+w]
+		if !ln.valid {
+			return base + w
+		}
+		if ln.lastUse < bestUse {
+			bestUse = ln.lastUse
+			best = base + w
+		}
+	}
+	return best
+}
+
+// insert places block into the cache, evicting as needed, and returns the
+// inserted line. owner is the prefetching core (-1 for demand fills).
+func (c *Cache) insert(block uint64, at uint64, prefetched bool, owner int) *line {
+	set := c.setOf(block)
+	idx := c.victim(set)
+	ln := &c.lines[idx]
+	if ln.valid {
+		c.stats.Evictions++
+		if ln.prefetched && !ln.used {
+			c.stats.PrefetchUnused++
+		}
+		if c.EvictHook != nil {
+			c.EvictHook(EvictInfo{
+				Addr:       ln.tag << BlockBits,
+				Prefetched: ln.prefetched,
+				Used:       ln.used,
+				Owner:      int(ln.owner),
+			})
+		}
+		if ln.dirty {
+			c.stats.Writebacks++
+			c.next.Write(ln.tag<<BlockBits, at)
+		}
+	}
+	c.useTick++
+	*ln = line{tag: block, lastUse: c.useTick, valid: true, prefetched: prefetched, owner: int16(owner)}
+	return ln
+}
+
+// touch refreshes LRU state and prefetch-usefulness bookkeeping on a
+// demand hit.
+func (c *Cache) touch(idx int, addr uint64) {
+	ln := &c.lines[idx]
+	c.useTick++
+	ln.lastUse = c.useTick
+	if ln.prefetched && !ln.used {
+		ln.used = true
+		c.stats.PrefetchUseful++
+		if c.UsefulHook != nil {
+			c.UsefulHook(addr&^(BlockSize-1), int(ln.owner))
+		}
+	}
+}
+
+// Read implements Level for demand loads and instruction fetches.
+func (c *Cache) Read(addr uint64, at uint64) uint64 {
+	return c.access(addr, at)
+}
+
+// Write implements Level for stores (write-allocate) and writebacks from
+// the level above (which arrive as posted writes and are absorbed here).
+func (c *Cache) Write(addr uint64, at uint64) {
+	block := addr >> BlockBits
+	c.stats.WriteAccesses++
+	if idx := c.lookup(block); idx >= 0 {
+		c.stats.WriteHits++
+		c.touchWrite(idx)
+		return
+	}
+	c.stats.WriteMisses++
+	// Write-allocate: fetch the block, then dirty it. The store itself is
+	// posted, so the returned latency is not propagated to the core.
+	idx, start := c.reserveMSHR(at)
+	reqAt := at + c.cfg.HitLatency
+	if start > reqAt {
+		reqAt = start
+	}
+	done := c.next.Read(addr, reqAt)
+	c.commitMSHR(idx, block, done)
+	ln := c.insert(block, at, false, -1)
+	ln.dirty = true
+}
+
+func (c *Cache) touchWrite(idx int) {
+	ln := &c.lines[idx]
+	c.useTick++
+	ln.lastUse = c.useTick
+	ln.dirty = true
+	if ln.prefetched && !ln.used {
+		ln.used = true
+		c.stats.PrefetchUseful++
+		if c.UsefulHook != nil {
+			c.UsefulHook(ln.tag<<BlockBits, int(ln.owner))
+		}
+	}
+}
+
+// access is the demand-read path.
+func (c *Cache) access(addr, at uint64) uint64 {
+	block := addr >> BlockBits
+	c.stats.DemandAccesses++
+	var done uint64
+	var hit bool
+	if idx := c.lookup(block); idx >= 0 {
+		c.touch(idx, addr)
+		hit = true
+		// A hit on a block whose fill is still in flight completes when
+		// the fill does (hit-under-miss merge). It counts as a hit for
+		// MPKI purposes: the miss was (at least partially) covered.
+		if e, pending := c.pendingFill(block, at); pending {
+			c.stats.MSHRMerges++
+			if c.lines[idx].prefetched {
+				c.stats.PrefetchLate++
+			}
+			done = e.done
+			if e.lowPrio {
+				// Promote the in-flight prefetch to demand priority: the
+				// controller reschedules the request as if it were a
+				// fresh demand, and the fill completes at whichever is
+				// sooner.
+				if promoted := promoteRead(c.next, addr, at); promoted < done {
+					done = promoted
+					e.done = promoted
+				}
+				e.lowPrio = false
+			}
+			c.stats.MergeWaitSum += done - at
+		} else {
+			done = at + c.cfg.HitLatency
+		}
+		c.stats.DemandHits++
+	} else {
+		c.stats.DemandMisses++
+		idx, start := c.reserveMSHR(at)
+		reqAt := at + c.cfg.HitLatency // tag lookup before the miss issues
+		if start > reqAt {
+			reqAt = start
+		}
+		done = c.next.Read(addr, reqAt)
+		c.stats.MissLatencySum += done - at
+		c.commitMSHR(idx, block, done)
+		c.insert(block, at, false, -1)
+	}
+	if c.DemandHook != nil {
+		c.DemandHook(addr, at, hit)
+	}
+	return done
+}
+
+// Prefetch inserts the block containing addr speculatively on behalf of
+// core owner. If fillHere is false the prefetch is forwarded to the next
+// level (e.g. an L2 prefetch directed to the LLC); the block must not
+// already be resident at this level either way — duplicate suggestions
+// are dropped rather than re-fetched. It returns the fill completion
+// cycle and whether a fill actually happened.
+func (c *Cache) Prefetch(addr uint64, at uint64, fillHere bool, owner int) (uint64, bool) {
+	block := addr >> BlockBits
+	if c.lookup(block) >= 0 {
+		c.stats.PrefetchDropped++
+		return at, false
+	}
+	if e, pending := c.pendingFill(block, at); pending {
+		c.stats.PrefetchDropped++
+		return e.done, false
+	}
+	if !fillHere {
+		if nc, ok := c.next.(*Cache); ok {
+			return nc.Prefetch(addr, at, true, owner)
+		}
+		// Next level is DRAM; nothing to fill into. This only happens in
+		// deliberately truncated test hierarchies.
+		return c.next.Read(addr, at), false
+	}
+	idx, ok := c.reserveMSHRPrefetch(at)
+	if !ok {
+		// No MSHR headroom at this level: demote the prefetch to the
+		// next cache level instead of losing it (a full prefetch queue
+		// redirects, it does not silently discard coverage).
+		if nc, isCache := c.next.(*Cache); isCache {
+			return nc.Prefetch(addr, at, true, owner)
+		}
+		c.stats.PrefetchDropped++
+		return at, false
+	}
+	done := readForPrefetch(c.next, addr, at+c.cfg.HitLatency, owner)
+	c.commitMSHRPrefetch(idx, block, done)
+	c.insert(block, at, true, owner)
+	c.stats.PrefetchFills++
+	return done, true
+}
+
+// PrefetchSource is implemented by levels that can service reads on
+// behalf of prefetch fills at lower priority than demand reads. owner is
+// the prefetching core, threaded through so intermediate allocations
+// route their feedback correctly.
+type PrefetchSource interface {
+	ReadPrefetch(addr uint64, at uint64, owner int) uint64
+}
+
+// readForPrefetch sources data for a prefetch fill from the next level
+// without perturbing that level's demand statistics or usefulness
+// tracking, and at prefetch (low) priority in the memory controller.
+func readForPrefetch(next Level, addr, at uint64, owner int) uint64 {
+	if ps, ok := next.(PrefetchSource); ok {
+		return ps.ReadPrefetch(addr, at, owner)
+	}
+	return next.Read(addr, at)
+}
+
+// ReadPrefetch services a read on behalf of an upper-level prefetch. It
+// behaves like a demand read for timing, but counts separately, never
+// fires DemandHook/UsefulHook, and does not mark prefetched lines used.
+// As in ChampSim's fill path, the returning block is also allocated at
+// this level: an upper-level prefetch fill leaves a copy in the caches it
+// passed through, so a block racing out of the small L2 is still close by
+// and re-suggestions upgrade cheaply instead of re-reading DRAM.
+// It implements PrefetchSource.
+func (c *Cache) ReadPrefetch(addr, at uint64, owner int) uint64 {
+	block := addr >> BlockBits
+	c.stats.PrefetchReads++
+	if idx := c.lookup(block); idx >= 0 {
+		c.stats.PrefetchReadHit++
+		c.useTick++
+		c.lines[idx].lastUse = c.useTick
+		if e, pending := c.pendingFill(block, at); pending {
+			return e.done
+		}
+		return at + c.cfg.HitLatency
+	}
+	idx, ok := c.reserveMSHRPrefetch(at)
+	if !ok {
+		// No MSHR headroom: the read is serviced without tracking or
+		// allocation (the requesting level still bounds its own
+		// outstanding fills).
+		return readForPrefetch(c.next, addr, at+c.cfg.HitLatency, owner)
+	}
+	done := readForPrefetch(c.next, addr, at+c.cfg.HitLatency, owner)
+	c.commitMSHRPrefetch(idx, block, done)
+	c.insert(block, at, true, owner)
+	return done
+}
+
+// Promoter is implemented by levels that can re-prioritise an in-flight
+// prefetch fill when a demand merges onto it.
+type Promoter interface {
+	PromoteRead(addr uint64, at uint64) uint64
+}
+
+// promoteRead propagates a merge-promotion down the hierarchy and returns
+// the promoted completion estimate.
+func promoteRead(next Level, addr, at uint64) uint64 {
+	if p, ok := next.(Promoter); ok {
+		return p.PromoteRead(addr, at)
+	}
+	return next.Read(addr, at)
+}
+
+// PromoteRead implements Promoter: if this level is still waiting on the
+// block it promotes its own pending request downstream; if the block is
+// resident the data is a hit away; otherwise the promotion falls through.
+func (c *Cache) PromoteRead(addr, at uint64) uint64 {
+	block := addr >> BlockBits
+	if e, pending := c.pendingFill(block, at); pending {
+		if e.lowPrio {
+			if promoted := promoteRead(c.next, addr, at); promoted < e.done {
+				e.done = promoted
+			}
+			e.lowPrio = false
+		}
+		return e.done
+	}
+	if c.lookup(block) >= 0 {
+		return at + c.cfg.HitLatency
+	}
+	return promoteRead(c.next, addr, at)
+}

@@ -1,0 +1,462 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// fixedMem is a constant-latency bottom level for unit tests.
+type fixedMem struct {
+	latency uint64
+	reads   int
+	writes  int
+	lastAt  uint64
+}
+
+func (m *fixedMem) Read(addr, at uint64) uint64 {
+	m.reads++
+	m.lastAt = at
+	return at + m.latency
+}
+
+func (m *fixedMem) Write(addr, at uint64) {
+	m.writes++
+	m.lastAt = at
+}
+
+func smallCache(t *testing.T, mem Level) *Cache {
+	t.Helper()
+	c, err := New(Config{Name: "T", SizeBytes: 4 * 1024, Ways: 4, HitLatency: 2, MSHRs: 8}, mem)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{Name: "ok", SizeBytes: 1024, Ways: 4, HitLatency: 1, MSHRs: 4}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{Name: "zero-size", SizeBytes: 0, Ways: 4, MSHRs: 4},
+		{Name: "zero-ways", SizeBytes: 1024, Ways: 0, MSHRs: 4},
+		{Name: "non-pow2-sets", SizeBytes: 3 * 1024, Ways: 4, MSHRs: 4},
+		{Name: "zero-mshr", SizeBytes: 1024, Ways: 4, MSHRs: 0},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %q should be rejected", cfg.Name)
+		}
+	}
+	if _, err := New(good, nil); err == nil {
+		t.Error("nil next level should be rejected")
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	mem := &fixedMem{latency: 100}
+	c := smallCache(t, mem)
+	d1 := c.Read(0x1000, 10)
+	if d1 < 110 {
+		t.Fatalf("miss completed at %d, want >= 110", d1)
+	}
+	// Wait out the fill, then re-access: hit at hit latency.
+	d2 := c.Read(0x1000, d1+1)
+	if d2 != d1+1+2 {
+		t.Fatalf("hit completed at %d, want %d", d2, d1+1+2)
+	}
+	s := c.Stats()
+	if s.DemandMisses != 1 || s.DemandHits != 1 || s.DemandAccesses != 2 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestStatsInvariantHitsPlusMisses(t *testing.T) {
+	prop := func(addrs []uint16) bool {
+		mem := &fixedMem{latency: 50}
+		c := smallCache(t, mem)
+		at := uint64(0)
+		for _, a := range addrs {
+			at += 200
+			c.Read(uint64(a)*64, at)
+		}
+		s := c.Stats()
+		return s.DemandHits+s.DemandMisses == s.DemandAccesses
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMSHRMergeSameBlock(t *testing.T) {
+	mem := &fixedMem{latency: 100}
+	c := smallCache(t, mem)
+	d1 := c.Read(0x2000, 10)
+	// Second access to the same block while the fill is in flight
+	// completes with the fill, not a fresh request.
+	d2 := c.Read(0x2000, 20)
+	if d2 != d1 {
+		t.Fatalf("merge completed at %d, want fill time %d", d2, d1)
+	}
+	if mem.reads != 1 {
+		t.Fatalf("memory saw %d reads, want 1 (merged)", mem.reads)
+	}
+	if c.Stats().MSHRMerges != 1 {
+		t.Fatalf("merges = %d, want 1", c.Stats().MSHRMerges)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	mem := &fixedMem{latency: 10}
+	c := smallCache(t, mem) // 4KB, 4-way, 16 sets
+	sets := uint64(c.Sets())
+	// Fill one set with 4 distinct tags, touch the first again, then
+	// insert a fifth: the second-oldest (tag1) must be evicted, tag0 kept.
+	mk := func(tag uint64) uint64 { return (tag*sets + 3) * 64 } // set 3
+	at := uint64(0)
+	for tag := uint64(0); tag < 4; tag++ {
+		at += 100
+		c.Read(mk(tag), at)
+	}
+	at += 100
+	c.Read(mk(0), at) // refresh tag 0
+	at += 100
+	c.Read(mk(4), at) // evicts tag 1 (LRU)
+	if !c.Contains(mk(0)) {
+		t.Error("tag 0 (recently used) was evicted")
+	}
+	if c.Contains(mk(1)) {
+		t.Error("tag 1 (LRU) should have been evicted")
+	}
+	if !c.Contains(mk(4)) {
+		t.Error("tag 4 (just inserted) missing")
+	}
+}
+
+func TestWritebackOnDirtyEviction(t *testing.T) {
+	mem := &fixedMem{latency: 10}
+	c := smallCache(t, mem)
+	sets := uint64(c.Sets())
+	mk := func(tag uint64) uint64 { return (tag*sets + 1) * 64 }
+	c.Write(mk(0), 100) // write-allocate, dirty
+	at := uint64(200)
+	for tag := uint64(1); tag <= 4; tag++ { // force eviction of tag 0
+		at += 100
+		c.Read(mk(tag), at)
+	}
+	if mem.writes != 1 {
+		t.Fatalf("memory saw %d writes, want 1 writeback", mem.writes)
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Fatalf("writebacks = %d", c.Stats().Writebacks)
+	}
+}
+
+func TestWriteHitSetsDirtyNotMiss(t *testing.T) {
+	mem := &fixedMem{latency: 10}
+	c := smallCache(t, mem)
+	c.Read(0x3000, 100)
+	c.Write(0x3000, 300)
+	s := c.Stats()
+	if s.WriteHits != 1 || s.WriteMisses != 0 {
+		t.Fatalf("write stats %+v", s)
+	}
+}
+
+func TestPrefetchFillAndUseful(t *testing.T) {
+	mem := &fixedMem{latency: 10}
+	c := smallCache(t, mem)
+	var usefulAddr uint64
+	var usefulOwner int
+	c.UsefulHook = func(addr uint64, owner int) { usefulAddr, usefulOwner = addr, owner }
+
+	done, ok := c.Prefetch(0x4000, 100, true, 3)
+	if !ok || done <= 100 {
+		t.Fatalf("prefetch fill failed: done=%d ok=%v", done, ok)
+	}
+	if c.Stats().PrefetchFills != 1 {
+		t.Fatalf("fills = %d", c.Stats().PrefetchFills)
+	}
+	// Duplicate prefetch is dropped.
+	if _, ok := c.Prefetch(0x4000, 120, true, 3); ok {
+		t.Fatal("duplicate prefetch should be dropped")
+	}
+	// Demand hit marks it useful exactly once, with the right owner.
+	c.Read(0x4000, done+10)
+	c.Read(0x4000, done+20)
+	s := c.Stats()
+	if s.PrefetchUseful != 1 {
+		t.Fatalf("useful = %d, want 1", s.PrefetchUseful)
+	}
+	if usefulAddr != 0x4000 || usefulOwner != 3 {
+		t.Fatalf("useful hook got addr=%#x owner=%d", usefulAddr, usefulOwner)
+	}
+}
+
+func TestPrefetchUnusedEvictionHook(t *testing.T) {
+	mem := &fixedMem{latency: 10}
+	c := smallCache(t, mem)
+	var evicted []EvictInfo
+	c.EvictHook = func(i EvictInfo) { evicted = append(evicted, i) }
+	sets := uint64(c.Sets())
+	mk := func(tag uint64) uint64 { return (tag*sets + 2) * 64 }
+	c.Prefetch(mk(0), 100, true, 1)
+	at := uint64(200)
+	for tag := uint64(1); tag <= 4; tag++ {
+		at += 100
+		c.Read(mk(tag), at)
+	}
+	if len(evicted) == 0 {
+		t.Fatal("no eviction observed")
+	}
+	e := evicted[0]
+	if !e.Prefetched || e.Used || e.Owner != 1 || e.Addr != mk(0) {
+		t.Fatalf("evict info %+v", e)
+	}
+	if c.Stats().PrefetchUnused != 1 {
+		t.Fatalf("unused = %d", c.Stats().PrefetchUnused)
+	}
+}
+
+func TestPrefetchForwardToNextLevel(t *testing.T) {
+	mem := &fixedMem{latency: 10}
+	llc := MustNew(Config{Name: "LLC", SizeBytes: 8 * 1024, Ways: 4, HitLatency: 4, MSHRs: 8}, mem)
+	l2 := MustNew(Config{Name: "L2", SizeBytes: 4 * 1024, Ways: 4, HitLatency: 2, MSHRs: 8}, llc)
+	if _, ok := l2.Prefetch(0x5000, 100, false, 0); !ok {
+		t.Fatal("LLC-directed prefetch failed")
+	}
+	if l2.Contains(0x5000) {
+		t.Fatal("block should not be in L2")
+	}
+	if !llc.Contains(0x5000) {
+		t.Fatal("block should be in LLC")
+	}
+	// A later L2-directed prefetch sources from the LLC without touching
+	// memory again.
+	memReads := mem.reads
+	if _, ok := l2.Prefetch(0x5000, 5000, true, 0); !ok {
+		t.Fatal("L2 refill prefetch failed")
+	}
+	if mem.reads != memReads {
+		t.Fatalf("refill went to memory (%d reads)", mem.reads-memReads)
+	}
+	if llc.Stats().PrefetchReadHit != 1 {
+		t.Fatalf("llc prefetch-read hits = %d", llc.Stats().PrefetchReadHit)
+	}
+}
+
+func TestDemandHookFires(t *testing.T) {
+	mem := &fixedMem{latency: 10}
+	c := smallCache(t, mem)
+	var calls []bool
+	c.DemandHook = func(addr, at uint64, hit bool) { calls = append(calls, hit) }
+	c.Read(0x6000, 100)
+	c.Read(0x6000, 500)
+	if len(calls) != 2 || calls[0] || !calls[1] {
+		t.Fatalf("demand hook calls = %v, want [false true]", calls)
+	}
+}
+
+func TestMSHRFullStallsDemands(t *testing.T) {
+	mem := &fixedMem{latency: 1000}
+	c, err := New(Config{Name: "tiny", SizeBytes: 64 * 1024, Ways: 4, HitLatency: 1, MSHRs: 2}, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Read(0*4096, 10)
+	c.Read(1*4096, 10)
+	d := c.Read(2*4096, 10) // both MSHRs busy until ~1011
+	if d < 2000 {
+		t.Fatalf("third concurrent miss finished at %d; expected stall past 2000", d)
+	}
+	if c.Stats().MSHRFullStalls != 1 {
+		t.Fatalf("stalls = %d", c.Stats().MSHRFullStalls)
+	}
+}
+
+func TestDemandStealsPrefetchMSHR(t *testing.T) {
+	mem := &fixedMem{latency: 1000}
+	c, err := New(Config{Name: "tiny", SizeBytes: 64 * 1024, Ways: 4, HitLatency: 1, MSHRs: 2}, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Prefetch(0*4096, 10, true, 0)
+	c.Read(1*4096, 10)
+	// File is full, but one entry is a prefetch: the demand steals it and
+	// issues immediately instead of stalling 1000 cycles.
+	d := c.Read(2*4096, 20)
+	if d > 1100 {
+		t.Fatalf("demand stalled to %d despite stealable prefetch entry", d)
+	}
+	if c.Stats().MSHRFullStalls != 0 {
+		t.Fatalf("unexpected stall recorded")
+	}
+}
+
+func TestPromotionOnMerge(t *testing.T) {
+	// A demand merging onto a prefetch-priority fill must complete no
+	// later than the original fill.
+	mem := &fixedMem{latency: 500}
+	c := smallCache(t, mem)
+	fillDone, _ := c.Prefetch(0x7000, 100, true, 0)
+	got := c.Read(0x7000, 150)
+	if got > fillDone {
+		t.Fatalf("merged demand done=%d later than fill %d", got, fillDone)
+	}
+	if c.Stats().PrefetchLate != 1 {
+		t.Fatalf("late = %d", c.Stats().PrefetchLate)
+	}
+}
+
+func TestAccuracyAndMPKIHelpers(t *testing.T) {
+	s := Stats{PrefetchFills: 10, PrefetchUseful: 4, DemandMisses: 50}
+	if got := s.Accuracy(); got != 0.4 {
+		t.Fatalf("Accuracy = %v", got)
+	}
+	if got := s.DemandMPKI(1000); got != 50 {
+		t.Fatalf("MPKI = %v", got)
+	}
+	var zero Stats
+	if zero.Accuracy() != 0 || zero.DemandMPKI(0) != 0 || zero.AvgMissLatency() != 0 || zero.AvgMergeWait() != 0 {
+		t.Fatal("zero-value helpers should return 0")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNew(Config{}, &fixedMem{})
+}
+
+func TestFillThroughAllocatesIntermediateLevel(t *testing.T) {
+	// An L2-directed prefetch that misses the LLC leaves a copy in the
+	// LLC on its way up (ChampSim-style fill path).
+	mem := &fixedMem{latency: 10}
+	llc := MustNew(Config{Name: "LLC", SizeBytes: 8 * 1024, Ways: 4, HitLatency: 4, MSHRs: 8}, mem)
+	l2 := MustNew(Config{Name: "L2", SizeBytes: 4 * 1024, Ways: 4, HitLatency: 2, MSHRs: 8}, llc)
+	if _, ok := l2.Prefetch(0x9000, 100, true, 2); !ok {
+		t.Fatal("prefetch failed")
+	}
+	if !l2.Contains(0x9000) {
+		t.Fatal("block missing from L2")
+	}
+	if !llc.Contains(0x9000) {
+		t.Fatal("fill-through copy missing from LLC")
+	}
+	// The LLC copy is attributed to the prefetching core.
+	var owner int
+	llc.UsefulHook = func(_ uint64, o int) { owner = o }
+	llc.Read(0x9000, 10_000)
+	if owner != 2 {
+		t.Fatalf("LLC copy owner = %d, want 2", owner)
+	}
+}
+
+func TestPrefetchDemotesToNextLevelUnderMSHRPressure(t *testing.T) {
+	mem := &fixedMem{latency: 10_000} // long fills keep MSHRs occupied
+	llc := MustNew(Config{Name: "LLC", SizeBytes: 64 * 1024, Ways: 4, HitLatency: 4, MSHRs: 64}, mem)
+	l2 := MustNew(Config{Name: "L2", SizeBytes: 64 * 1024, Ways: 4, HitLatency: 2, MSHRs: 4}, llc)
+	// 4 MSHRs, quarter reserved → at most 3 prefetch fills in flight at
+	// the L2; further prefetches demote to the LLC rather than dropping.
+	filled := 0
+	for i := 0; i < 10; i++ {
+		if _, ok := l2.Prefetch(uint64(0x40000+i*64), 100, true, 0); ok {
+			filled++
+		}
+	}
+	if filled != 10 {
+		t.Fatalf("only %d/10 prefetches filled; demotion should absorb MSHR pressure", filled)
+	}
+	inL2 := 0
+	for i := 0; i < 10; i++ {
+		if l2.Contains(uint64(0x40000 + i*64)) {
+			inL2++
+		}
+	}
+	if inL2 >= 10 {
+		t.Fatal("every prefetch landed in the L2 despite a 4-entry MSHR file")
+	}
+	if llc.Stats().PrefetchFills == 0 {
+		t.Fatal("no prefetch was demoted to the LLC")
+	}
+}
+
+func TestReadPrefetchNoUsefulSignal(t *testing.T) {
+	// A prefetch sourcing data from a level must not mark that level's
+	// prefetched lines as used (only demand hits are "useful").
+	mem := &fixedMem{latency: 10}
+	llc := MustNew(Config{Name: "LLC", SizeBytes: 8 * 1024, Ways: 4, HitLatency: 4, MSHRs: 8}, mem)
+	fired := false
+	llc.UsefulHook = func(uint64, int) { fired = true }
+	llc.Prefetch(0xA000, 100, true, 0)
+	llc.ReadPrefetch(0xA000, 5_000, 0)
+	if fired {
+		t.Fatal("ReadPrefetch fired the useful hook")
+	}
+	if llc.Stats().PrefetchUseful != 0 {
+		t.Fatal("ReadPrefetch counted as useful")
+	}
+}
+
+// promoterMem is a bottom level that distinguishes promoted re-requests.
+type promoterMem struct {
+	fixedMem
+	promotes int
+}
+
+func (m *promoterMem) ReadPrefetch(addr, at uint64, _ int) uint64 {
+	return at + 2*m.latency // prefetch path is slower (backlogged)
+}
+
+func (m *promoterMem) PromoteRead(addr, at uint64) uint64 {
+	m.promotes++
+	return at + m.latency/2
+}
+
+func TestPromoteReadChain(t *testing.T) {
+	// Promotion must propagate through intermediate caches down to the
+	// bottom level and pull the completion earlier.
+	mem := &promoterMem{fixedMem: fixedMem{latency: 400}}
+	llc := MustNew(Config{Name: "LLC", SizeBytes: 8 * 1024, Ways: 4, HitLatency: 4, MSHRs: 8}, mem)
+	l2 := MustNew(Config{Name: "L2", SizeBytes: 4 * 1024, Ways: 4, HitLatency: 2, MSHRs: 8}, llc)
+
+	fillDone, ok := l2.Prefetch(0xB000, 100, true, 0)
+	if !ok {
+		t.Fatal("prefetch failed")
+	}
+	got := l2.Read(0xB000, 120) // merge + promote
+	if got >= fillDone {
+		t.Fatalf("promotion did not help: %d vs fill %d", got, fillDone)
+	}
+	if mem.promotes == 0 {
+		t.Fatal("promotion never reached the bottom level")
+	}
+	// Direct PromoteRead on a cache without a pending fill but with the
+	// block resident returns a hit.
+	if d := llc.PromoteRead(0xB000, 10_000); d != 10_000+4 {
+		t.Fatalf("resident promote = %d", d)
+	}
+	// And on a cache without the block at all it falls through.
+	before := mem.promotes
+	llc.PromoteRead(0xF0000, 10_000)
+	if mem.promotes != before+1 {
+		t.Fatal("absent promote did not fall through")
+	}
+}
+
+func TestNameAndResetStats(t *testing.T) {
+	mem := &fixedMem{latency: 10}
+	c := smallCache(t, mem)
+	if c.Name() != "T" {
+		t.Fatalf("name %q", c.Name())
+	}
+	c.Read(0x100, 10)
+	c.ResetStats()
+	if c.Stats().DemandAccesses != 0 {
+		t.Fatal("reset failed")
+	}
+}

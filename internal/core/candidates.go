@@ -1,0 +1,115 @@
+package core
+
+// The paper's feature-selection methodology (§5.5) started from 23
+// candidate features, studied their global and per-trace Pearson factors
+// and their 23x23 cross-correlation matrix, and pruned to the final nine.
+// This file defines the candidate pool so the selection experiment can
+// reproduce that procedure end to end.
+
+// CandidateFeatures returns the full exploration pool: the paper's nine
+// final features plus fourteen plausible-but-redundant-or-weak candidates
+// of the kinds the paper describes discarding (alternate address folds,
+// un-hashed primary features, and further XOR composites).
+func CandidateFeatures() []FeatureSpec {
+	extra := []FeatureSpec{
+		LastSignatureFeature(),
+		{
+			// Raw lookahead depth: weak alone (all shallow prefetches
+			// alias together); PC⊕Depth supersedes it.
+			Name:      "DepthOnly",
+			TableSize: 128,
+			Index:     func(in *FeatureInput) uint64 { return uint64(in.Depth) },
+		},
+		{
+			// Raw delta: captured better by PC⊕Delta and Sig⊕Delta.
+			Name:      "DeltaOnly",
+			TableSize: 256,
+			Index:     func(in *FeatureInput) uint64 { return deltaCode(in.Delta) },
+		},
+		{
+			// Trigger PC alone: the paper notes it is a poor basis for a
+			// lookahead prefetcher since all depths alias to one PC.
+			Name:      "PCOnly",
+			TableSize: tableMedium,
+			Index:     func(in *FeatureInput) uint64 { return in.PC },
+		},
+		{
+			// Block offset within the page: subsumed by CacheLine.
+			Name:      "PageOffset",
+			TableSize: 64,
+			Index:     func(in *FeatureInput) uint64 { return in.Addr >> 6 & 63 },
+		},
+		{
+			// Folded address: the paper argues shifted views beat folding
+			// ("can also eliminate destructive interference ... caused by
+			// directly folding the address bits into half").
+			Name:      "AddrFold",
+			TableSize: tableLarge,
+			Index: func(in *FeatureInput) uint64 {
+				blk := in.Addr >> 6
+				return blk ^ blk>>16
+			},
+		},
+		{
+			// Confidence XOR depth: correlated with both parents.
+			Name:      "ConfXorDepth",
+			TableSize: tableSmall,
+			Index: func(in *FeatureInput) uint64 {
+				return uint64(in.Confidence) ^ uint64(in.Depth)<<7
+			},
+		},
+		{
+			// Signature XOR page: another page-centric composite.
+			Name:      "SigXorPage",
+			TableSize: tableMedium,
+			Index: func(in *FeatureInput) uint64 {
+				return uint64(in.Signature) ^ in.Addr>>12
+			},
+		},
+		{
+			// Signature XOR depth.
+			Name:      "SigXorDepth",
+			TableSize: tableMedium,
+			Index: func(in *FeatureInput) uint64 {
+				return uint64(in.Signature) ^ uint64(in.Depth)<<9
+			},
+		},
+		{
+			// PC XOR page address.
+			Name:      "PCXorPage",
+			TableSize: tableMedium,
+			Index:     func(in *FeatureInput) uint64 { return in.PC ^ in.Addr>>12 },
+		},
+		{
+			// PC XOR cache line.
+			Name:      "PCXorLine",
+			TableSize: tableMedium,
+			Index:     func(in *FeatureInput) uint64 { return in.PC ^ in.Addr>>6 },
+		},
+		{
+			// Two-deep PC path (shallower variant of PCPath).
+			Name:      "PCPath2",
+			TableSize: tableMedium,
+			Index: func(in *FeatureInput) uint64 {
+				return in.PCHist[0] ^ in.PCHist[1]>>1
+			},
+		},
+		{
+			// Confidence XOR delta.
+			Name:      "ConfXorDelta",
+			TableSize: tableSmall,
+			Index: func(in *FeatureInput) uint64 {
+				return uint64(in.Confidence) ^ deltaCode(in.Delta)<<5
+			},
+		},
+		{
+			// Cache line XOR depth: the line view already dominates.
+			Name:      "LineXorDepth",
+			TableSize: tableLarge,
+			Index: func(in *FeatureInput) uint64 {
+				return in.Addr>>6 ^ uint64(in.Depth)<<10
+			},
+		},
+	}
+	return append(DefaultFeatures(), extra...)
+}

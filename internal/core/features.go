@@ -1,0 +1,164 @@
+// Package core implements Perceptron-based Prefetch Filtering (PPF), the
+// primary contribution of Bhatia et al., ISCA 2019. PPF sits between a
+// prefetcher and the prefetch insertion queue: every candidate prefetch is
+// scored by a hashed-perceptron over nine features; the score is
+// thresholded twice to choose "fill L2", "fill LLC" or "reject"; issued
+// and rejected candidates are logged in a Prefetch Table and a Reject
+// Table so that subsequent demand accesses and evictions can train the
+// perceptron weights online.
+package core
+
+// FeatureInput carries everything a feature index function may consume:
+// the candidate address, the triggering demand access context, the last
+// three load PCs, and the metadata exported by the underlying prefetcher
+// (paper §3.2 "Using Metadata from the Prefetcher").
+type FeatureInput struct {
+	// Addr is the candidate prefetch block address (byte address).
+	Addr uint64
+	// PC is the program counter of the demand load that triggered the
+	// prefetch chain.
+	PC uint64
+	// PCHist holds the three most recent load PCs before the trigger.
+	PCHist [3]uint64
+	// Depth is the lookahead depth of the candidate (1 = direct).
+	Depth int
+	// Signature is the SPP signature current when the candidate was
+	// produced.
+	Signature uint16
+	// Confidence is the prefetcher's internal 0–100 confidence.
+	Confidence int
+	// Delta is the predicted block delta.
+	Delta int
+}
+
+// FeatureSpec describes one perceptron feature: its display name, weight
+// table size, and the raw index computation. The filter folds the raw
+// value onto the table with a mixing hash, so Index may return any width.
+type FeatureSpec struct {
+	// Name identifies the feature in reports and figures.
+	Name string
+	// TableSize is the number of weights dedicated to the feature; the
+	// paper sizes tables by observed feature importance (Table 3:
+	// 4×4096, 2×2048, 2×1024, 1×128).
+	TableSize int
+	// Index computes the raw feature value.
+	Index func(in *FeatureInput) uint64
+}
+
+// mix is a 64-bit finaliser (splitmix64) used to fold raw feature values
+// onto weight tables without systematic aliasing.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// Default feature-table sizes from Table 3.
+const (
+	tableLarge  = 4096
+	tableMedium = 2048
+	tableSmall  = 1024
+	tableConf   = 128
+)
+
+// DefaultFeatures returns the paper's final nine-feature set (§4.2),
+// in descending table-size order matching Table 3's 4/2/2/1 split.
+func DefaultFeatures() []FeatureSpec {
+	return []FeatureSpec{
+		{
+			// Cache line address: the candidate address shifted by the
+			// block size. Highest-importance address view.
+			Name:      "CacheLine",
+			TableSize: tableLarge,
+			Index:     func(in *FeatureInput) uint64 { return in.Addr >> 6 },
+		},
+		{
+			// Page address: the candidate address shifted by the page
+			// size.
+			Name:      "PageAddr",
+			TableSize: tableLarge,
+			Index:     func(in *FeatureInput) uint64 { return in.Addr >> 12 },
+		},
+		{
+			// Lower bits of the physical address of the trigger access.
+			Name:      "PhysAddr",
+			TableSize: tableLarge,
+			Index:     func(in *FeatureInput) uint64 { return in.Addr >> 2 },
+		},
+		{
+			// Confidence XOR Page: the paper's single most correlated
+			// feature (Pearson ≈ 0.90) — scores each page's tendency to
+			// be prefetch friendly at the current confidence.
+			Name:      "ConfXorPage",
+			TableSize: tableLarge,
+			Index: func(in *FeatureInput) uint64 {
+				return uint64(in.Confidence) ^ in.Addr>>12
+			},
+		},
+		{
+			// PC1 ^ (PC2>>1) ^ (PC3>>2): the path of load PCs leading to
+			// the trigger, blurred with age.
+			Name:      "PCPath",
+			TableSize: tableMedium,
+			Index: func(in *FeatureInput) uint64 {
+				return in.PCHist[0] ^ in.PCHist[1]>>1 ^ in.PCHist[2]>>2
+			},
+		},
+		{
+			// Current signature XOR predicted delta: approximately the
+			// next signature along the speculative path.
+			Name:      "SigXorDelta",
+			TableSize: tableMedium,
+			Index: func(in *FeatureInput) uint64 {
+				return uint64(in.Signature) ^ deltaCode(in.Delta)
+			},
+		},
+		{
+			// PC XOR lookahead depth: resolves the trigger PC into a
+			// distinct value per speculation depth.
+			Name:      "PCXorDepth",
+			TableSize: tableSmall,
+			Index: func(in *FeatureInput) uint64 {
+				return in.PC ^ uint64(in.Depth)<<5
+			},
+		},
+		{
+			// PC XOR delta: whether this PC favours particular deltas.
+			Name:      "PCXorDelta",
+			TableSize: tableSmall,
+			Index: func(in *FeatureInput) uint64 {
+				return in.PC ^ deltaCode(in.Delta)<<3
+			},
+		},
+		{
+			// Raw SPP confidence on its 0–100 scale.
+			Name:      "Confidence",
+			TableSize: tableConf,
+			Index:     func(in *FeatureInput) uint64 { return uint64(in.Confidence) },
+		},
+	}
+}
+
+// LastSignatureFeature is the feature the paper *rejected* during its
+// selection methodology (Figure 6 shows its trained weights bunching near
+// zero). It is provided so the feature-selection experiment can reproduce
+// that comparison.
+func LastSignatureFeature() FeatureSpec {
+	return FeatureSpec{
+		Name:      "LastSignature",
+		TableSize: tableLarge,
+		Index:     func(in *FeatureInput) uint64 { return uint64(in.Signature) },
+	}
+}
+
+// deltaCode maps a signed delta onto a dense non-negative code so that
+// positive and negative strides occupy distinct feature values.
+func deltaCode(d int) uint64 {
+	if d >= 0 {
+		return uint64(d) << 1
+	}
+	return uint64(-d)<<1 | 1
+}

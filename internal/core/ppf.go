@@ -1,0 +1,366 @@
+package core
+
+import "fmt"
+
+// Weight bounds: 5-bit saturating counters (paper §3.1).
+const (
+	// WeightMin is the smallest weight value.
+	WeightMin = -16
+	// WeightMax is the largest weight value.
+	WeightMax = 15
+)
+
+// Table geometry (paper §3.1 "Recording"): 1,024-entry direct-mapped
+// prefetch and reject tables, 10-bit index, 6-bit tag.
+const (
+	recordTableEntries = 1024
+	recordIndexBits    = 10
+	recordTagBits      = 6
+)
+
+// Decision is the filter's verdict on a candidate prefetch.
+type Decision uint8
+
+// Filter decisions.
+const (
+	// Drop rejects the prefetch entirely.
+	Drop Decision = iota
+	// FillLLC issues the prefetch into the last-level cache only.
+	FillLLC
+	// FillL2 issues the prefetch into the L2 (high confidence).
+	FillL2
+)
+
+// String renders the decision for reports.
+func (d Decision) String() string {
+	switch d {
+	case Drop:
+		return "drop"
+	case FillLLC:
+		return "fill-llc"
+	case FillL2:
+		return "fill-l2"
+	default:
+		return fmt.Sprintf("decision(%d)", uint8(d))
+	}
+}
+
+// Config tunes the filter thresholds.
+type Config struct {
+	// TauHi: candidates with sum ≥ TauHi fill the L2.
+	TauHi int
+	// TauLo: candidates with TauLo ≤ sum < TauHi fill the LLC; below
+	// TauLo they are dropped.
+	TauLo int
+	// ThetaP is the positive training saturation: on a positive outcome
+	// the weights are only strengthened while the recomputed sum is
+	// below ThetaP, preventing over-training (paper §3.1 "Training").
+	ThetaP int
+	// ThetaN is the negative training saturation (a negative value).
+	ThetaN int
+	// Features overrides the feature set; nil selects DefaultFeatures.
+	// Used by the feature-selection and ablation experiments.
+	Features []FeatureSpec
+}
+
+// DefaultConfig returns thresholds tuned for this simulator. The paper
+// tunes its thresholds empirically on SPEC CPU 2017 and does not publish
+// exact values; like the authors' reference code, both thresholds sit
+// below zero so an untrained filter (sum 0) issues into the L2 — the L2's
+// fast turnover then supplies negative training quickly, and only
+// candidates the perceptron has actively learned to distrust are demoted
+// to the LLC or dropped. Calibration notes are in EXPERIMENTS.md.
+func DefaultConfig() Config {
+	return Config{TauHi: -4, TauLo: -18, ThetaP: 40, ThetaN: -40}
+}
+
+// Stats aggregates filter activity.
+type Stats struct {
+	Inferences     uint64 // candidates scored
+	IssuedL2       uint64
+	IssuedLLC      uint64
+	Dropped        uint64
+	TrainPositive  uint64 // weight-increment events
+	TrainNegative  uint64 // weight-decrement events
+	FalseNegatives uint64 // reject-table hits: we dropped a useful prefetch
+	UsefulIssued   uint64 // prefetch-table hits: issued prefetch proved useful
+	EvictUnused    uint64 // issued prefetch evicted without use
+}
+
+// IssueRate is the fraction of candidates the filter let through.
+func (s Stats) IssueRate() float64 {
+	if s.Inferences == 0 {
+		return 0
+	}
+	return float64(s.IssuedL2+s.IssuedLLC) / float64(s.Inferences)
+}
+
+// recordEntry is one Prefetch/Reject Table slot. The stored fields match
+// the paper's Table 2 metadata (valid, tag, useful, perceptron decision,
+// PC, address, current signature, PC hash, delta, confidence, depth);
+// storage accounting for them lives in storage.go.
+type recordEntry struct {
+	valid    bool
+	tag      uint16
+	useful   bool
+	issued   bool   // the perceptron decision: true = prefetched
+	seq      uint64 // issue sequence number, for overwrite-age checks
+	features FeatureInput
+}
+
+// Filter is the perceptron prefetch filter.
+type Filter struct {
+	cfg      Config
+	features []FeatureSpec
+	weights  [][]int8
+
+	prefetchTable [recordTableEntries]recordEntry
+	rejectTable   [recordTableEntries]recordEntry
+
+	pcHist [3]uint64
+
+	issueSeq uint64
+
+	// OnTrainEvent, when non-nil, observes every training example: the
+	// weight each feature table currently holds for the example, and the
+	// ground-truth outcome (+1 the prefetch was useful, -1 it was not).
+	// The paper's feature-selection methodology (§5.5) computes Pearson
+	// correlations from exactly this stream.
+	OnTrainEvent func(weights []int8, outcome int)
+
+	trainBuf []int8 // reused buffer for OnTrainEvent
+
+	stats Stats
+}
+
+// New constructs a filter. A zero-value Config is replaced by
+// DefaultConfig thresholds.
+func New(cfg Config) *Filter {
+	if cfg.TauHi == 0 && cfg.TauLo == 0 && cfg.ThetaP == 0 && cfg.ThetaN == 0 {
+		def := DefaultConfig()
+		def.Features = cfg.Features
+		cfg = def
+	}
+	feats := cfg.Features
+	if feats == nil {
+		feats = DefaultFeatures()
+	}
+	f := &Filter{cfg: cfg, features: feats}
+	f.weights = make([][]int8, len(feats))
+	for i, spec := range feats {
+		if spec.TableSize <= 0 {
+			panic(fmt.Sprintf("core: feature %q has non-positive table size", spec.Name))
+		}
+		f.weights[i] = make([]int8, spec.TableSize)
+	}
+	return f
+}
+
+// Stats returns a copy of the accumulated counters.
+func (f *Filter) Stats() Stats { return f.stats }
+
+// ResetStats clears the counters (used after warmup; learned weights are
+// kept, matching the simulation methodology).
+func (f *Filter) ResetStats() { f.stats = Stats{} }
+
+// Config returns the active configuration.
+func (f *Filter) Config() Config { return f.cfg }
+
+// FeatureNames lists the active features in table order.
+func (f *Filter) FeatureNames() []string {
+	names := make([]string, len(f.features))
+	for i, s := range f.features {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// WeightsOf returns a copy of the trained weight table for feature i,
+// for the paper's feature-analysis methodology (Figures 6–8).
+func (f *Filter) WeightsOf(i int) []int8 {
+	out := make([]int8, len(f.weights[i]))
+	copy(out, f.weights[i])
+	return out
+}
+
+// OnLoadPC records a retired load PC into the three-deep history used by
+// the PCPath feature. Call once per demand load, before OnDemand.
+func (f *Filter) OnLoadPC(pc uint64) {
+	if pc == f.pcHist[0] {
+		return
+	}
+	f.pcHist[2] = f.pcHist[1]
+	f.pcHist[1] = f.pcHist[0]
+	f.pcHist[0] = pc
+}
+
+// PCHist exposes the current load-PC history (used when constructing
+// FeatureInput for candidates).
+func (f *Filter) PCHist() [3]uint64 { return f.pcHist }
+
+// indexFor folds feature i's raw value for in onto its weight table.
+func (f *Filter) indexFor(i int, in *FeatureInput) int {
+	raw := f.features[i].Index(in)
+	return int(mix(raw) % uint64(len(f.weights[i])))
+}
+
+// Sum computes the perceptron output for a candidate's features.
+func (f *Filter) Sum(in *FeatureInput) int {
+	sum := 0
+	for i := range f.features {
+		sum += int(f.weights[i][f.indexFor(i, in)])
+	}
+	return sum
+}
+
+// observe reports a training example to OnTrainEvent.
+func (f *Filter) observe(in *FeatureInput, outcome int) {
+	if f.OnTrainEvent == nil {
+		return
+	}
+	if cap(f.trainBuf) < len(f.features) {
+		f.trainBuf = make([]int8, len(f.features))
+	}
+	buf := f.trainBuf[:len(f.features)]
+	for i := range f.features {
+		buf[i] = f.weights[i][f.indexFor(i, in)]
+	}
+	f.OnTrainEvent(buf, outcome)
+}
+
+// adjust applies one perceptron learning step in the given direction
+// (+1 strengthen / -1 weaken), saturating each 5-bit weight.
+func (f *Filter) adjust(in *FeatureInput, dir int) {
+	for i := range f.features {
+		idx := f.indexFor(i, in)
+		w := int(f.weights[i][idx]) + dir
+		if w > WeightMax {
+			w = WeightMax
+		}
+		if w < WeightMin {
+			w = WeightMin
+		}
+		f.weights[i][idx] = int8(w)
+	}
+}
+
+// recordIndex computes the direct-mapped slot and tag for a block address.
+func recordIndex(addr uint64) (idx int, tag uint16) {
+	block := addr >> 6
+	idx = int(block & (recordTableEntries - 1))
+	tag = uint16((block >> recordIndexBits) & ((1 << recordTagBits) - 1))
+	return idx, tag
+}
+
+// Decide scores one candidate against the two thresholds (paper Figure 5
+// step 1: inferencing). It does not record the candidate; callers follow
+// up with RecordIssue or RecordReject once the prefetch's fate is known,
+// so that candidates squashed elsewhere (duplicate blocks, full MSHRs)
+// do not thrash the training tables.
+func (f *Filter) Decide(in *FeatureInput) Decision {
+	f.stats.Inferences++
+	sum := f.Sum(in)
+	switch {
+	case sum >= f.cfg.TauHi:
+		f.stats.IssuedL2++
+		return FillL2
+	case sum >= f.cfg.TauLo:
+		f.stats.IssuedLLC++
+		return FillLLC
+	default:
+		f.stats.Dropped++
+		return Drop
+	}
+}
+
+// RecordIssue logs an issued prefetch in the Prefetch Table (paper Figure
+// 5 step 2). The paper's negative signal is the eviction of an unused
+// prefetched block; at this simulator's scaled-down run lengths those
+// evictions can arrive after the table entry is gone, so an entry that
+// survived at least one full table generation (1,024 issues) without a
+// demand hit is treated as the same signal when overwritten. Entries that
+// churn faster are simply lost, so useful long-lead prefetches are not
+// punished.
+func (f *Filter) RecordIssue(in FeatureInput) {
+	f.issueSeq++
+	idx, tag := recordIndex(in.Addr)
+	if e := &f.prefetchTable[idx]; e.valid && e.issued && !e.useful &&
+		f.issueSeq-e.seq >= recordTableEntries {
+		f.stats.EvictUnused++
+		f.observe(&e.features, -1)
+		if f.Sum(&e.features) > f.cfg.ThetaN {
+			f.adjust(&e.features, -1)
+			f.stats.TrainNegative++
+		}
+	}
+	f.prefetchTable[idx] = recordEntry{valid: true, tag: tag, issued: true, seq: f.issueSeq, features: in}
+}
+
+// RecordReject logs a filtered-out candidate in the Reject Table so a
+// later demand to the block can correct the false negative.
+func (f *Filter) RecordReject(in FeatureInput) {
+	idx, tag := recordIndex(in.Addr)
+	f.rejectTable[idx] = recordEntry{valid: true, tag: tag, features: in}
+}
+
+// Filter is the one-shot convenience path: decide and record in one call.
+func (f *Filter) Filter(in FeatureInput) Decision {
+	d := f.Decide(&in)
+	if d == Drop {
+		f.RecordReject(in)
+	} else {
+		f.RecordIssue(in)
+	}
+	return d
+}
+
+// OnDemand trains the filter from a demand access to the L2 (paper Figure
+// 5 steps 3 and 4): a prefetch-table hit confirms a useful prefetch
+// (positive training toward ThetaP); a reject-table hit is a false
+// negative the filter must unlearn (positive training).
+//
+// Call before triggering the prefetcher for the same access so the
+// training uses the pre-trigger table state.
+func (f *Filter) OnDemand(addr uint64) {
+	idx, tag := recordIndex(addr)
+	if e := &f.prefetchTable[idx]; e.valid && e.tag == tag {
+		if !e.useful {
+			e.useful = true
+			f.stats.UsefulIssued++
+			f.observe(&e.features, +1)
+		}
+		if f.Sum(&e.features) < f.cfg.ThetaP {
+			f.adjust(&e.features, +1)
+			f.stats.TrainPositive++
+		}
+	}
+	if e := &f.rejectTable[idx]; e.valid && e.tag == tag {
+		f.stats.FalseNegatives++
+		f.observe(&e.features, +1)
+		if f.Sum(&e.features) < f.cfg.ThetaP {
+			f.adjust(&e.features, +1)
+			f.stats.TrainPositive++
+		}
+		e.valid = false
+	}
+}
+
+// OnEvict trains the filter when the L2 evicts a block (paper §3.1
+// "Training"): if the evicted block was brought in by a prefetch that was
+// never used, the filter mispredicted and the weights are pushed negative.
+func (f *Filter) OnEvict(addr uint64, used bool) {
+	idx, tag := recordIndex(addr)
+	e := &f.prefetchTable[idx]
+	if !e.valid || e.tag != tag {
+		return
+	}
+	if !used && !e.useful {
+		f.stats.EvictUnused++
+		f.observe(&e.features, -1)
+		if f.Sum(&e.features) > f.cfg.ThetaN {
+			f.adjust(&e.features, -1)
+			f.stats.TrainNegative++
+		}
+	}
+	e.valid = false
+}

@@ -1,0 +1,70 @@
+package core
+
+// Hardware storage accounting reproducing the paper's Tables 2 and 3.
+
+// Table 2: metadata stored per Prefetch Table entry.
+const (
+	bitsValid        = 1
+	bitsTag          = 6
+	bitsUseful       = 1
+	bitsPercDecision = 1
+	bitsPC           = 12
+	bitsAddress      = 24
+	bitsCurSignature = 10
+	bitsPCHash       = 12
+	bitsDelta        = 7
+	bitsConfidence   = 7
+	bitsDepth        = 4
+)
+
+// PrefetchTableEntryBits is the per-entry metadata budget of the Prefetch
+// Table (paper Table 2: 85 bits).
+const PrefetchTableEntryBits = bitsValid + bitsTag + bitsUseful +
+	bitsPercDecision + bitsPC + bitsAddress + bitsCurSignature +
+	bitsPCHash + bitsDelta + bitsConfidence + bitsDepth
+
+// RejectTableEntryBits omits the useful bit (paper Table 3 footnote:
+// 84 bits).
+const RejectTableEntryBits = PrefetchTableEntryBits - bitsUseful
+
+// weightBits is the width of one perceptron weight.
+const weightBits = 5
+
+// PCTrackerBits is the cost of the three global PC-history registers
+// (12 bits each in the paper's Table 3) feeding the PCPath feature.
+const PCTrackerBits = 3 * 12
+
+// StorageBreakdown itemises the PPF hardware budget.
+type StorageBreakdown struct {
+	PerceptronWeightsBits int
+	PrefetchTableBits     int
+	RejectTableBits       int
+	PCTrackerBits         int
+}
+
+// TotalBits sums the breakdown.
+func (b StorageBreakdown) TotalBits() int {
+	return b.PerceptronWeightsBits + b.PrefetchTableBits + b.RejectTableBits + b.PCTrackerBits
+}
+
+// TotalKB converts the breakdown to kilobytes (1 KB = 8192 bits).
+func (b StorageBreakdown) TotalKB() float64 {
+	return float64(b.TotalBits()) / 8 / 1024
+}
+
+// Storage computes the filter's hardware budget from its live
+// configuration. With the default feature set this reproduces the paper's
+// Table 3 PPF rows: 113,280 bits of weights plus 87,040 + 86,016 bits of
+// prefetch/reject tables.
+func (f *Filter) Storage() StorageBreakdown {
+	weights := 0
+	for _, t := range f.weights {
+		weights += len(t) * weightBits
+	}
+	return StorageBreakdown{
+		PerceptronWeightsBits: weights,
+		PrefetchTableBits:     recordTableEntries * PrefetchTableEntryBits,
+		RejectTableBits:       recordTableEntries * RejectTableEntryBits,
+		PCTrackerBits:         PCTrackerBits,
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import "testing"
+
+func TestPrefetchTableEntryBits(t *testing.T) {
+	// Paper Table 2: 85 bits per Prefetch Table entry.
+	if PrefetchTableEntryBits != 85 {
+		t.Fatalf("PrefetchTableEntryBits = %d, want 85", PrefetchTableEntryBits)
+	}
+	// Table 3 footnote: the Reject Table omits the useful bit.
+	if RejectTableEntryBits != 84 {
+		t.Fatalf("RejectTableEntryBits = %d, want 84", RejectTableEntryBits)
+	}
+}
+
+func TestStorageMatchesTable3(t *testing.T) {
+	f := New(DefaultConfig())
+	st := f.Storage()
+	if st.PerceptronWeightsBits != 113280 {
+		t.Fatalf("weights bits = %d, want 113280 (Table 3)", st.PerceptronWeightsBits)
+	}
+	if st.PrefetchTableBits != 1024*85 {
+		t.Fatalf("prefetch table bits = %d", st.PrefetchTableBits)
+	}
+	if st.RejectTableBits != 1024*84 {
+		t.Fatalf("reject table bits = %d", st.RejectTableBits)
+	}
+	if st.PCTrackerBits != 36 {
+		t.Fatalf("pc tracker bits = %d", st.PCTrackerBits)
+	}
+	want := 113280 + 1024*85 + 1024*84 + 36
+	if st.TotalBits() != want {
+		t.Fatalf("total = %d, want %d", st.TotalBits(), want)
+	}
+	if kb := st.TotalKB(); kb < 34 || kb > 36 {
+		t.Fatalf("PPF-only budget %.2f KB out of expected band", kb)
+	}
+}
+
+func TestDefaultFeatureTableSizesMatchTable3(t *testing.T) {
+	// Table 3 weights split: 4 x 4096, 2 x 2048, 2 x 1024, 1 x 128.
+	counts := map[int]int{}
+	for _, spec := range DefaultFeatures() {
+		counts[spec.TableSize]++
+	}
+	want := map[int]int{4096: 4, 2048: 2, 1024: 2, 128: 1}
+	for size, n := range want {
+		if counts[size] != n {
+			t.Fatalf("table size %d: %d features, want %d", size, counts[size], n)
+		}
+	}
+}
+
+func TestFeatureIndexDeterminism(t *testing.T) {
+	in := FeatureInput{
+		Addr: 0x123456780, PC: 0x400123,
+		PCHist: [3]uint64{1, 2, 3}, Depth: 4, Signature: 0xABC,
+		Confidence: 55, Delta: -3,
+	}
+	for _, spec := range DefaultFeatures() {
+		a := spec.Index(&in)
+		b := spec.Index(&in)
+		if a != b {
+			t.Fatalf("feature %s index not deterministic", spec.Name)
+		}
+	}
+}
+
+func TestFeaturesDistinguishInputs(t *testing.T) {
+	// Each feature must respond to at least one of its inputs changing.
+	base := FeatureInput{
+		Addr: 0x123456780, PC: 0x400123,
+		PCHist: [3]uint64{0x10, 0x20, 0x30}, Depth: 4, Signature: 0xABC,
+		Confidence: 55, Delta: -3,
+	}
+	perturb := base
+	perturb.Addr += 1 << 13
+	perturb.PC += 64
+	perturb.PCHist[0] += 64
+	perturb.Depth++
+	perturb.Signature ^= 0x155
+	perturb.Confidence += 11
+	perturb.Delta = 7
+	for _, spec := range DefaultFeatures() {
+		if spec.Index(&base) == spec.Index(&perturb) {
+			t.Errorf("feature %s ignored a full-input perturbation", spec.Name)
+		}
+	}
+}
+
+func TestLastSignatureFeature(t *testing.T) {
+	spec := LastSignatureFeature()
+	if spec.Name != "LastSignature" || spec.TableSize <= 0 {
+		t.Fatalf("spec %+v", spec)
+	}
+	a := FeatureInput{Signature: 1}
+	b := FeatureInput{Signature: 2}
+	if spec.Index(&a) == spec.Index(&b) {
+		t.Fatal("LastSignature does not depend on the signature")
+	}
+}
+
+func TestDeltaCodeInjective(t *testing.T) {
+	seen := map[uint64]int{}
+	for d := -64; d <= 64; d++ {
+		c := deltaCode(d)
+		if prev, ok := seen[c]; ok {
+			t.Fatalf("deltaCode collision: %d and %d -> %d", prev, d, c)
+		}
+		seen[c] = d
+	}
+}

@@ -1,0 +1,175 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigValidation(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{Channels: 0, BanksPerChannel: 8, RowBytes: 8192, TransferCycles: 20},
+		{Channels: 1, BanksPerChannel: 0, RowBytes: 8192, TransferCycles: 20},
+		{Channels: 1, BanksPerChannel: 8, RowBytes: 1000, TransferCycles: 20},
+		{Channels: 1, BanksPerChannel: 8, RowBytes: 8192, TransferCycles: 0},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestLowBandwidthIsQuarterRate(t *testing.T) {
+	d, l := DefaultConfig(), LowBandwidthConfig()
+	if l.TransferCycles != 4*d.TransferCycles {
+		t.Fatalf("low-bandwidth transfer = %d, want %d", l.TransferCycles, 4*d.TransferCycles)
+	}
+}
+
+func TestReadLatencyBounds(t *testing.T) {
+	d := MustNew(DefaultConfig())
+	cfg := DefaultConfig()
+	done := d.Read(0x100000, 1000)
+	min := 1000 + cfg.ControllerLatency + cfg.RowHitLatency + cfg.TransferCycles
+	max := 1000 + cfg.ControllerLatency + cfg.RowMissLatency + cfg.TransferCycles
+	if done < min || done > max {
+		t.Fatalf("cold read done=%d, want within [%d, %d]", done, min, max)
+	}
+}
+
+func TestRowHitFasterThanRowMiss(t *testing.T) {
+	d := MustNew(DefaultConfig())
+	cfg := DefaultConfig()
+	first := d.Read(0, 1000)
+	lat1 := first - 1000
+	// Same row again, far in the future (no queueing).
+	second := d.Read(64, 1_000_000)
+	lat2 := second - 1_000_000
+	if lat2 >= lat1 {
+		t.Fatalf("row hit latency %d not faster than cold %d", lat2, lat1)
+	}
+	if lat2 != cfg.ControllerLatency+cfg.RowHitLatency+cfg.TransferCycles {
+		t.Fatalf("row hit latency = %d", lat2)
+	}
+	s := d.Stats()
+	if s.RowHits != 1 || s.RowMisses != 1 {
+		t.Fatalf("row stats %+v", s)
+	}
+}
+
+func TestBandwidthCeiling(t *testing.T) {
+	// N simultaneous independent reads must take at least N transfer
+	// slots of bus time.
+	cfg := DefaultConfig()
+	d := MustNew(cfg)
+	const n = 200
+	var last uint64
+	for i := 0; i < n; i++ {
+		done := d.Read(uint64(i)*4096, 100)
+		if done > last {
+			last = done
+		}
+	}
+	minSpan := uint64(n) * cfg.TransferCycles
+	if last-100 < minSpan {
+		t.Fatalf("burst finished in %d cycles; bus floor is %d", last-100, minSpan)
+	}
+}
+
+func TestDemandPriorityOverWritesAndPrefetch(t *testing.T) {
+	d := MustNew(DefaultConfig())
+	// Saturate the bus with low-priority traffic.
+	for i := 0; i < 64; i++ {
+		d.Write(uint64(i)*8192, 100)
+		d.ReadPrefetch(uint64(i+100)*8192, 100, 0)
+	}
+	// Same bank pressure for both: a new prefetch queues behind the whole
+	// read backlog, while a demand only pays bank readiness plus its own
+	// (empty) demand queue.
+	pf := d.ReadPrefetch(uint64(200)*8192, 100, 0) // bank 0
+	dm := d.Read(uint64(208)*8192, 100)            // bank 0
+	if dm >= pf {
+		t.Fatalf("demand (%d) should complete before backlogged prefetch (%d)", dm, pf)
+	}
+}
+
+func TestPrefetchQueuesBehindPrefetch(t *testing.T) {
+	cfg := DefaultConfig()
+	d := MustNew(cfg)
+	var last uint64
+	for i := 0; i < 100; i++ {
+		last = d.ReadPrefetch(uint64(i)*8192, 100, 0)
+	}
+	if last-100 < 100*cfg.TransferCycles {
+		t.Fatalf("prefetch burst did not serialise on the bus: %d", last-100)
+	}
+}
+
+func TestPromoteReadBeatsBackloggedPrefetch(t *testing.T) {
+	d := MustNew(DefaultConfig())
+	var pend uint64
+	for i := 0; i < 100; i++ {
+		pend = d.ReadPrefetch(uint64(i)*8192, 100, 0)
+	}
+	promoted := d.PromoteRead(uint64(99)*8192, 150)
+	if promoted >= pend {
+		t.Fatalf("promotion (%d) no better than backlogged fill (%d)", promoted, pend)
+	}
+}
+
+func TestCompletionAlwaysAfterRequest(t *testing.T) {
+	d := MustNew(DefaultConfig())
+	prop := func(addr uint32, at uint16, kind uint8) bool {
+		a, tm := uint64(addr), uint64(at)
+		switch kind % 3 {
+		case 0:
+			return d.Read(a, tm) > tm
+		case 1:
+			return d.ReadPrefetch(a, tm, 0) > tm
+		default:
+			return d.PromoteRead(a, tm) > tm
+		}
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	d := MustNew(DefaultConfig())
+	d.Read(0, 10)
+	d.ReadPrefetch(8192, 10, 0)
+	d.Write(16384, 10)
+	d.PromoteRead(8192, 20)
+	s := d.Stats()
+	if s.Reads != 1 || s.PrefetchReads != 1 || s.Writes != 1 || s.PromotedReads != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	d.ResetStats()
+	if d.Stats().Reads != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestMultiChannelParallelism(t *testing.T) {
+	one := DefaultConfig()
+	two := DefaultConfig()
+	two.Channels = 2
+	run := func(cfg Config) uint64 {
+		d := MustNew(cfg)
+		var last uint64
+		for i := 0; i < 100; i++ {
+			done := d.Read(uint64(i)*8192, 100)
+			if done > last {
+				last = done
+			}
+		}
+		return last
+	}
+	if run(two) >= run(one) {
+		t.Fatal("two channels should finish a burst faster than one")
+	}
+}

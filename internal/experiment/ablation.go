@@ -1,0 +1,191 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	ppf "repro/internal/core"
+	"repro/internal/prefetch"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// AblationRow is one PPF variant's geomean speedup over no prefetching.
+type AblationRow struct {
+	Variant string
+	Geomean float64
+}
+
+// AblationResult holds the design-choice ablations DESIGN.md §6 calls out:
+// leave-one-out feature removal, single-threshold filling, and disabling
+// reject-table (false-negative) training.
+type AblationResult struct {
+	Baseline float64 // full PPF geomean
+	SPP      float64 // plain SPP for reference
+	Rows     []AblationRow
+}
+
+// ablationSetup builds a PPF setup with a custom filter constructor.
+func ablationSetup(w workload.Workload, seed uint64, mk func() *ppf.Filter) sim.CoreSetup {
+	return sim.CoreSetup{
+		Trace:      w.NewReader(seed),
+		Prefetcher: prefetch.NewSPP(prefetch.AggressiveSPPConfig()),
+		Filter:     mk(),
+	}
+}
+
+// runVariant measures one filter variant's geomean over the subset.
+func runVariant(ws []workload.Workload, b Budget, mk func() *ppf.Filter) float64 {
+	var speedups []float64
+	for _, w := range ws {
+		base := mustRunSingle(sim.DefaultConfig(1), SchemeNone, w, 1, b)
+		sys, err := sim.NewSystem(sim.DefaultConfig(1), []sim.CoreSetup{ablationSetup(w, 1, mk)})
+		if err != nil {
+			panic(err)
+		}
+		r := sys.Run(b.Warmup, b.Detail)
+		speedups = append(speedups, r.PerCore[0].IPC/base.PerCore[0].IPC)
+	}
+	return stats.GeoMean(speedups)
+}
+
+// Ablation runs the variant study over the memory-intensive subset.
+func Ablation(b Budget) AblationResult {
+	ws := sortedCopy(workload.SPEC2017MemIntensive())
+	var res AblationResult
+
+	var sppSpeedups []float64
+	for _, w := range ws {
+		base := mustRunSingle(sim.DefaultConfig(1), SchemeNone, w, 1, b)
+		spp := mustRunSingle(sim.DefaultConfig(1), SchemeSPP, w, 1, b)
+		sppSpeedups = append(sppSpeedups, spp.PerCore[0].IPC/base.PerCore[0].IPC)
+	}
+	res.SPP = stats.GeoMean(sppSpeedups)
+
+	res.Baseline = runVariant(ws, b, func() *ppf.Filter { return ppf.New(ppf.DefaultConfig()) })
+
+	// Leave-one-out: drop each feature in turn.
+	full := ppf.DefaultFeatures()
+	for drop := range full {
+		name := full[drop].Name
+		mk := func() *ppf.Filter {
+			feats := make([]ppf.FeatureSpec, 0, len(full)-1)
+			for i, spec := range ppf.DefaultFeatures() {
+				if i != drop {
+					feats = append(feats, spec)
+				}
+			}
+			cfg := ppf.DefaultConfig()
+			cfg.Features = feats
+			return ppf.New(cfg)
+		}
+		res.Rows = append(res.Rows, AblationRow{
+			Variant: "without " + name,
+			Geomean: runVariant(ws, b, mk),
+		})
+	}
+
+	// Single threshold: no LLC middle band (TauLo == TauHi), so every
+	// accepted prefetch fills the L2.
+	res.Rows = append(res.Rows, AblationRow{
+		Variant: "single threshold (no LLC band)",
+		Geomean: runVariant(ws, b, func() *ppf.Filter {
+			cfg := ppf.DefaultConfig()
+			cfg.TauLo = cfg.TauHi
+			return ppf.New(cfg)
+		}),
+	})
+	return res
+}
+
+// Render prints the ablation table.
+func (r AblationResult) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Ablation: PPF variants, geomean speedup over no prefetching (mem-intensive)\n")
+	header := []string{"variant", "geomean", "delta vs full PPF"}
+	rows := [][]string{
+		{"full PPF", fmtPct(r.Baseline), "—"},
+		{"plain SPP (reference)", fmtPct(r.SPP), fmt.Sprintf("%+.2f%%", 100*(r.SPP/r.Baseline-1))},
+	}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Variant,
+			fmtPct(row.Geomean),
+			fmt.Sprintf("%+.2f%%", 100*(row.Geomean/r.Baseline-1)),
+		})
+	}
+	renderTable(&sb, header, rows)
+	return sb.String()
+}
+
+// GeneralityRow is one (prefetcher, filtered?) measurement.
+type GeneralityRow struct {
+	Prefetcher string
+	Filtered   bool
+	Geomean    float64
+}
+
+// GeneralityResult demonstrates the paper's §3.2 claim that PPF adapts to
+// any underlying prefetcher, by filtering next-line and stride engines.
+type GeneralityResult struct{ Rows []GeneralityRow }
+
+// Generality measures next-line and stride prefetchers with and without a
+// PPF filter over the memory-intensive subset.
+func Generality(b Budget) GeneralityResult {
+	ws := sortedCopy(workload.SPEC2017MemIntensive())
+	var res GeneralityResult
+	engines := []struct {
+		name string
+		mk   func() prefetch.Prefetcher
+	}{
+		{"next-line(4)", func() prefetch.Prefetcher { return prefetch.NewNextLine(4) }},
+		{"stride(4)", func() prefetch.Prefetcher { return prefetch.NewStride(4) }},
+		{"bop(2)", func() prefetch.Prefetcher { return prefetch.NewBOP(prefetch.BOPConfig{Degree: 2}) }},
+		{"da-ampm", func() prefetch.Prefetcher { return prefetch.NewAMPM(prefetch.DefaultAMPMConfig()) }},
+		{"vldp", func() prefetch.Prefetcher { return prefetch.NewVLDP(prefetch.DefaultVLDPConfig()) }},
+		{"sms", func() prefetch.Prefetcher { return prefetch.NewSMS(prefetch.DefaultSMSConfig()) }},
+		{"sandbox", func() prefetch.Prefetcher { return prefetch.NewSandbox(prefetch.DefaultSandboxConfig()) }},
+	}
+	for _, eng := range engines {
+		for _, filtered := range []bool{false, true} {
+			var speedups []float64
+			for _, w := range ws {
+				base := mustRunSingle(sim.DefaultConfig(1), SchemeNone, w, 1, b)
+				setup := sim.CoreSetup{Trace: w.NewReader(1), Prefetcher: eng.mk()}
+				if filtered {
+					setup.Filter = ppf.New(ppf.DefaultConfig())
+				}
+				sys, err := sim.NewSystem(sim.DefaultConfig(1), []sim.CoreSetup{setup})
+				if err != nil {
+					panic(err)
+				}
+				r := sys.Run(b.Warmup, b.Detail)
+				speedups = append(speedups, r.PerCore[0].IPC/base.PerCore[0].IPC)
+			}
+			res.Rows = append(res.Rows, GeneralityRow{
+				Prefetcher: eng.name,
+				Filtered:   filtered,
+				Geomean:    stats.GeoMean(speedups),
+			})
+		}
+	}
+	return res
+}
+
+// Render prints the generality table.
+func (r GeneralityResult) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Generality (§3.2): PPF over other prefetchers, geomean speedup (mem-intensive)\n")
+	header := []string{"prefetcher", "PPF", "geomean"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		f := "no"
+		if row.Filtered {
+			f = "yes"
+		}
+		rows = append(rows, []string{row.Prefetcher, f, fmtPct(row.Geomean)})
+	}
+	renderTable(&sb, header, rows)
+	return sb.String()
+}

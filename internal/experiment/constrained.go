@@ -1,0 +1,55 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// ConstrainedResult holds the §6.3 additional-memory-constraint studies:
+// the small-LLC (512 KB) and low-bandwidth (3.2 GB/s) single-core
+// configurations over the memory-intensive subset.
+type ConstrainedResult struct {
+	SmallLLC     Figure9Result
+	LowBandwidth Figure9Result
+}
+
+// Constrained runs both §6.3 variants.
+func Constrained(b Budget) ConstrainedResult {
+	ws := sortedCopy(workload.SPEC2017MemIntensive())
+	return ConstrainedResult{
+		SmallLLC:     speedupStudy(sim.SmallLLCConfig(), ws, AllSchemes(), b),
+		LowBandwidth: speedupStudy(sim.LowBandwidthConfig(), ws, AllSchemes(), b),
+	}
+}
+
+// Render prints both constrained-configuration tables.
+func (r ConstrainedResult) Render() string {
+	var sb strings.Builder
+	part := func(title string, res Figure9Result, note string) {
+		sb.WriteString(title + "\n")
+		header := []string{"scheme", "geomean (mem-intensive)"}
+		var rows [][]string
+		for _, s := range res.Schemes {
+			rows = append(rows, []string{string(s), fmtPct(res.GeomeanIntense[s])})
+		}
+		renderTable(&sb, header, rows)
+		sb.WriteString(note + "\n\n")
+	}
+	part("§6.3a: small LLC (512 KB)", r.SmallLLC,
+		"[paper: PPF provides its greater improvement under small-LLC conditions]")
+	part("§6.3b: low DRAM bandwidth (3.2 GB/s)", r.LowBandwidth,
+		"[paper: PPF matches the best prefetcher (BOP) under low bandwidth;\n 605.mcf_s is prefetch-averse here]")
+	mcf := func(res Figure9Result) float64 {
+		for _, row := range res.Rows {
+			if row.Workload == "605.mcf_s" {
+				return row.Speedup[SchemePPF]
+			}
+		}
+		return 0
+	}
+	fmt.Fprintf(&sb, "605.mcf_s PPF speedup under low bandwidth: %s\n", fmtPct(mcf(r.LowBandwidth)))
+	return sb.String()
+}

@@ -1,0 +1,179 @@
+// Package experiment reproduces every table and figure in the PPF paper's
+// evaluation (Bhatia et al., ISCA 2019). Each exported function regenerates
+// one result: the returned structs carry the measured series and a
+// Render method prints the same rows the paper reports. DESIGN.md §5 maps
+// each experiment to the paper's figure/table numbers.
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	ppf "repro/internal/core"
+	"repro/internal/prefetch"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Scheme names a prefetching configuration under test.
+type Scheme string
+
+// The schemes evaluated throughout the paper.
+const (
+	SchemeNone Scheme = "none"
+	SchemeBOP  Scheme = "bop"
+	SchemeAMPM Scheme = "da-ampm"
+	SchemeSPP  Scheme = "spp"
+	SchemePPF  Scheme = "ppf"
+)
+
+// Extra schemes from the paper's related work (§7), available to
+// cmd/ppfsim and the generality study but not part of the paper's figure
+// comparisons.
+const (
+	SchemeVLDP    Scheme = "vldp"
+	SchemeSMS     Scheme = "sms"
+	SchemeSandbox Scheme = "sandbox"
+)
+
+// AllSchemes lists the paper's comparison set in its plotting order.
+func AllSchemes() []Scheme {
+	return []Scheme{SchemeBOP, SchemeAMPM, SchemeSPP, SchemePPF}
+}
+
+// NewSetup builds a per-core simulator setup for a scheme. Each call
+// returns fresh prefetcher/filter state.
+func NewSetup(s Scheme, w workload.Workload, seed uint64) sim.CoreSetup {
+	setup := sim.CoreSetup{Trace: w.NewReader(seed)}
+	switch s {
+	case SchemeNone:
+	case SchemeBOP:
+		setup.Prefetcher = prefetch.NewBOP(prefetch.DefaultBOPConfig())
+	case SchemeAMPM:
+		setup.Prefetcher = prefetch.NewAMPM(prefetch.DefaultAMPMConfig())
+	case SchemeSPP:
+		setup.Prefetcher = prefetch.NewSPP(prefetch.DefaultSPPConfig())
+	case SchemePPF:
+		setup.Prefetcher = prefetch.NewSPP(prefetch.AggressiveSPPConfig())
+		setup.Filter = ppf.New(ppf.DefaultConfig())
+	case SchemeVLDP:
+		setup.Prefetcher = prefetch.NewVLDP(prefetch.DefaultVLDPConfig())
+	case SchemeSMS:
+		setup.Prefetcher = prefetch.NewSMS(prefetch.DefaultSMSConfig())
+	case SchemeSandbox:
+		setup.Prefetcher = prefetch.NewSandbox(prefetch.DefaultSandboxConfig())
+	default:
+		panic(fmt.Sprintf("experiment: unknown scheme %q", s))
+	}
+	return setup
+}
+
+// Budget scales simulation lengths: experiments run with Budget
+// instructions of detail per core and Budget/5 of warmup. The paper uses
+// 1B detail + 200M warmup; the default here is 1,000x smaller, matching
+// the scaled-down synthetic working sets (DESIGN.md §4).
+type Budget struct {
+	Warmup uint64
+	Detail uint64
+}
+
+// DefaultBudget is the standard scaled-down simulation length.
+func DefaultBudget() Budget { return Budget{Warmup: 200_000, Detail: 1_000_000} }
+
+// QuickBudget is a shorter budget for tests and -quick runs.
+func QuickBudget() Budget { return Budget{Warmup: 50_000, Detail: 200_000} }
+
+// RunSingle simulates one workload on a 1-core machine under a scheme.
+func RunSingle(cfg sim.Config, s Scheme, w workload.Workload, seed uint64, b Budget) (sim.Result, error) {
+	cfg.Cores = 1
+	sys, err := sim.NewSystem(cfg, []sim.CoreSetup{NewSetup(s, w, seed)})
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return sys.Run(b.Warmup, b.Detail), nil
+}
+
+// mustRunSingle panics on configuration errors (all experiment configs are
+// statically valid).
+func mustRunSingle(cfg sim.Config, s Scheme, w workload.Workload, seed uint64, b Budget) sim.Result {
+	r, err := RunSingle(cfg, s, w, seed, b)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// SpeedupRow holds one workload's speedups over the no-prefetch baseline.
+type SpeedupRow struct {
+	Workload string
+	Intense  bool
+	BaseIPC  float64
+	// Speedup maps scheme → IPC / BaseIPC.
+	Speedup map[Scheme]float64
+	// Depth maps scheme → average SPP lookahead depth (spp/ppf only).
+	Depth map[Scheme]float64
+}
+
+// geomeanOver computes the geometric-mean speedup of a scheme over rows.
+func geomeanOver(rows []SpeedupRow, s Scheme, onlyIntense bool) float64 {
+	var xs []float64
+	for _, r := range rows {
+		if onlyIntense && !r.Intense {
+			continue
+		}
+		xs = append(xs, r.Speedup[s])
+	}
+	return stats.GeoMean(xs)
+}
+
+// fmtPct renders a ratio as a percentage delta.
+func fmtPct(x float64) string { return fmt.Sprintf("%+.2f%%", (x-1)*100) }
+
+// renderTable prints an aligned table.
+func renderTable(sb *strings.Builder, header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(header)
+	for _, r := range rows {
+		line(r)
+	}
+}
+
+// sortedCopy returns ws sorted by name (stable experiment ordering).
+func sortedCopy(ws []workload.Workload) []workload.Workload {
+	cp := append([]workload.Workload(nil), ws...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i].Name < cp[j].Name })
+	return cp
+}
+
+// mixSeed derives a deterministic seed for mix m, core c.
+func mixSeed(m, c int) uint64 { return uint64(m)*1_000_003 + uint64(c)*7919 + 17 }
+
+// pick returns deterministic pseudo-random workload indexes for a mix.
+func pick(ws []workload.Workload, m, core int) workload.Workload {
+	h := uint64(m)*0x9E3779B97F4A7C15 + uint64(core)*0xBF58476D1CE4E5B9
+	h ^= h >> 29
+	h *= 0x94D049BB133111EB
+	h ^= h >> 32
+	return ws[h%uint64(len(ws))]
+}

@@ -1,0 +1,11 @@
+package experiment
+
+import "testing"
+
+func TestFig9Full(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	r := Figure9(DefaultBudget())
+	t.Log("\n" + r.Render())
+}

@@ -1,0 +1,94 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Figure13Result holds the cross-validation study (paper Figure 13):
+// workloads PPF was not tuned on — CloudSuite-like 4-core applications
+// and the SPEC CPU 2006-like suite.
+type Figure13Result struct {
+	// Cloud is the 4-core CloudSuite comparison (weighted speedup).
+	Cloud MulticoreResult
+	// SPEC2006 is the single-core SPEC CPU 2006-like comparison.
+	SPEC2006 Figure9Result
+}
+
+// Figure13 runs both cross-validation studies. nMixes bounds the
+// CloudSuite mixes (each CloudSuite app runs as a 4-core instance).
+func Figure13(b Budget) Figure13Result {
+	var res Figure13Result
+
+	// CloudSuite: each application runs four copies (distinct seeds) on a
+	// 4-core machine, as the CRC-2 traces are 4-core applications.
+	cloud := MulticoreResult{
+		Cores:   4,
+		Schemes: AllSchemes(),
+		PerMix:  map[Scheme][]float64{},
+		Geomean: map[Scheme]float64{},
+	}
+	cfg := sim.DefaultConfig(4)
+	for m, w := range workload.CloudSuite() {
+		run := func(s Scheme) float64 {
+			setups := make([]sim.CoreSetup, 4)
+			for c := range setups {
+				setups[c] = NewSetup(s, w, mixSeed(m, c))
+			}
+			sys, err := sim.NewSystem(cfg, setups)
+			if err != nil {
+				panic(err)
+			}
+			r := sys.Run(b.Warmup, b.Detail)
+			total := 0.0
+			for _, pc := range r.PerCore {
+				total += pc.IPC
+			}
+			return total
+		}
+		base := run(SchemeNone)
+		for _, s := range cloud.Schemes {
+			cloud.PerMix[s] = append(cloud.PerMix[s], run(s)/base)
+		}
+	}
+	for _, s := range cloud.Schemes {
+		cloud.Geomean[s] = stats.GeoMean(cloud.PerMix[s])
+	}
+	res.Cloud = cloud
+
+	// SPEC CPU 2006-like single-core suite.
+	res.SPEC2006 = speedupStudy(sim.DefaultConfig(1), sortedCopy(workload.SPEC2006()), AllSchemes(), b)
+	return res
+}
+
+// Render prints both halves of the figure.
+func (r Figure13Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 13a: CloudSuite-like 4-core applications (IPC-sum speedup over no prefetching)\n")
+	header := []string{"scheme", "geomean"}
+	var rows [][]string
+	for _, s := range r.Cloud.Schemes {
+		rows = append(rows, []string{string(s), fmtPct(r.Cloud.Geomean[s])})
+	}
+	renderTable(&sb, header, rows)
+	sb.WriteString("[paper: prefetch-agnostic workloads; PPF +3.78% vs SPP +3.08% over baseline]\n\n")
+
+	sb.WriteString("Figure 13b: SPEC CPU 2006-like single-core suite\n")
+	header = []string{"scheme", "geomean (mem-intensive)", "geomean (full)"}
+	rows = nil
+	for _, s := range r.SPEC2006.Schemes {
+		rows = append(rows, []string{
+			string(s),
+			fmtPct(r.SPEC2006.GeomeanIntense[s]),
+			fmtPct(r.SPEC2006.GeomeanAll[s]),
+		})
+	}
+	renderTable(&sb, header, rows)
+	ppfVsSPP := r.SPEC2006.GeomeanIntense[SchemePPF] / r.SPEC2006.GeomeanIntense[SchemeSPP]
+	fmt.Fprintf(&sb, "PPF vs SPP (mem-intensive): %s   [paper: +6.1%%; full suite +3.33%%]\n", fmtPct(ppfVsSPP))
+	return sb.String()
+}

@@ -1,0 +1,29 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestFigure13bRows runs the SPEC CPU 2006-like memory-intensive subset
+// per application (useful with -v to see the cross-validation rows) and
+// asserts the headline property: PPF improves on the no-prefetching
+// baseline for the unseen suite.
+func TestFigure13bRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	r := speedupStudy(sim.DefaultConfig(1), sortedCopy(workload.SPEC2006MemIntensive()),
+		[]Scheme{SchemeSPP, SchemePPF}, QuickBudget())
+	for _, row := range r.Rows {
+		t.Logf("%-16s base=%.3f spp=%+.1f%% ppf=%+.1f%%", row.Workload, row.BaseIPC,
+			100*(row.Speedup[SchemeSPP]-1), 100*(row.Speedup[SchemePPF]-1))
+	}
+	t.Logf("geomean spp=%+.2f%% ppf=%+.2f%%",
+		100*(r.GeomeanIntense[SchemeSPP]-1), 100*(r.GeomeanIntense[SchemePPF]-1))
+	if r.GeomeanIntense[SchemePPF] <= 1.0 {
+		t.Fatalf("PPF below baseline on the unseen 2006-like suite: %v", r.GeomeanIntense[SchemePPF])
+	}
+}

@@ -1,0 +1,139 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// MulticoreResult holds the weighted-speedup comparison for N-core mixes
+// (paper Figures 11 and 12).
+type MulticoreResult struct {
+	Cores   int
+	Schemes []Scheme
+	// PerMix[scheme] holds each mix's weighted speedup over the
+	// no-prefetching baseline, sorted ascending (the paper sorts mixes).
+	PerMix map[Scheme][]float64
+	// Geomean[scheme] is the geometric mean across mixes.
+	Geomean map[Scheme]float64
+}
+
+// Multicore runs nMixes random mixes drawn from pool on a cores-core
+// machine and measures the paper's weighted-IPC speedup metric: for each
+// mix, Σ(IPC_i / IPC_isolated_i) is computed per scheme and normalised to
+// the no-prefetching value of the same mix.
+func Multicore(cores, nMixes int, pool []workload.Workload, b Budget) MulticoreResult {
+	pool = sortedCopy(pool)
+	res := MulticoreResult{
+		Cores:   cores,
+		Schemes: AllSchemes(),
+		PerMix:  map[Scheme][]float64{},
+		Geomean: map[Scheme]float64{},
+	}
+	cfg := sim.DefaultConfig(cores)
+
+	// Isolated IPCs are measured on a single-core machine with the full
+	// multi-core LLC, per the paper's methodology ("isolated 1-core 8 MB
+	// LLC environment").
+	isoCfg := sim.DefaultConfig(1)
+	isoCfg.LLC = cfg.LLC
+	isoCache := map[string]float64{}
+	isolated := func(w workload.Workload, seed uint64) float64 {
+		key := fmt.Sprintf("%s/%d", w.Name, seed)
+		if v, ok := isoCache[key]; ok {
+			return v
+		}
+		r := mustRunSingle(isoCfg, SchemeNone, w, seed, b)
+		isoCache[key] = r.PerCore[0].IPC
+		return r.PerCore[0].IPC
+	}
+
+	runMix := func(mix []workload.Workload, m int, s Scheme) float64 {
+		setups := make([]sim.CoreSetup, cores)
+		for c := range setups {
+			setups[c] = NewSetup(s, mix[c], mixSeed(m, c))
+		}
+		sys, err := sim.NewSystem(cfg, setups)
+		if err != nil {
+			panic(err)
+		}
+		r := sys.Run(b.Warmup, b.Detail)
+		ipc := make([]float64, cores)
+		iso := make([]float64, cores)
+		for c := 0; c < cores; c++ {
+			ipc[c] = r.PerCore[c].IPC
+			iso[c] = isolated(mix[c], mixSeed(m, c))
+		}
+		return stats.WeightedSpeedup(ipc, iso)
+	}
+
+	for m := 0; m < nMixes; m++ {
+		mix := make([]workload.Workload, cores)
+		for c := 0; c < cores; c++ {
+			mix[c] = pick(pool, m, c)
+		}
+		baseWS := runMix(mix, m, SchemeNone)
+		for _, s := range res.Schemes {
+			ws := runMix(mix, m, s)
+			res.PerMix[s] = append(res.PerMix[s], ws/baseWS)
+		}
+	}
+	for _, s := range res.Schemes {
+		sort.Float64s(res.PerMix[s])
+		res.Geomean[s] = stats.GeoMean(res.PerMix[s])
+	}
+	return res
+}
+
+// Figure11 runs the 4-core memory-intensive mixes (paper Figure 11).
+func Figure11(nMixes int, b Budget) MulticoreResult {
+	return Multicore(4, nMixes, workload.SPEC2017MemIntensive(), b)
+}
+
+// Figure11Random runs the fully random 4-core mixes the paper reports in
+// text (PPF +5.6% over SPP).
+func Figure11Random(nMixes int, b Budget) MulticoreResult {
+	return Multicore(4, nMixes, workload.SPEC2017(), b)
+}
+
+// Figure12 runs the 8-core memory-intensive mixes (paper Figure 12).
+func Figure12(nMixes int, b Budget) MulticoreResult {
+	return Multicore(8, nMixes, workload.SPEC2017MemIntensive(), b)
+}
+
+// Render prints sorted per-mix curves compactly plus geomeans.
+func (r MulticoreResult) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d-core weighted speedup over no prefetching (%d mixes, sorted)\n",
+		r.Cores, len(r.PerMix[r.Schemes[0]]))
+	header := []string{"scheme", "min", "p25", "median", "p75", "max", "GEOMEAN"}
+	var rows [][]string
+	for _, s := range r.Schemes {
+		xs := r.PerMix[s]
+		rows = append(rows, []string{
+			string(s),
+			fmtPct(stats.Percentile(xs, 0)),
+			fmtPct(stats.Percentile(xs, 25)),
+			fmtPct(stats.Percentile(xs, 50)),
+			fmtPct(stats.Percentile(xs, 75)),
+			fmtPct(stats.Percentile(xs, 100)),
+			fmtPct(r.Geomean[s]),
+		})
+	}
+	renderTable(&sb, header, rows)
+	ppfVsSPP := r.Geomean[SchemePPF] / r.Geomean[SchemeSPP]
+	fmt.Fprintf(&sb, "\nPPF vs SPP: %s", fmtPct(ppfVsSPP))
+	switch r.Cores {
+	case 4:
+		sb.WriteString("   [paper Fig 11: PPF +51.2% over baseline, +11.4% over SPP]\n")
+	case 8:
+		sb.WriteString("   [paper Fig 12: PPF +37.6% over baseline, +9.65% over SPP]\n")
+	default:
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

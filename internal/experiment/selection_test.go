@@ -1,0 +1,71 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSelectionAccumulatorCross(t *testing.T) {
+	sa := newSelectionAccumulator(3)
+	// Feature 0 and 1 move together; feature 2 is independent noise.
+	vals := []struct {
+		w   []int8
+		out int
+	}{
+		{[]int8{5, 5, 1}, 1},
+		{[]int8{-5, -5, 2}, -1},
+		{[]int8{3, 3, -1}, 1},
+		{[]int8{-3, -3, 1}, -1},
+		{[]int8{1, 1, -2}, 1},
+	}
+	for _, v := range vals {
+		sa.add(v.w, v.out)
+	}
+	if c := sa.cross(0, 1); c < 0.99 {
+		t.Fatalf("identical features cross-corr %v", c)
+	}
+	if c := sa.cross(0, 2); c > 0.7 {
+		t.Fatalf("independent features cross-corr %v", c)
+	}
+	// Symmetry.
+	if sa.cross(1, 0) != sa.cross(0, 1) {
+		t.Fatal("cross not symmetric")
+	}
+	// Self-correlation is 1.
+	if c := sa.cross(0, 0); math.Abs(c-1) > 1e-9 {
+		t.Fatalf("self correlation %v", c)
+	}
+}
+
+func TestSelectionRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	r := Selection(Budget{Warmup: 10_000, Detail: 40_000})
+	if len(r.Names) != 23 {
+		t.Fatalf("candidate pool has %d features, want 23 (paper §5.5)", len(r.Names))
+	}
+	if r.Samples == 0 {
+		t.Fatal("no training samples collected")
+	}
+	if len(r.Kept)+len(r.Dropped) != len(r.Names) {
+		t.Fatalf("kept %d + dropped %d != %d", len(r.Kept), len(r.Dropped), len(r.Names))
+	}
+	if len(r.Kept) == 0 || len(r.Dropped) == 0 {
+		t.Fatal("pruning should both keep and drop features")
+	}
+	// The matrix must be square and symmetric.
+	for i := range r.Cross {
+		if len(r.Cross[i]) != len(r.Names) {
+			t.Fatal("matrix not square")
+		}
+		for j := range r.Cross[i] {
+			if math.Abs(r.Cross[i][j]-r.Cross[j][i]) > 1e-9 {
+				t.Fatal("matrix not symmetric")
+			}
+		}
+	}
+	if out := r.Render(); len(out) == 0 {
+		t.Fatal("empty render")
+	}
+}

@@ -1,0 +1,189 @@
+package prefetch
+
+// Best-Offset Prefetcher (Michaud, HPCA 2016), winner of DPC-2 and one of
+// the paper's three baselines. BOP tests a list of candidate offsets in
+// rounds against a Recent Requests table and prefetches with the winning
+// offset; if no offset scores well enough, prefetching turns off.
+
+const (
+	bopRRBits    = 8
+	bopRREntries = 1 << bopRRBits
+	bopRRTagBits = 12
+
+	bopScoreMax = 31
+	bopRoundMax = 100
+	bopBadScore = 10
+)
+
+// bopOffsets returns Michaud's candidate offset list: every integer in
+// [1,256] whose prime factorisation contains only 2, 3 and 5.
+func bopOffsets() []int {
+	var out []int
+	for n := 1; n <= 256; n++ {
+		m := n
+		for _, p := range []int{2, 3, 5} {
+			for m%p == 0 {
+				m /= p
+			}
+		}
+		if m == 1 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// BOPConfig tunes the Best-Offset prefetcher.
+type BOPConfig struct {
+	// Degree is how many consecutive best-offset prefetches to issue per
+	// trigger (1 in the original; >1 makes BOP more aggressive).
+	Degree int
+}
+
+// DefaultBOPConfig returns the original single-degree tuning.
+func DefaultBOPConfig() BOPConfig { return BOPConfig{Degree: 1} }
+
+// BOP implements Prefetcher.
+type BOP struct {
+	cfg     BOPConfig
+	offsets []int
+
+	rr [bopRREntries]struct {
+		valid bool
+		tag   uint16
+	}
+
+	scores    []int
+	round     int
+	testIdx   int
+	bestOff   int
+	bestScore int
+	enabled   bool
+}
+
+// NewBOP constructs a Best-Offset prefetcher.
+func NewBOP(cfg BOPConfig) *BOP {
+	if cfg.Degree <= 0 {
+		cfg.Degree = 1
+	}
+	b := &BOP{cfg: cfg, offsets: bopOffsets(), bestOff: 1, enabled: true}
+	b.scores = make([]int, len(b.offsets))
+	return b
+}
+
+// Name implements Prefetcher.
+func (b *BOP) Name() string { return "bop" }
+
+// Reset implements Prefetcher.
+func (b *BOP) Reset() {
+	cfg := b.cfg
+	*b = *NewBOP(cfg)
+}
+
+// BestOffset reports the currently selected offset and whether prefetching
+// is enabled (exported for tests and the examples).
+func (b *BOP) BestOffset() (offset int, enabled bool) { return b.bestOff, b.enabled }
+
+func (b *BOP) rrIndex(block uint64) (idx int, tag uint16) {
+	h := block ^ block>>bopRRBits ^ block>>(2*bopRRBits)
+	return int(h & (bopRREntries - 1)), uint16((block >> bopRRBits) & ((1 << bopRRTagBits) - 1))
+}
+
+func (b *BOP) rrInsert(block uint64) {
+	idx, tag := b.rrIndex(block)
+	b.rr[idx].valid = true
+	b.rr[idx].tag = tag
+}
+
+func (b *BOP) rrHit(block uint64) bool {
+	idx, tag := b.rrIndex(block)
+	return b.rr[idx].valid && b.rr[idx].tag == tag
+}
+
+// OnPrefetchFill implements Prefetcher: when a prefetched line X arrives,
+// the base address X-D is inserted into the RR table, so that a test
+// offset d scores when X-D+d was also demanded — i.e. the prefetch was
+// timely for offset d.
+func (b *BOP) OnPrefetchFill(addr uint64) {
+	block := addr >> blockBits
+	base := block - uint64(b.bestOff)
+	if samePage(block, base) {
+		b.rrInsert(base)
+	}
+}
+
+// OnPrefetchUseful implements Prefetcher (BOP learns from fills only).
+func (b *BOP) OnPrefetchUseful(uint64) {}
+
+// OnDemand implements Prefetcher.
+func (b *BOP) OnDemand(a Access, emit Emit) {
+	block := a.Addr >> blockBits
+
+	// Learning: test one offset per access, round-robin.
+	d := b.offsets[b.testIdx]
+	if base := block - uint64(d); samePage(block, base) && b.rrHit(base) {
+		b.scores[b.testIdx]++
+		if b.scores[b.testIdx] >= bopScoreMax {
+			b.adoptBest()
+		}
+	}
+	b.testIdx++
+	if b.testIdx >= len(b.offsets) {
+		b.testIdx = 0
+		b.round++
+		if b.round >= bopRoundMax {
+			b.adoptBest()
+		}
+	}
+
+	// On a miss (or first touch), record the demand so future offsets can
+	// score against it.
+	if !a.Hit {
+		b.rrInsert(block)
+	}
+
+	if !b.enabled {
+		return
+	}
+	issued := 0
+	for k := 1; issued < b.cfg.Degree && k <= 2*b.cfg.Degree; k++ {
+		target := block + uint64(b.bestOff*k)
+		if !samePage(block, target) {
+			return
+		}
+		c := Candidate{
+			Addr:   target << blockBits,
+			FillL2: true,
+			Meta:   Meta{Depth: k, Confidence: 100 * b.bestScore / bopScoreMax, Delta: b.bestOff * k},
+		}
+		if emit(c) {
+			issued++
+		}
+	}
+}
+
+// adoptBest ends the learning phase: the highest-scoring offset becomes
+// the prefetch offset, or prefetching is disabled if even the best offset
+// scored badly.
+func (b *BOP) adoptBest() {
+	best, bestScore := 1, -1
+	for i, s := range b.scores {
+		if s > bestScore {
+			best, bestScore = b.offsets[i], s
+		}
+	}
+	b.bestOff = best
+	b.bestScore = bestScore
+	b.enabled = bestScore >= bopBadScore
+	for i := range b.scores {
+		b.scores[i] = 0
+	}
+	b.round = 0
+	b.testIdx = 0
+}
+
+// samePage reports whether two block addresses fall in the same 4 KB page.
+func samePage(a, b uint64) bool {
+	const blocksPerPageShift = pageBits - blockBits
+	return a>>blocksPerPageShift == b>>blocksPerPageShift
+}

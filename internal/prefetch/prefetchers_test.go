@@ -1,0 +1,232 @@
+package prefetch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBOPLearnsDominantOffset(t *testing.T) {
+	b := NewBOP(DefaultBOPConfig())
+	// Demand stream with constant offset 3 blocks; feed fills back so the
+	// RR table sees bases.
+	block := uint64(1 << 20 >> 6)
+	for i := 0; i < 20_000; i++ {
+		addr := (block + uint64(3*i)) << 6
+		b.OnDemand(Access{PC: 1, Addr: addr, Hit: false}, func(c Candidate) bool {
+			b.OnPrefetchFill(c.Addr)
+			return true
+		})
+	}
+	off, enabled := b.BestOffset()
+	if !enabled {
+		t.Fatal("BOP disabled itself on a regular stream")
+	}
+	if off%3 != 0 {
+		t.Fatalf("best offset %d is not a multiple of the stream stride 3", off)
+	}
+}
+
+func TestBOPDisablesOnRandom(t *testing.T) {
+	b := NewBOP(DefaultBOPConfig())
+	rnd := uint64(99991)
+	for i := 0; i < 60_000; i++ {
+		rnd ^= rnd << 13
+		rnd ^= rnd >> 7
+		rnd ^= rnd << 17
+		addr := (rnd % (1 << 26)) << 6
+		b.OnDemand(Access{PC: 1, Addr: addr, Hit: false}, func(c Candidate) bool {
+			b.OnPrefetchFill(c.Addr)
+			return true
+		})
+	}
+	if _, enabled := b.BestOffset(); enabled {
+		t.Fatal("BOP should turn itself off on random traffic")
+	}
+}
+
+func TestBOPOffsetsList(t *testing.T) {
+	offs := bopOffsets()
+	if len(offs) != 52 {
+		t.Fatalf("offset list has %d entries, Michaud's list has 52", len(offs))
+	}
+	for _, o := range offs {
+		m := o
+		for _, p := range []int{2, 3, 5} {
+			for m%p == 0 {
+				m /= p
+			}
+		}
+		if m != 1 {
+			t.Fatalf("offset %d has prime factor > 5", o)
+		}
+	}
+}
+
+func TestBOPCandidatesSamePage(t *testing.T) {
+	b := NewBOP(BOPConfig{Degree: 2})
+	for i := 0; i < 2000; i++ {
+		addr := uint64(i%64) << 6
+		b.OnDemand(Access{PC: 1, Addr: addr}, func(c Candidate) bool {
+			if c.Addr>>12 != addr>>12 {
+				t.Fatalf("candidate %#x crossed page", c.Addr)
+			}
+			return true
+		})
+	}
+}
+
+func TestAMPMDetectsStride(t *testing.T) {
+	m := NewAMPM(DefaultAMPMConfig())
+	var candidates []uint64
+	page := uint64(7)
+	for off := 0; off < 30; off += 2 {
+		addr := page<<12 | uint64(off)<<6
+		m.OnDemand(Access{PC: 1, Addr: addr}, func(c Candidate) bool {
+			candidates = append(candidates, c.Addr)
+			return true
+		})
+	}
+	if len(candidates) == 0 {
+		t.Fatal("AMPM found no stride-2 pattern")
+	}
+	for _, a := range candidates {
+		if a>>12 != page {
+			t.Fatalf("candidate %#x left the zone", a)
+		}
+		off := int(a>>6) & 63
+		if off%2 != 0 {
+			t.Fatalf("candidate offset %d off the stride-2 lattice", off)
+		}
+	}
+}
+
+func TestAMPMNoPatternNoPrefetch(t *testing.T) {
+	m := NewAMPM(DefaultAMPMConfig())
+	n := 0
+	// Two isolated touches cannot establish b-s and b-2s evidence.
+	m.OnDemand(Access{PC: 1, Addr: 0 << 6}, func(Candidate) bool { n++; return true })
+	m.OnDemand(Access{PC: 1, Addr: 40 << 6}, func(Candidate) bool { n++; return true })
+	if n != 0 {
+		t.Fatalf("AMPM prefetched %d with no stride evidence", n)
+	}
+}
+
+func TestAMPMNeverRePrefetches(t *testing.T) {
+	m := NewAMPM(DefaultAMPMConfig())
+	seen := map[uint64]int{}
+	for off := 0; off < 64; off++ {
+		addr := uint64(3)<<12 | uint64(off)<<6
+		m.OnDemand(Access{PC: 1, Addr: addr}, func(c Candidate) bool {
+			seen[c.Addr]++
+			return true
+		})
+	}
+	for a, n := range seen {
+		if n > 1 {
+			t.Fatalf("block %#x suggested %d times", a, n)
+		}
+	}
+}
+
+func TestAMPMZoneEviction(t *testing.T) {
+	m := NewAMPM(DefaultAMPMConfig())
+	// Touch far more zones than the table tracks; must not panic and must
+	// keep producing valid candidates.
+	for page := uint64(0); page < 10*ampmZones; page++ {
+		for off := 0; off < 6; off++ {
+			addr := page<<12 | uint64(off)<<6
+			m.OnDemand(Access{PC: 1, Addr: addr}, func(c Candidate) bool { return true })
+		}
+	}
+}
+
+func TestNextLine(t *testing.T) {
+	p := NewNextLine(2)
+	var got []uint64
+	p.OnDemand(Access{PC: 1, Addr: 10 << 6}, func(c Candidate) bool {
+		got = append(got, c.Addr>>6)
+		return true
+	})
+	if len(got) != 2 || got[0] != 11 || got[1] != 12 {
+		t.Fatalf("next-line candidates %v", got)
+	}
+	// At page end nothing crosses.
+	got = nil
+	p.OnDemand(Access{PC: 1, Addr: 63 << 6}, func(c Candidate) bool {
+		got = append(got, c.Addr>>6)
+		return true
+	})
+	if len(got) != 0 {
+		t.Fatalf("page-crossing candidates %v", got)
+	}
+}
+
+func TestStridePrefetcher(t *testing.T) {
+	p := NewStride(2)
+	var got []uint64
+	for i := 0; i < 8; i++ {
+		addr := uint64(i*5) << 6
+		got = nil
+		p.OnDemand(Access{PC: 0x44, Addr: addr}, func(c Candidate) bool {
+			got = append(got, c.Addr>>6)
+			return true
+		})
+	}
+	if len(got) == 0 {
+		t.Fatal("stride prefetcher never fired on a stride-5 stream")
+	}
+	last := uint64(7 * 5)
+	if got[0] != last+5 {
+		t.Fatalf("first candidate block %d, want %d", got[0], last+5)
+	}
+}
+
+func TestStrideRequiresConfidence(t *testing.T) {
+	p := NewStride(2)
+	n := 0
+	addrs := []uint64{0, 5, 11, 20, 22, 31} // irregular
+	for _, a := range addrs {
+		p.OnDemand(Access{PC: 0x48, Addr: a << 6}, func(Candidate) bool { n++; return true })
+	}
+	if n != 0 {
+		t.Fatalf("stride fired %d times on irregular deltas", n)
+	}
+}
+
+func TestNilPrefetcher(t *testing.T) {
+	var p Nil
+	p.OnDemand(Access{}, func(Candidate) bool { t.Fatal("Nil emitted"); return false })
+	p.OnPrefetchFill(0)
+	p.OnPrefetchUseful(0)
+	p.Reset()
+	if p.Name() != "none" {
+		t.Fatal("name")
+	}
+}
+
+func TestSamePageProperty(t *testing.T) {
+	prop := func(a uint32) bool {
+		blk := uint64(a)
+		return samePage(blk, blk) && // reflexive
+			samePage(blk, blk^(blk&63)) // same 64-block page
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+	if samePage(0, 64) {
+		t.Fatal("blocks 0 and 64 are in different pages")
+	}
+}
+
+func TestResets(t *testing.T) {
+	b := NewBOP(DefaultBOPConfig())
+	m := NewAMPM(DefaultAMPMConfig())
+	st := NewStride(3)
+	nl := NewNextLine(3)
+	for _, r := range []Prefetcher{b, m, st, nl} {
+		r.Reset()
+	}
+	if st.Degree != 3 || nl.Degree != 3 {
+		t.Fatal("reset lost configuration")
+	}
+}

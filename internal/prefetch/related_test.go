@@ -1,0 +1,185 @@
+package prefetch
+
+import "testing"
+
+// Tests for the related-work prefetchers (§7 of the paper): VLDP, SMS and
+// Sandbox.
+
+func TestVLDPLearnsDeltaSequence(t *testing.T) {
+	v := NewVLDP(DefaultVLDPConfig())
+	deltas := []int{1, 1, 2}
+	pending := map[uint64]bool{}
+	useful, filled := 0, 0
+	touched := map[uint64]bool{}
+	for page := uint64(0); page < 200; page++ {
+		off, di := 0, 0
+		for {
+			addr := page<<12 | uint64(off)<<6
+			touched[addr] = true
+			if pending[addr] {
+				useful++
+				delete(pending, addr)
+			}
+			v.OnDemand(Access{PC: 0x400, Addr: addr}, func(c Candidate) bool {
+				if pending[c.Addr] || touched[c.Addr] {
+					return false
+				}
+				filled++
+				pending[c.Addr] = true
+				return true
+			})
+			off += deltas[di]
+			di = (di + 1) % len(deltas)
+			if off >= 64 {
+				break
+			}
+		}
+	}
+	if filled == 0 {
+		t.Fatal("VLDP never prefetched a regular delta sequence")
+	}
+	if acc := float64(useful) / float64(filled); acc < 0.7 {
+		t.Fatalf("VLDP accuracy %.2f (useful %d / filled %d)", acc, useful, filled)
+	}
+}
+
+func TestVLDPCandidatesInPage(t *testing.T) {
+	v := NewVLDP(DefaultVLDPConfig())
+	for page := uint64(0); page < 30; page++ {
+		for off := 0; off < 64; off += 5 {
+			addr := page<<12 | uint64(off)<<6
+			v.OnDemand(Access{PC: 1, Addr: addr}, func(c Candidate) bool {
+				if c.Addr>>12 != page {
+					t.Fatalf("candidate %#x escaped page %#x", c.Addr, page)
+				}
+				return true
+			})
+		}
+	}
+}
+
+func TestVLDPNoPredictionWithoutHistory(t *testing.T) {
+	v := NewVLDP(DefaultVLDPConfig())
+	n := 0
+	// A single access to a brand-new page with a cold OPT cannot predict.
+	v.OnDemand(Access{PC: 1, Addr: 77 << 12}, func(Candidate) bool { n++; return true })
+	if n != 0 {
+		t.Fatalf("cold VLDP emitted %d candidates", n)
+	}
+}
+
+func TestVLDPStorageBitsPositive(t *testing.T) {
+	if VLDPStorageBits() <= 0 {
+		t.Fatal("storage accounting broken")
+	}
+}
+
+func TestSMSLearnsFootprint(t *testing.T) {
+	s := NewSMS(DefaultSMSConfig())
+	footprint := []int{0, 3, 7, 12} // offsets within a 32-block region
+	pc := uint64(0x4440)
+	// Train over several regions: same trigger (pc, offset 0), same
+	// footprint.
+	for region := uint64(0); region < 40; region++ {
+		base := region << smsRegionBits
+		for _, off := range footprint {
+			s.OnDemand(Access{PC: pc, Addr: base | uint64(off)<<6}, func(Candidate) bool { return true })
+		}
+	}
+	// A fresh region triggered by the same (pc, offset 0) must prefetch
+	// the remembered footprint.
+	var got []int
+	base := uint64(1000) << smsRegionBits
+	s.OnDemand(Access{PC: pc, Addr: base}, func(c Candidate) bool {
+		got = append(got, int(c.Addr>>6)&(smsRegionBlocks-1))
+		return true
+	})
+	want := map[int]bool{3: true, 7: true, 12: true}
+	if len(got) != len(want) {
+		t.Fatalf("footprint prefetches %v, want offsets 3,7,12", got)
+	}
+	for _, off := range got {
+		if !want[off] {
+			t.Fatalf("unexpected footprint offset %d", off)
+		}
+	}
+}
+
+func TestSMSNoPrefetchOnUnknownTrigger(t *testing.T) {
+	s := NewSMS(DefaultSMSConfig())
+	n := 0
+	s.OnDemand(Access{PC: 0x999, Addr: 5 << smsRegionBits}, func(Candidate) bool { n++; return true })
+	if n != 0 {
+		t.Fatalf("cold SMS prefetched %d blocks", n)
+	}
+}
+
+func TestSMSRespectsMaxPrefetch(t *testing.T) {
+	s := NewSMS(SMSConfig{MaxPrefetch: 2})
+	pc := uint64(0x500)
+	for region := uint64(0); region < 40; region++ {
+		base := region << smsRegionBits
+		for off := 0; off < 20; off++ {
+			s.OnDemand(Access{PC: pc, Addr: base | uint64(off)<<6}, func(Candidate) bool { return true })
+		}
+	}
+	n := 0
+	s.OnDemand(Access{PC: pc, Addr: uint64(999) << smsRegionBits}, func(Candidate) bool { n++; return true })
+	if n > 2 {
+		t.Fatalf("emitted %d, cap is 2", n)
+	}
+}
+
+func TestSandboxLearnsOffsetAndIssues(t *testing.T) {
+	s := NewSandbox(DefaultSandboxConfig())
+	issued := 0
+	block := uint64(1 << 14)
+	for i := 0; i < 40_000; i++ {
+		addr := (block + uint64(i)) << 6 // pure next-line stream
+		s.OnDemand(Access{PC: 1, Addr: addr}, func(c Candidate) bool {
+			issued++
+			if c.Meta.Delta%1 != 0 {
+				t.Fatalf("bad delta %d", c.Meta.Delta)
+			}
+			return true
+		})
+	}
+	if issued == 0 {
+		t.Fatal("sandbox never promoted any offset on a pure stream")
+	}
+	// +1 must be among the high scorers.
+	if s.Scores()[1] == 0 {
+		t.Fatalf("offset +1 scored 0 on a next-line stream: %v", s.Scores())
+	}
+}
+
+func TestSandboxQuietOnRandom(t *testing.T) {
+	s := NewSandbox(DefaultSandboxConfig())
+	rnd := uint64(12345)
+	issued := 0
+	for i := 0; i < 40_000; i++ {
+		rnd ^= rnd << 13
+		rnd ^= rnd >> 7
+		rnd ^= rnd << 17
+		addr := (rnd % (1 << 24)) << 6
+		s.OnDemand(Access{PC: 1, Addr: addr}, func(Candidate) bool { issued++; return true })
+	}
+	if float64(issued) > 0.05*40_000 {
+		t.Fatalf("sandbox issued %d prefetches on random traffic", issued)
+	}
+}
+
+func TestRelatedPrefetchersReset(t *testing.T) {
+	v := NewVLDP(DefaultVLDPConfig())
+	m := NewSMS(DefaultSMSConfig())
+	sb := NewSandbox(DefaultSandboxConfig())
+	for _, p := range []Prefetcher{v, m, sb} {
+		p.OnDemand(Access{PC: 1, Addr: 1 << 12}, func(Candidate) bool { return true })
+		p.Reset()
+		p.OnPrefetchFill(0)
+		p.OnPrefetchUseful(0)
+		if p.Name() == "" {
+			t.Fatal("name")
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package prefetch
+
+// Sandbox Prefetcher (Pugsley et al., HPCA 2014), from the paper's §7.1:
+// candidate fixed-offset prefetchers are evaluated in a side "sandbox" (a
+// Bloom filter of the addresses they *would* have prefetched) without
+// issuing real traffic; candidates whose sandboxed prefetches keep being
+// demanded earn the right to issue real prefetches, with aggressiveness
+// proportional to their score.
+
+const (
+	sandboxBloomBits   = 2048
+	sandboxPeriod      = 256 // accesses per evaluation round
+	sandboxscoreIssue  = 64  // score needed to issue 1-ahead
+	sandboxScoreDouble = 128 // score per extra degree step
+)
+
+// sandboxCandidates are the offsets evaluated, per the original design
+// (±1, ±2, ±4, ±8 line offsets).
+var sandboxCandidates = []int{1, -1, 2, -2, 4, -4, 8, -8}
+
+// SandboxConfig tunes the prefetcher.
+type SandboxConfig struct {
+	// MaxDegree caps how many steps ahead a winning offset may prefetch.
+	MaxDegree int
+}
+
+// DefaultSandboxConfig returns the evaluation tuning.
+func DefaultSandboxConfig() SandboxConfig { return SandboxConfig{MaxDegree: 3} }
+
+type sandboxSlot struct {
+	offset int
+	score  int
+	bloom  [sandboxBloomBits / 64]uint64
+}
+
+// Sandbox implements Prefetcher.
+type Sandbox struct {
+	cfg SandboxConfig
+	// current is the candidate under evaluation this round; scores of
+	// finished candidates persist until re-evaluated.
+	slots   []sandboxSlot
+	current int
+	accs    int
+}
+
+// NewSandbox constructs a Sandbox prefetcher.
+func NewSandbox(cfg SandboxConfig) *Sandbox {
+	if cfg.MaxDegree <= 0 {
+		cfg.MaxDegree = 3
+	}
+	s := &Sandbox{cfg: cfg}
+	for _, off := range sandboxCandidates {
+		s.slots = append(s.slots, sandboxSlot{offset: off})
+	}
+	return s
+}
+
+// Name implements Prefetcher.
+func (s *Sandbox) Name() string { return "sandbox" }
+
+// Reset implements Prefetcher.
+func (s *Sandbox) Reset() {
+	cfg := s.cfg
+	*s = *NewSandbox(cfg)
+}
+
+// OnPrefetchUseful implements Prefetcher.
+func (s *Sandbox) OnPrefetchUseful(uint64) {}
+
+// OnPrefetchFill implements Prefetcher.
+func (s *Sandbox) OnPrefetchFill(uint64) {}
+
+// Scores exposes the current per-offset scores (for tests and examples).
+func (s *Sandbox) Scores() map[int]int {
+	out := make(map[int]int, len(s.slots))
+	for _, sl := range s.slots {
+		out[sl.offset] = sl.score
+	}
+	return out
+}
+
+func bloomHash(block uint64) (uint, uint) {
+	h := block * 0x9E3779B97F4A7C15
+	return uint(h % sandboxBloomBits), uint((h >> 32) % sandboxBloomBits)
+}
+
+func (sl *sandboxSlot) bloomAdd(block uint64) {
+	a, b := bloomHash(block)
+	sl.bloom[a/64] |= 1 << (a % 64)
+	sl.bloom[b/64] |= 1 << (b % 64)
+}
+
+func (sl *sandboxSlot) bloomHas(block uint64) bool {
+	a, b := bloomHash(block)
+	return sl.bloom[a/64]&(1<<(a%64)) != 0 && sl.bloom[b/64]&(1<<(b%64)) != 0
+}
+
+// OnDemand implements Prefetcher.
+func (s *Sandbox) OnDemand(a Access, emit Emit) {
+	block := a.Addr >> blockBits
+	cur := &s.slots[s.current]
+
+	// Score the candidate under test: did it sandbox-prefetch this block?
+	if cur.bloomHas(block) {
+		cur.score++
+	}
+	// Sandbox the prefetch it would issue now.
+	if t := block + uint64(cur.offset); samePage(block, t) {
+		cur.bloomAdd(t)
+	}
+	s.accs++
+	if s.accs >= sandboxPeriod {
+		s.accs = 0
+		s.current = (s.current + 1) % len(s.slots)
+		next := &s.slots[s.current]
+		next.score = 0
+		next.bloom = [sandboxBloomBits / 64]uint64{}
+	}
+
+	// Real prefetching: every candidate whose last evaluation scored
+	// above the issue threshold prefetches, deeper for higher scores.
+	for i := range s.slots {
+		sl := &s.slots[i]
+		if i == s.current || sl.score < sandboxscoreIssue {
+			continue
+		}
+		degree := 1 + (sl.score-sandboxscoreIssue)/sandboxScoreDouble
+		if degree > s.cfg.MaxDegree {
+			degree = s.cfg.MaxDegree
+		}
+		issued := 0
+		for k := 1; k <= degree; k++ {
+			t := block + uint64(sl.offset*k)
+			if !samePage(block, t) {
+				break
+			}
+			c := Candidate{
+				Addr:   t << blockBits,
+				FillL2: true,
+				Meta:   Meta{Depth: k, Confidence: 50 + sl.score/8, Delta: sl.offset * k},
+			}
+			if emit(c) {
+				issued++
+			}
+		}
+	}
+}

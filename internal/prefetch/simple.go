@@ -1,0 +1,134 @@
+package prefetch
+
+// Simple prefetchers used in tests, examples and the PPF-generality study
+// (paper §3.2 argues PPF can filter any prefetcher).
+
+// NextLine prefetches the n blocks following every demand access.
+type NextLine struct {
+	// Degree is the number of sequential blocks to prefetch.
+	Degree int
+}
+
+// NewNextLine returns a next-n-line prefetcher.
+func NewNextLine(degree int) *NextLine {
+	if degree <= 0 {
+		degree = 1
+	}
+	return &NextLine{Degree: degree}
+}
+
+// Name implements Prefetcher.
+func (p *NextLine) Name() string { return "next-line" }
+
+// Reset implements Prefetcher.
+func (p *NextLine) Reset() {}
+
+// OnPrefetchUseful implements Prefetcher.
+func (p *NextLine) OnPrefetchUseful(uint64) {}
+
+// OnPrefetchFill implements Prefetcher.
+func (p *NextLine) OnPrefetchFill(uint64) {}
+
+// OnDemand implements Prefetcher.
+func (p *NextLine) OnDemand(a Access, emit Emit) {
+	block := a.Addr >> blockBits
+	issued := 0
+	for k := 1; issued < p.Degree && k <= 2*p.Degree; k++ {
+		target := block + uint64(k)
+		if !samePage(block, target) {
+			return
+		}
+		c := Candidate{
+			Addr:   target << blockBits,
+			FillL2: true,
+			Meta:   Meta{Depth: k, Confidence: 100 / k, Delta: k},
+		}
+		if emit(c) {
+			issued++
+		}
+	}
+}
+
+const (
+	strideTableEntries = 256
+	strideMinConf      = 2
+	strideMaxConf      = 3
+)
+
+type strideEntry struct {
+	valid    bool
+	tag      uint64
+	lastAddr uint64
+	stride   int64
+	conf     int
+}
+
+// Stride is a classic per-PC stride prefetcher (Baer-Chen style reference
+// prediction table).
+type Stride struct {
+	// Degree is how many strides ahead to prefetch once confident.
+	Degree int
+	table  [strideTableEntries]strideEntry
+}
+
+// NewStride returns a per-PC stride prefetcher.
+func NewStride(degree int) *Stride {
+	if degree <= 0 {
+		degree = 2
+	}
+	return &Stride{Degree: degree}
+}
+
+// Name implements Prefetcher.
+func (p *Stride) Name() string { return "stride" }
+
+// Reset implements Prefetcher.
+func (p *Stride) Reset() {
+	d := p.Degree
+	*p = Stride{Degree: d}
+}
+
+// OnPrefetchUseful implements Prefetcher.
+func (p *Stride) OnPrefetchUseful(uint64) {}
+
+// OnPrefetchFill implements Prefetcher.
+func (p *Stride) OnPrefetchFill(uint64) {}
+
+// OnDemand implements Prefetcher.
+func (p *Stride) OnDemand(a Access, emit Emit) {
+	idx := int(a.PC>>2) % strideTableEntries
+	e := &p.table[idx]
+	block := a.Addr >> blockBits
+	if !e.valid || e.tag != a.PC {
+		*e = strideEntry{valid: true, tag: a.PC, lastAddr: block}
+		return
+	}
+	stride := int64(block) - int64(e.lastAddr)
+	if stride == e.stride && stride != 0 {
+		if e.conf < strideMaxConf {
+			e.conf++
+		}
+	} else {
+		e.conf = 0
+		e.stride = stride
+	}
+	e.lastAddr = block
+	if e.conf < strideMinConf || e.stride == 0 {
+		return
+	}
+	issued := 0
+	for k := 1; issued < p.Degree && k <= 2*p.Degree; k++ {
+		target := uint64(int64(block) + e.stride*int64(k))
+		if !samePage(block, target) {
+			return
+		}
+		c := Candidate{
+			Addr:   target << blockBits,
+			FillL2: true,
+			Meta:   Meta{Depth: k, Confidence: 100 * e.conf / strideMaxConf, Delta: int(e.stride) * k},
+		}
+		if emit(c) {
+			issued++
+		}
+	}
+}

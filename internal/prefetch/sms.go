@@ -1,0 +1,150 @@
+package prefetch
+
+// Spatial Memory Streaming (Somogyi et al., ISCA 2006), the spatial
+// prefetcher the paper's §7.1 describes: learn the spatial footprint a
+// program touches within a region around a triggering miss, keyed by the
+// (PC, trigger offset) of that miss; when the same trigger recurs in a
+// new region, prefetch the whole remembered footprint at once.
+
+const (
+	smsRegionBits   = 11 // 2 KB spatial regions (32 blocks)
+	smsRegionBlocks = 1 << (smsRegionBits - blockBits)
+	smsATEntries    = 32  // active generation table (accumulating regions)
+	smsPHTEntries   = 512 // pattern history table
+)
+
+// SMSConfig tunes the prefetcher.
+type SMSConfig struct {
+	// MaxPrefetch caps the footprint blocks prefetched per trigger.
+	MaxPrefetch int
+}
+
+// DefaultSMSConfig returns the evaluation tuning.
+func DefaultSMSConfig() SMSConfig { return SMSConfig{MaxPrefetch: 16} }
+
+type smsATEntry struct {
+	valid     bool
+	region    uint64
+	trigger   uint64 // PC ^ trigger-offset key
+	footprint uint32
+	lastUse   uint64
+}
+
+type smsPHTEntry struct {
+	valid     bool
+	tag       uint32
+	footprint uint32
+}
+
+// SMS implements Prefetcher.
+type SMS struct {
+	cfg  SMSConfig
+	at   [smsATEntries]smsATEntry
+	pht  [smsPHTEntries]smsPHTEntry
+	tick uint64
+}
+
+// NewSMS constructs a Spatial Memory Streaming prefetcher.
+func NewSMS(cfg SMSConfig) *SMS {
+	if cfg.MaxPrefetch <= 0 {
+		cfg.MaxPrefetch = 16
+	}
+	return &SMS{cfg: cfg}
+}
+
+// Name implements Prefetcher.
+func (s *SMS) Name() string { return "sms" }
+
+// Reset implements Prefetcher.
+func (s *SMS) Reset() {
+	cfg := s.cfg
+	*s = SMS{cfg: cfg}
+}
+
+// OnPrefetchUseful implements Prefetcher.
+func (s *SMS) OnPrefetchUseful(uint64) {}
+
+// OnPrefetchFill implements Prefetcher.
+func (s *SMS) OnPrefetchFill(uint64) {}
+
+// key folds the trigger (PC, offset-in-region) into the PHT key the SMS
+// paper found most effective ("PC+offset").
+func smsKey(pc uint64, off int) uint64 { return pc<<5 ^ uint64(off) }
+
+func smsPHTIndex(key uint64) (idx int, tag uint32) {
+	h := key * 0x9E3779B97F4A7C15
+	return int(h % smsPHTEntries), uint32(h >> 40)
+}
+
+// endGeneration commits a finished region's footprint to the PHT.
+func (s *SMS) endGeneration(e *smsATEntry) {
+	if !e.valid {
+		return
+	}
+	idx, tag := smsPHTIndex(e.trigger)
+	s.pht[idx] = smsPHTEntry{valid: true, tag: tag, footprint: e.footprint}
+	e.valid = false
+}
+
+// OnDemand implements Prefetcher.
+func (s *SMS) OnDemand(a Access, emit Emit) {
+	region := a.Addr >> smsRegionBits
+	off := int(a.Addr>>blockBits) & (smsRegionBlocks - 1)
+	s.tick++
+
+	// Accumulate into an active generation if one exists for the region.
+	var victim *smsATEntry
+	var oldest uint64 = ^uint64(0)
+	for i := range s.at {
+		e := &s.at[i]
+		if e.valid && e.region == region {
+			e.footprint |= 1 << uint(off)
+			e.lastUse = s.tick
+			return
+		}
+		if !e.valid {
+			if victim == nil || victim.valid {
+				victim = e
+				oldest = 0
+			}
+			continue
+		}
+		if e.lastUse < oldest {
+			oldest = e.lastUse
+			victim = e
+		}
+	}
+
+	// New region: this access is the trigger. Retire the victim's
+	// generation, start a new one, and prefetch the remembered footprint.
+	s.endGeneration(victim)
+	key := smsKey(a.PC, off)
+	*victim = smsATEntry{
+		valid:     true,
+		region:    region,
+		trigger:   key,
+		footprint: 1 << uint(off),
+		lastUse:   s.tick,
+	}
+
+	idx, tag := smsPHTIndex(key)
+	p := &s.pht[idx]
+	if !p.valid || p.tag != tag {
+		return
+	}
+	issued := 0
+	base := region << smsRegionBits
+	for b := 0; b < smsRegionBlocks && issued < s.cfg.MaxPrefetch; b++ {
+		if b == off || p.footprint&(1<<uint(b)) == 0 {
+			continue
+		}
+		c := Candidate{
+			Addr:   base | uint64(b)<<blockBits,
+			FillL2: true,
+			Meta:   Meta{Depth: 1, Confidence: 70, Delta: b - off},
+		}
+		if emit(c) {
+			issued++
+		}
+	}
+}

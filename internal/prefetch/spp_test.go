@@ -1,0 +1,248 @@
+package prefetch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// collectSPP replays a delta sequence over pages and returns candidate
+// statistics. Useful feedback is simulated with perfect bookkeeping.
+func collectSPP(t *testing.T, s *SPP, deltas []int, pages int) (filled, useful int, depthHist map[int]int) {
+	t.Helper()
+	depthHist = map[int]int{}
+	pending := map[uint64]bool{}
+	touched := map[uint64]bool{}
+	for page := 0; page < pages; page++ {
+		off, di := 0, 0
+		for {
+			addr := uint64(page)<<12 | uint64(off)<<6
+			touched[addr] = true
+			if pending[addr] {
+				useful++
+				s.OnPrefetchUseful(addr)
+				delete(pending, addr)
+			}
+			s.OnDemand(Access{PC: 0x400, Addr: addr}, func(c Candidate) bool {
+				// Duplicates of pending or already-demanded blocks are
+				// dropped at the cache in the real system.
+				if pending[c.Addr] || touched[c.Addr] {
+					return false
+				}
+				filled++
+				depthHist[c.Meta.Depth]++
+				pending[c.Addr] = true
+				s.OnPrefetchFill(c.Addr)
+				return true
+			})
+			off += deltas[di]
+			di = (di + 1) % len(deltas)
+			if off >= 64 || off < 0 {
+				break
+			}
+		}
+	}
+	return filled, useful, depthHist
+}
+
+func TestSignatureUpdate(t *testing.T) {
+	sig := updateSignature(0, 1)
+	if sig != 1 {
+		t.Fatalf("sig after delta 1 = %#x", sig)
+	}
+	sig = updateSignature(sig, 2)
+	if sig != (1<<3)^2 {
+		t.Fatalf("sig after 1,2 = %#x", sig)
+	}
+	// Negative deltas must map to distinct codes from positive ones.
+	if updateSignature(0, 3) == updateSignature(0, -3) {
+		t.Fatal("+3 and -3 alias in the signature")
+	}
+	// Always within 12 bits.
+	prop := func(s uint16, d int8) bool {
+		return updateSignature(s, int(d)) <= sppSignatureMask
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeDeltaSignMagnitude(t *testing.T) {
+	if encodeDelta(5) == encodeDelta(-5) {
+		t.Fatal("sign lost")
+	}
+	if encodeDelta(0) != 0 {
+		t.Fatal("zero delta should encode to 0")
+	}
+	for d := -63; d <= 63; d++ {
+		if e := encodeDelta(d); e < 0 || e > 127 {
+			t.Fatalf("encodeDelta(%d) = %d out of 7 bits", d, e)
+		}
+	}
+}
+
+func TestSPPLearnsUnitStride(t *testing.T) {
+	s := NewSPP(DefaultSPPConfig())
+	filled, useful, _ := collectSPP(t, s, []int{1}, 200)
+	if filled == 0 {
+		t.Fatal("no prefetches on a pure stream")
+	}
+	acc := float64(useful) / float64(filled)
+	if acc < 0.9 {
+		t.Fatalf("unit-stride accuracy %.2f (useful %d / filled %d)", acc, useful, filled)
+	}
+	if s.AverageDepth() < 2 {
+		t.Fatalf("lookahead depth %.2f; stream should speculate deeply", s.AverageDepth())
+	}
+}
+
+func TestSPPLearnsMixedDeltaPattern(t *testing.T) {
+	s := NewSPP(DefaultSPPConfig())
+	filled, useful, _ := collectSPP(t, s, []int{1, 1, 1, 5}, 300)
+	if filled == 0 {
+		t.Fatal("no prefetches")
+	}
+	if float64(useful)/float64(filled) < 0.85 {
+		t.Fatalf("pattern accuracy %.2f", float64(useful)/float64(filled))
+	}
+}
+
+func TestSPPCandidatesStayInPage(t *testing.T) {
+	s := NewSPP(AggressiveSPPConfig())
+	pageOf := func(a uint64) uint64 { return a >> 12 }
+	for page := uint64(0); page < 50; page++ {
+		for off := 0; off < 64; off += 3 {
+			addr := page<<12 | uint64(off)<<6
+			s.OnDemand(Access{PC: 1, Addr: addr}, func(c Candidate) bool {
+				if pageOf(c.Addr) != page {
+					t.Fatalf("candidate %#x crossed page from %#x", c.Addr, addr)
+				}
+				if c.Addr&(1<<6-1) != 0 {
+					t.Fatalf("candidate %#x not block aligned", c.Addr)
+				}
+				return true
+			})
+		}
+	}
+}
+
+func TestSPPForcedDepth(t *testing.T) {
+	cfg := DefaultSPPConfig()
+	cfg.ForcedDepth = 10
+	cfg.MaxDepth = 10
+	cfg.MaxCandidates = 32
+	s := NewSPP(cfg)
+	_, _, hist := collectSPP(t, s, []int{1}, 100)
+	if hist[10] == 0 {
+		t.Fatalf("forced depth 10 never reached: %v", hist)
+	}
+	for d := range hist {
+		if d > 10 {
+			t.Fatalf("depth %d exceeds forced limit", d)
+		}
+	}
+}
+
+func TestSPPRespectsCandidateBudget(t *testing.T) {
+	cfg := DefaultSPPConfig()
+	cfg.MaxCandidates = 3
+	s := NewSPP(cfg)
+	for page := uint64(0); page < 50; page++ {
+		accepted := 0
+		for off := 0; off < 60; off++ {
+			addr := page<<12 | uint64(off)<<6
+			accepted = 0
+			s.OnDemand(Access{PC: 1, Addr: addr}, func(c Candidate) bool {
+				accepted++
+				return true
+			})
+			if accepted > 3 {
+				t.Fatalf("%d accepted candidates, budget 3", accepted)
+			}
+		}
+	}
+}
+
+func TestSPPAlphaTracksAccuracy(t *testing.T) {
+	s := NewSPP(DefaultSPPConfig())
+	for i := 0; i < 100; i++ {
+		s.OnPrefetchFill(0)
+	}
+	if s.alpha() > 0.2 {
+		t.Fatalf("alpha %.2f after 100 useless fills", s.alpha())
+	}
+	for i := 0; i < 100; i++ {
+		s.OnPrefetchFill(0)
+		s.OnPrefetchUseful(0)
+	}
+	if s.alpha() < 0.4 {
+		t.Fatalf("alpha %.2f did not recover", s.alpha())
+	}
+}
+
+func TestSPPAccuracyCountersSaturate(t *testing.T) {
+	s := NewSPP(DefaultSPPConfig())
+	for i := 0; i < 10_000; i++ {
+		s.OnPrefetchFill(0)
+		s.OnPrefetchUseful(0)
+	}
+	if s.cTotal >= sppCAccMax || s.cUseful >= sppCAccMax {
+		t.Fatalf("counters unclamped: total=%d useful=%d", s.cTotal, s.cUseful)
+	}
+	if a := s.alpha(); a < 0.9 || a > 1.0 {
+		t.Fatalf("alpha after perfect history = %.2f", a)
+	}
+}
+
+func TestSPPReset(t *testing.T) {
+	s := NewSPP(DefaultSPPConfig())
+	collectSPP(t, s, []int{1}, 50)
+	if s.Issued() == 0 {
+		t.Fatal("setup failed")
+	}
+	s.Reset()
+	if s.Issued() != 0 || s.AverageDepth() != 0 {
+		t.Fatal("reset did not clear state")
+	}
+	if s.Config() != DefaultSPPConfig() {
+		t.Fatal("reset lost config")
+	}
+}
+
+func TestSPPIgnoresSameBlockRereference(t *testing.T) {
+	s := NewSPP(DefaultSPPConfig())
+	n := 0
+	for i := 0; i < 10; i++ {
+		s.OnDemand(Access{PC: 1, Addr: 0x1000}, func(Candidate) bool { n++; return true })
+	}
+	if n != 0 {
+		t.Fatalf("re-referencing one block produced %d candidates", n)
+	}
+}
+
+func TestSPPGHRBootstrapsAcrossPages(t *testing.T) {
+	// Train a unit-stride stream that runs off page 0; the first access
+	// to page 1 at offset 0 should bootstrap from the GHR and prefetch
+	// immediately (no retraining from scratch).
+	cfg := DefaultSPPConfig()
+	s := NewSPP(cfg)
+	for i := 0; i < 200; i++ { // fully train deltas and accuracy
+		s.OnPrefetchFill(0)
+		s.OnPrefetchUseful(0)
+	}
+	for off := 0; off < 64; off++ {
+		s.OnDemand(Access{PC: 1, Addr: uint64(off) << 6}, func(c Candidate) bool { return true })
+	}
+	// First touch of the next page.
+	n := 0
+	s.OnDemand(Access{PC: 1, Addr: 1 << 12}, func(c Candidate) bool { n++; return true })
+	if n == 0 {
+		t.Fatal("GHR bootstrap produced no candidates on new page")
+	}
+}
+
+func TestSPPStorageBits(t *testing.T) {
+	// Paper Table 3 SPP component: 11,008 + 24,576 + 264 + 20 = 35,868.
+	if got := SPPStorageBits(); got != 35868 {
+		t.Fatalf("SPPStorageBits = %d, want 35868", got)
+	}
+}

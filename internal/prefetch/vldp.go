@@ -1,0 +1,245 @@
+package prefetch
+
+// Variable Length Delta Prefetcher (Shevgoor et al., MICRO 2015), the
+// lookahead prefetcher the paper's §7.2 discusses alongside SPP. VLDP
+// correlates variable-length histories of in-page deltas with the next
+// delta: a Delta History Buffer (DHB) tracks recent pages, and a cascade
+// of Delta Prediction Tables (DPT-1/2/3) maps the last 1, 2 or 3 deltas
+// onto the predicted next delta, preferring the longest-history match.
+// An Offset Prediction Table (OPT) predicts the first delta of a freshly
+// touched page from its first offset.
+
+const (
+	vldpDHBEntries = 16
+	vldpDPTEntries = 256
+	vldpOPTEntries = 64
+	vldpMaxHistory = 3
+)
+
+// VLDPConfig tunes the prefetcher.
+type VLDPConfig struct {
+	// Degree is how many predicted deltas to chain per trigger access.
+	Degree int
+}
+
+// DefaultVLDPConfig returns the evaluation tuning (degree 4, as in the
+// original paper's best configuration).
+func DefaultVLDPConfig() VLDPConfig { return VLDPConfig{Degree: 4} }
+
+type vldpDHBEntry struct {
+	valid      bool
+	page       uint64
+	lastOffset int
+	deltas     [vldpMaxHistory]int // most recent first
+	numDeltas  int
+	lastUse    uint64
+}
+
+type vldpDPTEntry struct {
+	valid bool
+	tag   uint32
+	delta int
+	conf  int // 2-bit confidence
+}
+
+// VLDP implements Prefetcher.
+type VLDP struct {
+	cfg  VLDPConfig
+	dhb  [vldpDHBEntries]vldpDHBEntry
+	dpt  [vldpMaxHistory][vldpDPTEntries]vldpDPTEntry
+	opt  [vldpOPTEntries]vldpDPTEntry
+	tick uint64
+}
+
+// NewVLDP constructs a VLDP prefetcher.
+func NewVLDP(cfg VLDPConfig) *VLDP {
+	if cfg.Degree <= 0 {
+		cfg.Degree = 4
+	}
+	return &VLDP{cfg: cfg}
+}
+
+// Name implements Prefetcher.
+func (v *VLDP) Name() string { return "vldp" }
+
+// Reset implements Prefetcher.
+func (v *VLDP) Reset() {
+	cfg := v.cfg
+	*v = VLDP{cfg: cfg}
+}
+
+// OnPrefetchUseful implements Prefetcher.
+func (v *VLDP) OnPrefetchUseful(uint64) {}
+
+// OnPrefetchFill implements Prefetcher.
+func (v *VLDP) OnPrefetchFill(uint64) {}
+
+// dhbFor finds or allocates the history entry for page (LRU replacement).
+func (v *VLDP) dhbFor(page uint64) (*vldpDHBEntry, bool) {
+	v.tick++
+	var victim *vldpDHBEntry
+	var oldest uint64 = ^uint64(0)
+	for i := range v.dhb {
+		e := &v.dhb[i]
+		if e.valid && e.page == page {
+			e.lastUse = v.tick
+			return e, true
+		}
+		if !e.valid {
+			if victim == nil || victim.valid {
+				victim = e
+				oldest = 0
+			}
+			continue
+		}
+		if e.lastUse < oldest {
+			oldest = e.lastUse
+			victim = e
+		}
+	}
+	*victim = vldpDHBEntry{valid: true, page: page, lastUse: v.tick}
+	return victim, false
+}
+
+// dptHash folds a delta-history key onto a table index and tag.
+func dptHash(deltas []int) (idx int, tag uint32) {
+	var h uint64 = 14695981039346656037
+	for _, d := range deltas {
+		h ^= uint64(uint32(d))
+		h *= 1099511628211
+	}
+	return int(h % vldpDPTEntries), uint32(h >> 32)
+}
+
+// dptLookup queries the longest-history table with a confident match.
+func (v *VLDP) dptLookup(hist []int) (delta int, level int, ok bool) {
+	for lvl := len(hist); lvl >= 1; lvl-- {
+		idx, tag := dptHash(hist[:lvl])
+		e := &v.dpt[lvl-1][idx]
+		if e.valid && e.tag == tag && e.conf >= 1 {
+			return e.delta, lvl, true
+		}
+	}
+	return 0, 0, false
+}
+
+// dptTrain records that hist was followed by delta.
+func (v *VLDP) dptTrain(hist []int, delta int) {
+	for lvl := 1; lvl <= len(hist); lvl++ {
+		idx, tag := dptHash(hist[:lvl])
+		e := &v.dpt[lvl-1][idx]
+		switch {
+		case e.valid && e.tag == tag && e.delta == delta:
+			if e.conf < 3 {
+				e.conf++
+			}
+		case e.valid && e.tag == tag:
+			if e.conf > 0 {
+				e.conf--
+			} else {
+				e.delta = delta
+				e.conf = 1
+			}
+		default:
+			*e = vldpDPTEntry{valid: true, tag: tag, delta: delta, conf: 1}
+		}
+	}
+}
+
+// OnDemand implements Prefetcher.
+func (v *VLDP) OnDemand(a Access, emit Emit) {
+	page := a.Addr >> pageBits
+	offset := int(a.Addr>>blockBits) & (blocksPerPage - 1)
+	e, existed := v.dhbFor(page)
+
+	if !existed {
+		// First touch: consult the OPT by offset, then train it later.
+		e.lastOffset = offset
+		o := &v.opt[offset%vldpOPTEntries]
+		if o.valid && o.conf >= 1 {
+			target := offset + o.delta
+			if target >= 0 && target < blocksPerPage {
+				emit(Candidate{
+					Addr:   page<<pageBits | uint64(target)<<blockBits,
+					FillL2: true,
+					Meta:   Meta{Depth: 1, Confidence: 50 + 15*o.conf, Delta: o.delta},
+				})
+			}
+		}
+		return
+	}
+
+	delta := offset - e.lastOffset
+	if delta == 0 {
+		return
+	}
+	// Train: the history that preceded this access predicted `delta`.
+	hist := e.deltas[:e.numDeltas]
+	if len(hist) > 0 {
+		v.dptTrain(hist, delta)
+	} else {
+		o := &v.opt[e.lastOffset%vldpOPTEntries]
+		switch {
+		case o.valid && o.delta == delta:
+			if o.conf < 3 {
+				o.conf++
+			}
+		case o.valid:
+			if o.conf > 0 {
+				o.conf--
+			} else {
+				o.delta = delta
+				o.conf = 1
+			}
+		default:
+			*o = vldpDPTEntry{valid: true, delta: delta, conf: 1}
+		}
+	}
+	// Shift the new delta into the history (most recent first).
+	copy(e.deltas[1:], e.deltas[:vldpMaxHistory-1])
+	e.deltas[0] = delta
+	if e.numDeltas < vldpMaxHistory {
+		e.numDeltas++
+	}
+	e.lastOffset = offset
+
+	// Predict: walk forward chaining DPT lookups, like the original's
+	// multi-degree lookahead.
+	var rolling [vldpMaxHistory]int
+	copy(rolling[:], e.deltas[:])
+	n := e.numDeltas
+	cur := offset
+	issued := 0
+	for step := 0; step < v.cfg.Degree; step++ {
+		d, lvl, ok := v.dptLookup(rolling[:n])
+		if !ok {
+			return
+		}
+		cur += d
+		if cur < 0 || cur >= blocksPerPage {
+			return
+		}
+		c := Candidate{
+			Addr:   page<<pageBits | uint64(cur)<<blockBits,
+			FillL2: step == 0,
+			Meta:   Meta{Depth: step + 1, Confidence: 40 + 20*lvl, Delta: d},
+		}
+		if emit(c) {
+			issued++
+		}
+		copy(rolling[1:], rolling[:vldpMaxHistory-1])
+		rolling[0] = d
+		if n < vldpMaxHistory {
+			n++
+		}
+	}
+}
+
+// VLDPStorageBits returns the hardware budget of the structures, for
+// documentation parity with the other prefetchers.
+func VLDPStorageBits() int {
+	dhb := vldpDHBEntries * (1 + 36 + 6 + vldpMaxHistory*7 + 2 + 4)
+	dpt := vldpMaxHistory * vldpDPTEntries * (1 + 32 + 7 + 2)
+	opt := vldpOPTEntries * (1 + 7 + 2)
+	return dhb + dpt + opt
+}

@@ -1,0 +1,125 @@
+// Package sim ties the substrates together into a trace-driven multicore
+// performance model in the style of ChampSim: out-of-order cores with a
+// ROB-window timing model, private L1/L2 caches, a shared last-level
+// cache, a bandwidth-limited DRAM, a perceptron branch predictor, and a
+// per-core prefetcher optionally wrapped by the PPF perceptron filter.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/dram"
+)
+
+// Config is the machine configuration (the paper's Table 1 analogue).
+type Config struct {
+	// Cores is the number of simulated cores.
+	Cores int
+	// FetchWidth is instructions fetched/dispatched per cycle.
+	FetchWidth int
+	// RetireWidth is instructions retired per cycle.
+	RetireWidth int
+	// ROBSize is the reorder-buffer capacity.
+	ROBSize int
+	// MispredictPenalty is the fetch-stall in cycles after a mispredicted
+	// branch resolves.
+	MispredictPenalty uint64
+
+	// L1I, L1D and L2 are per-core cache configurations.
+	L1I cache.Config
+	L1D cache.Config
+	L2  cache.Config
+	// LLC is the shared last-level cache configuration; its size is the
+	// total across cores.
+	LLC cache.Config
+
+	// DRAM configures the memory subsystem.
+	DRAM dram.Config
+}
+
+// DefaultConfig returns the paper's default machine: per-core 32 KB L1s,
+// 512 KB L2, 2 MB of LLC per core, single-channel 12.8 GB/s DRAM, 256-entry
+// ROB, 4-wide pipeline, perceptron branch prediction.
+func DefaultConfig(cores int) Config {
+	if cores <= 0 {
+		cores = 1
+	}
+	return Config{
+		Cores:             cores,
+		FetchWidth:        4,
+		RetireWidth:       4,
+		ROBSize:           256,
+		MispredictPenalty: 15,
+		L1I: cache.Config{
+			Name: "L1I", SizeBytes: 32 << 10, Ways: 8, HitLatency: 1, MSHRs: 8,
+		},
+		L1D: cache.Config{
+			Name: "L1D", SizeBytes: 32 << 10, Ways: 8, HitLatency: 4, MSHRs: 24,
+		},
+		L2: cache.Config{
+			Name: "L2", SizeBytes: 512 << 10, Ways: 8, HitLatency: 10, MSHRs: 48,
+		},
+		LLC: cache.Config{
+			Name: "LLC", SizeBytes: cores * (2 << 20), Ways: 16, HitLatency: 24,
+			MSHRs: 64 * cores,
+		},
+		DRAM: dram.DefaultConfig(),
+	}
+}
+
+// SmallLLCConfig returns the §6.3 constrained configuration with the LLC
+// reduced to 512 KB (single core).
+func SmallLLCConfig() Config {
+	c := DefaultConfig(1)
+	c.LLC.SizeBytes = 512 << 10
+	return c
+}
+
+// LowBandwidthConfig returns the §6.3 constrained configuration with DRAM
+// bandwidth reduced to 3.2 GB/s (single core).
+func LowBandwidthConfig() Config {
+	c := DefaultConfig(1)
+	c.DRAM = dram.LowBandwidthConfig()
+	return c
+}
+
+// Validate checks the configuration for consistency.
+func (c Config) Validate() error {
+	if c.Cores <= 0 {
+		return fmt.Errorf("sim: core count must be positive")
+	}
+	if c.FetchWidth <= 0 || c.RetireWidth <= 0 || c.ROBSize <= 0 {
+		return fmt.Errorf("sim: pipeline widths and ROB size must be positive")
+	}
+	for _, cc := range []cache.Config{c.L1I, c.L1D, c.L2, c.LLC} {
+		if err := cc.Validate(); err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
+	}
+	if err := c.DRAM.Validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	return nil
+}
+
+// Describe renders the configuration as the paper's Table 1-style block.
+func (c Config) Describe() string {
+	bw := 64.0 / float64(c.DRAM.TransferCycles) * 4 // GB/s at 4 GHz
+	return fmt.Sprintf(`Cores              : %d
+Pipeline           : %d-wide fetch, %d-wide retire, %d-entry ROB
+Branch predictor   : hashed perceptron, %d-cycle mispredict penalty
+L1I                : %d KB, %d-way, %d-cycle
+L1D                : %d KB, %d-way, %d-cycle
+L2                 : %d KB, %d-way, %d-cycle (prefetch trigger level)
+LLC (shared)       : %d MB, %d-way, %d-cycle
+DRAM               : %d channel(s), %.1f GB/s, row hit %d / miss %d cycles`,
+		c.Cores,
+		c.FetchWidth, c.RetireWidth, c.ROBSize,
+		c.MispredictPenalty,
+		c.L1I.SizeBytes>>10, c.L1I.Ways, c.L1I.HitLatency,
+		c.L1D.SizeBytes>>10, c.L1D.Ways, c.L1D.HitLatency,
+		c.L2.SizeBytes>>10, c.L2.Ways, c.L2.HitLatency,
+		c.LLC.SizeBytes>>20, c.LLC.Ways, c.LLC.HitLatency,
+		c.DRAM.Channels, bw, c.DRAM.RowHitLatency, c.DRAM.RowMissLatency)
+}

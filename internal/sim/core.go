@@ -1,0 +1,265 @@
+package sim
+
+import (
+	"repro/internal/branch"
+	"repro/internal/cache"
+	ppf "repro/internal/core"
+	"repro/internal/prefetch"
+	"repro/internal/trace"
+)
+
+// loadRing is the size of the per-core ring buffer that remembers load
+// completion times so that pointer-chase dependencies (Inst.Dep) can be
+// resolved. It exceeds the maximum encodable dependency distance.
+const loadRing = 1 << 16
+
+// Core models one out-of-order core: a fetch/dispatch front end feeding a
+// ROB window with in-order retirement. Loads issue at dispatch (or when a
+// flagged pointer-chase dependency resolves) and complete when the memory
+// hierarchy returns their data; fetch stalls on ROB-full, instruction
+// cache misses, and branch mispredictions.
+type Core struct {
+	id  int
+	cfg *Config
+
+	reader trace.Reader
+	bp     *branch.Predictor
+	l1i    *cache.Cache
+	l1d    *cache.Cache
+	l2     *cache.Cache
+	pf     prefetch.Prefetcher
+	filter *ppf.Filter
+
+	emit prefetch.Emit
+
+	rob      []uint64 // completion cycle per in-flight instruction
+	robHead  int
+	robCount int
+
+	loadDone  []uint64
+	instCount uint64
+
+	fetchStallUntil uint64
+	lastPCBlock     uint64
+
+	// Per-access context threaded to the cache hooks (single goroutine).
+	curPC     uint64
+	curIsData bool
+	curCycle  uint64
+
+	retired      uint64
+	robStalls    uint64
+	candidates   uint64 // candidates produced by the prefetcher
+	pfIssued     uint64 // prefetches actually filled into a cache
+	pfUseful     uint64 // prefetches hit by demand before eviction
+	traceDone    bool
+	finishedRun  bool
+	finishCycle  uint64
+	retiredStart uint64
+	startCycle   uint64
+}
+
+// ID returns the core's index.
+func (c *Core) ID() int { return c.id }
+
+// Retired returns the number of retired instructions.
+func (c *Core) Retired() uint64 { return c.retired }
+
+// Filter returns the attached PPF filter, or nil.
+func (c *Core) Filter() *ppf.Filter { return c.filter }
+
+// Prefetcher returns the attached prefetcher.
+func (c *Core) Prefetcher() prefetch.Prefetcher { return c.pf }
+
+// L2 returns the core's private L2 cache.
+func (c *Core) L2() *cache.Cache { return c.l2 }
+
+// L1D returns the core's private L1 data cache.
+func (c *Core) L1D() *cache.Cache { return c.l1d }
+
+// wire installs the prefetch trigger and training hooks on the private L2.
+func (c *Core) wire() {
+	c.emit = func(cand prefetch.Candidate) bool {
+		c.candidates++
+		at := c.curCycle
+		fillL2 := cand.FillL2
+		if c.filter != nil {
+			// Duplicates never reach the filter: a suggestion for a
+			// block already covered carries no signal either way.
+			if c.l2.Contains(cand.Addr) {
+				return false
+			}
+			in := ppf.FeatureInput{
+				Addr:       cand.Addr,
+				PC:         c.curPC,
+				PCHist:     c.filter.PCHist(),
+				Depth:      cand.Meta.Depth,
+				Signature:  cand.Meta.Signature,
+				Confidence: cand.Meta.Confidence,
+				Delta:      cand.Meta.Delta,
+			}
+			switch c.filter.Decide(&in) {
+			case ppf.Drop:
+				c.filter.RecordReject(in)
+				return false
+			case ppf.FillL2:
+				fillL2 = true
+			case ppf.FillLLC:
+				fillL2 = false
+			}
+			_, ok := c.l2.Prefetch(cand.Addr, at, fillL2, c.id)
+			if ok {
+				c.filter.RecordIssue(in)
+				c.pfIssued++
+				c.pf.OnPrefetchFill(cand.Addr)
+			}
+			return ok
+		}
+		_, ok := c.l2.Prefetch(cand.Addr, at, fillL2, c.id)
+		if ok {
+			c.pfIssued++
+			c.pf.OnPrefetchFill(cand.Addr)
+		}
+		return ok
+	}
+
+	c.l2.DemandHook = func(addr uint64, at uint64, hit bool) {
+		if !c.curIsData {
+			return
+		}
+		c.curCycle = at
+		if c.filter != nil {
+			// Train from this demand access before triggering new
+			// prefetches (paper Figure 5 steps 3–4 precede step 1).
+			c.filter.OnDemand(addr)
+		}
+		c.pf.OnDemand(prefetch.Access{PC: c.curPC, Addr: addr, Cycle: at, Hit: hit}, c.emit)
+		if c.filter != nil {
+			c.filter.OnLoadPC(c.curPC)
+		}
+	}
+
+	c.l2.UsefulHook = func(addr uint64, _ int) {
+		c.pfUseful++
+		c.pf.OnPrefetchUseful(addr)
+	}
+
+	c.l2.EvictHook = func(info cache.EvictInfo) {
+		if c.filter != nil && info.Prefetched {
+			c.filter.OnEvict(info.Addr, info.Used)
+		}
+	}
+}
+
+// Tick advances the core by one cycle.
+func (c *Core) Tick(cycle uint64) {
+	// Retire in order.
+	for n := 0; n < c.cfg.RetireWidth && c.robCount > 0; n++ {
+		if c.rob[c.robHead] > cycle {
+			break
+		}
+		c.robHead++
+		if c.robHead == len(c.rob) {
+			c.robHead = 0
+		}
+		c.robCount--
+		c.retired++
+	}
+	if c.traceDone {
+		return
+	}
+	if cycle < c.fetchStallUntil {
+		return
+	}
+
+	// Fetch and dispatch.
+	for n := 0; n < c.cfg.FetchWidth; n++ {
+		if c.robCount == len(c.rob) {
+			c.robStalls++
+			return
+		}
+		in, ok := c.reader.Next()
+		if !ok {
+			c.traceDone = true
+			return
+		}
+		if in.Addr != 0 {
+			// Each core gets its own physical address space: distinct
+			// processes never share pages in a multiprogrammed mix, so
+			// co-runners must not constructively hit each other's blocks
+			// in the shared LLC.
+			in.Addr |= uint64(c.id) << 48
+		}
+		idx := c.instCount
+		c.instCount++
+
+		// Instruction fetch: one L1I access per new PC block.
+		if pcBlock := in.PC >> cache.BlockBits; pcBlock != c.lastPCBlock {
+			c.lastPCBlock = pcBlock
+			c.curIsData = false
+			if icDone := c.l1i.Read(in.PC, cycle); icDone > cycle+c.cfg.L1I.HitLatency {
+				c.fetchStallUntil = icDone
+			}
+		}
+
+		var done uint64
+		stopFetch := false
+		switch in.Kind {
+		case trace.KindALU:
+			done = cycle + 1
+		case trace.KindBranch:
+			correct := c.bp.Update(in.PC, in.Taken)
+			done = cycle + 1
+			if !correct {
+				c.fetchStallUntil = done + c.cfg.MispredictPenalty
+				stopFetch = true
+			}
+		case trace.KindLoad:
+			issueAt := cycle
+			if in.Dep > 0 && uint64(in.Dep) <= idx {
+				if dep := c.loadDone[(idx-uint64(in.Dep))&(loadRing-1)]; dep > issueAt {
+					issueAt = dep
+				}
+			}
+			c.curIsData = true
+			c.curPC = in.PC
+			done = c.l1d.Read(in.Addr, issueAt)
+			c.loadDone[idx&(loadRing-1)] = done
+		case trace.KindStore:
+			c.curIsData = true
+			c.curPC = in.PC
+			c.l1d.Write(in.Addr, cycle)
+			done = cycle + 1
+		}
+
+		tail := c.robHead + c.robCount
+		if tail >= len(c.rob) {
+			tail -= len(c.rob)
+		}
+		c.rob[tail] = done
+		c.robCount++
+		if stopFetch || cycle < c.fetchStallUntil {
+			return
+		}
+	}
+}
+
+// resetStats clears all warmup statistics on the core and its private
+// structures, keeping learned predictor/prefetcher/filter state.
+func (c *Core) resetStats(cycle uint64) {
+	c.l1i.ResetStats()
+	c.l1d.ResetStats()
+	c.l2.ResetStats()
+	c.bp.ResetStats()
+	if c.filter != nil {
+		c.filter.ResetStats()
+	}
+	c.candidates = 0
+	c.pfIssued = 0
+	c.pfUseful = 0
+	c.robStalls = 0
+	c.retiredStart = c.retired
+	c.startCycle = cycle
+	c.finishedRun = false
+	c.finishCycle = 0
+}

@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"testing"
+
+	ppf "repro/internal/core"
+	"repro/internal/prefetch"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// These integration tests assert the cross-module behaviours the paper's
+// story depends on, end to end through the full simulator.
+
+func TestIntegrationSPPBeatsBaselineOnStreams(t *testing.T) {
+	// On regular streaming workloads, SPP must deliver a clear speedup.
+	for _, name := range []string{"603.bwaves_s", "649.fotonik3d_s", "621.wrf_s"} {
+		w := workload.MustByName(name)
+		base, _ := NewSystem(DefaultConfig(1), []CoreSetup{{Trace: w.NewReader(1)}})
+		b := base.Run(30_000, 150_000).PerCore[0].IPC
+		spp, _ := NewSystem(DefaultConfig(1), []CoreSetup{{
+			Trace: w.NewReader(1), Prefetcher: prefetch.NewSPP(prefetch.DefaultSPPConfig()),
+		}})
+		s := spp.Run(30_000, 150_000).PerCore[0].IPC
+		if s < b*1.05 {
+			t.Errorf("%s: SPP %.3f vs baseline %.3f — expected >5%% speedup", name, s, b)
+		}
+	}
+}
+
+func TestIntegrationPrefetchersHarmlessOnPointerChase(t *testing.T) {
+	// On mcf-like pointer chasing no prefetcher should tank performance:
+	// SPP's confidence and PPF's filter both exist to bound the damage.
+	w := workload.MustByName("605.mcf_s")
+	base, _ := NewSystem(DefaultConfig(1), []CoreSetup{{Trace: w.NewReader(1)}})
+	b := base.Run(30_000, 150_000).PerCore[0].IPC
+	for _, mk := range []func() CoreSetup{
+		func() CoreSetup {
+			return CoreSetup{Trace: w.NewReader(1), Prefetcher: prefetch.NewSPP(prefetch.DefaultSPPConfig())}
+		},
+		func() CoreSetup {
+			return CoreSetup{
+				Trace:      w.NewReader(1),
+				Prefetcher: prefetch.NewSPP(prefetch.AggressiveSPPConfig()),
+				Filter:     ppf.New(ppf.DefaultConfig()),
+			}
+		},
+	} {
+		sys, _ := NewSystem(DefaultConfig(1), []CoreSetup{mk()})
+		got := sys.Run(30_000, 150_000).PerCore[0].IPC
+		if got < b*0.93 {
+			t.Errorf("prefetching degraded mcf-like workload by %.1f%%", 100*(1-got/b))
+		}
+	}
+}
+
+func TestIntegrationPPFCoverageExceedsSPP(t *testing.T) {
+	// The paper's Figure 10 claim at module scale: PPF covers more of the
+	// baseline misses than SPP on the deep-speculation showcase.
+	w := workload.MustByName("603.bwaves_s")
+	missesUnder := func(setup CoreSetup) uint64 {
+		sys, _ := NewSystem(DefaultConfig(1), []CoreSetup{setup})
+		return sys.Run(30_000, 150_000).PerCore[0].L2.DemandMisses
+	}
+	base := missesUnder(CoreSetup{Trace: w.NewReader(1)})
+	spp := missesUnder(CoreSetup{
+		Trace: w.NewReader(1), Prefetcher: prefetch.NewSPP(prefetch.DefaultSPPConfig()),
+	})
+	ppfm := missesUnder(CoreSetup{
+		Trace:      w.NewReader(1),
+		Prefetcher: prefetch.NewSPP(prefetch.AggressiveSPPConfig()),
+		Filter:     ppf.New(ppf.DefaultConfig()),
+	})
+	if spp >= base {
+		t.Fatalf("SPP did not reduce misses: %d vs %d", spp, base)
+	}
+	if ppfm >= spp {
+		t.Errorf("PPF misses %d >= SPP misses %d; deep speculation should raise coverage", ppfm, spp)
+	}
+}
+
+func TestIntegrationPPFSpeculatesDeeper(t *testing.T) {
+	// §6.1: PPF's average lookahead depth exceeds plain SPP's.
+	w := workload.MustByName("649.fotonik3d_s")
+	depth := func(setup CoreSetup) float64 {
+		sys, _ := NewSystem(DefaultConfig(1), []CoreSetup{setup})
+		return sys.Run(30_000, 150_000).PerCore[0].AvgLookaheadDepth
+	}
+	dSPP := depth(CoreSetup{Trace: w.NewReader(1), Prefetcher: prefetch.NewSPP(prefetch.DefaultSPPConfig())})
+	dPPF := depth(CoreSetup{
+		Trace:      w.NewReader(1),
+		Prefetcher: prefetch.NewSPP(prefetch.AggressiveSPPConfig()),
+		Filter:     ppf.New(ppf.DefaultConfig()),
+	})
+	if dPPF <= dSPP {
+		t.Errorf("PPF depth %.2f <= SPP depth %.2f; paper reports 21%% deeper", dPPF, dSPP)
+	}
+}
+
+func TestIntegrationFilterLearnsToDropShotgunJunk(t *testing.T) {
+	// An indiscriminate next-8-line prefetcher on a pointer-chase
+	// workload: PPF must end up rejecting a large share of candidates.
+	w := workload.MustByName("605.mcf_s")
+	filter := ppf.New(ppf.DefaultConfig())
+	sys, _ := NewSystem(DefaultConfig(1), []CoreSetup{{
+		Trace:      w.NewReader(1),
+		Prefetcher: prefetch.NewNextLine(8),
+		Filter:     filter,
+	}})
+	sys.Run(100_000, 300_000)
+	fs := filter.Stats()
+	if fs.Inferences == 0 {
+		t.Fatal("no candidates seen")
+	}
+	dropRate := float64(fs.Dropped) / float64(fs.Inferences)
+	if dropRate < 0.2 {
+		t.Errorf("filter dropped only %.1f%% of shotgun junk on pointer chase", 100*dropRate)
+	}
+}
+
+func TestIntegrationEightCoreRuns(t *testing.T) {
+	// The 8-core configuration must run end to end with shared resources.
+	setups := make([]CoreSetup, 8)
+	ws := workload.SPEC2017MemIntensive()
+	for i := range setups {
+		setups[i] = CoreSetup{
+			Trace:      ws[i%len(ws)].NewReader(uint64(i + 1)),
+			Prefetcher: prefetch.NewSPP(prefetch.DefaultSPPConfig()),
+		}
+	}
+	sys, err := NewSystem(DefaultConfig(8), setups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run(10_000, 40_000)
+	if len(res.PerCore) != 8 {
+		t.Fatalf("%d core results", len(res.PerCore))
+	}
+	for i, c := range res.PerCore {
+		if c.IPC <= 0 {
+			t.Errorf("core %d IPC %.3f", i, c.IPC)
+		}
+	}
+	if res.DRAM.Reads == 0 {
+		t.Error("no DRAM traffic in an 8-core memory-intensive mix")
+	}
+}
+
+func TestIntegrationSmallLLCHurtsBaseline(t *testing.T) {
+	// The §6.3 small-LLC machine must be slower than the default for a
+	// working set that fits 2 MB comfortably but thrashes 512 KB. A
+	// dense 768 KB cyclic stream exercises exactly that band.
+	mkTrace := func() trace.Reader {
+		return trace.MustGenerator(trace.GenConfig{
+			Seed:                 3,
+			LoadRatio:            0.5,
+			BranchPredictability: 0.99,
+			HotLoadRatio:         -1,
+			BlockReuse:           1,
+			Phases: []trace.Phase{{Mix: []trace.Weighted{
+				{P: trace.NewSequentialPattern(0, 768<<10), Weight: 1},
+			}}},
+		})
+	}
+	run := func(cfg Config) float64 {
+		sys, _ := NewSystem(cfg, []CoreSetup{{Trace: mkTrace()}})
+		return sys.Run(60_000, 150_000).PerCore[0].IPC
+	}
+	if small, def := run(SmallLLCConfig()), run(DefaultConfig(1)); small >= def {
+		t.Errorf("512KB LLC IPC %.3f >= 2MB LLC IPC %.3f", small, def)
+	}
+}
+
+func TestIntegrationLowBandwidthHurtsStreams(t *testing.T) {
+	w := workload.MustByName("603.bwaves_s")
+	run := func(cfg Config) float64 {
+		sys, _ := NewSystem(cfg, []CoreSetup{{Trace: w.NewReader(1)}})
+		return sys.Run(30_000, 150_000).PerCore[0].IPC
+	}
+	if low, def := run(LowBandwidthConfig()), run(DefaultConfig(1)); low >= def*0.9 {
+		t.Errorf("3.2GB/s IPC %.3f not clearly below 12.8GB/s IPC %.3f", low, def)
+	}
+}

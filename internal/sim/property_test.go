@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	ppf "repro/internal/core"
+	"repro/internal/prefetch"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Property-style tests over randomised workload configurations: whatever
+// the instruction mix, the simulator must uphold its accounting
+// invariants.
+
+func TestPropertySimInvariants(t *testing.T) {
+	prop := func(seed uint64, loadPct, storePct, branchPct uint8, usePf bool) bool {
+		lr := float64(loadPct%40) / 100
+		sr := float64(storePct%20) / 100
+		br := float64(branchPct%25) / 100
+		cfg := trace.GenConfig{
+			Seed:                 seed,
+			LoadRatio:            lr,
+			StoreRatio:           sr,
+			BranchRatio:          br,
+			BranchPredictability: 0.9,
+			Phases: []trace.Phase{{Mix: []trace.Weighted{
+				{P: trace.NewSequentialPattern(0, 1<<21), Weight: 1},
+				{P: trace.NewRandomPattern(1, 1<<21), Weight: 1},
+			}}},
+		}
+		gen, err := trace.NewGenerator(cfg)
+		if err != nil {
+			return true // invalid mixes are rejected upstream; skip
+		}
+		setup := CoreSetup{Trace: gen}
+		if usePf {
+			setup = NewSetupForProp(gen)
+		}
+		sys, err := NewSystem(DefaultConfig(1), []CoreSetup{setup})
+		if err != nil {
+			return false
+		}
+		res := sys.Run(2_000, 20_000)
+		c := res.PerCore[0]
+		// Invariants: IPC in a sane band; cache accounting closed;
+		// instruction count exact.
+		if c.Instructions != 20_000 {
+			return false
+		}
+		if c.IPC <= 0 || c.IPC > float64(DefaultConfig(1).FetchWidth) {
+			return false
+		}
+		for _, s := range []struct {
+			hits, misses, accesses uint64
+		}{
+			{c.L1D.DemandHits, c.L1D.DemandMisses, c.L1D.DemandAccesses},
+			{c.L2.DemandHits, c.L2.DemandMisses, c.L2.DemandAccesses},
+			{res.LLC.DemandHits, res.LLC.DemandMisses, res.LLC.DemandAccesses},
+		} {
+			if s.hits+s.misses != s.accesses {
+				return false
+			}
+		}
+		// Useful prefetches can never exceed issued ones.
+		return c.PrefetchesUseful <= c.PrefetchesIssued+c.L2.PrefetchDropped
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// NewSetupForProp wires an SPP+PPF stack for the property test without
+// importing the experiment package (which would create an import cycle in
+// spirit, not in fact — sim must stay independent of experiment).
+func NewSetupForProp(r trace.Reader) CoreSetup {
+	return CoreSetup{Trace: r, Prefetcher: newSPPForTest(), Filter: newFilterForTest()}
+}
+
+func TestPropertyCyclesMonotonicWithWork(t *testing.T) {
+	// More detail instructions never complete in fewer cycles.
+	w := workload.MustByName("621.wrf_s")
+	run := func(n uint64) uint64 {
+		sys, _ := NewSystem(DefaultConfig(1), []CoreSetup{{Trace: w.NewReader(1)}})
+		return sys.Run(5_000, n).PerCore[0].Cycles
+	}
+	c1, c2, c3 := run(20_000), run(40_000), run(80_000)
+	if !(c1 < c2 && c2 < c3) {
+		t.Fatalf("cycles not monotonic: %d, %d, %d", c1, c2, c3)
+	}
+}
+
+func TestPropertyStatsNonNegativeAfterReset(t *testing.T) {
+	// Run → reset → short run: all counters must be fresh (no underflow
+	// from the warmup snapshotting).
+	w := workload.MustByName("602.gcc_s")
+	sys, _ := NewSystem(DefaultConfig(1), []CoreSetup{{Trace: w.NewReader(1)}})
+	res := sys.Run(40_000, 10_000)
+	c := res.PerCore[0]
+	if c.Cycles == 0 || c.Instructions != 10_000 {
+		t.Fatalf("post-warmup accounting broken: %+v", c)
+	}
+}
+
+// Helpers keeping the property test free of direct experiment imports.
+
+func newSPPForTest() prefetch.Prefetcher {
+	return prefetch.NewSPP(prefetch.AggressiveSPPConfig())
+}
+
+func newFilterForTest() *ppf.Filter { return ppf.New(ppf.DefaultConfig()) }

@@ -1,0 +1,278 @@
+package sim
+
+import (
+	"testing"
+
+	ppf "repro/internal/core"
+	"repro/internal/prefetch"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func TestConfigValidation(t *testing.T) {
+	if err := DefaultConfig(1).Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := DefaultConfig(1)
+	bad.Cores = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero cores accepted")
+	}
+	bad = DefaultConfig(1)
+	bad.ROBSize = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero ROB accepted")
+	}
+	bad = DefaultConfig(1)
+	bad.L2.SizeBytes = 3000
+	if err := bad.Validate(); err == nil {
+		t.Error("bad cache geometry accepted")
+	}
+}
+
+func TestVariantConfigs(t *testing.T) {
+	if SmallLLCConfig().LLC.SizeBytes != 512<<10 {
+		t.Fatal("small-LLC variant wrong size")
+	}
+	if LowBandwidthConfig().DRAM.TransferCycles != 80 {
+		t.Fatal("low-bandwidth variant wrong transfer time")
+	}
+	if DefaultConfig(4).LLC.SizeBytes != 8<<20 {
+		t.Fatal("4-core LLC should be 8 MB")
+	}
+	if DefaultConfig(8).LLC.SizeBytes != 16<<20 {
+		t.Fatal("8-core LLC should be 16 MB")
+	}
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewSystem(DefaultConfig(2), []CoreSetup{{}}); err == nil {
+		t.Error("setup-count mismatch accepted")
+	}
+	if _, err := NewSystem(DefaultConfig(1), []CoreSetup{{}}); err == nil {
+		t.Error("nil trace accepted")
+	}
+}
+
+func TestDescribeMentionsKeyParameters(t *testing.T) {
+	d := DefaultConfig(4).Describe()
+	for _, want := range []string{"256-entry ROB", "512 KB", "8 MB", "12.8 GB/s"} {
+		if !contains(d, want) {
+			t.Errorf("Describe() missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(s) > 0 && indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestALUOnlyIPCNearWidth(t *testing.T) {
+	// Pure ALU instructions retire at the pipeline width.
+	var insts []trace.Inst
+	for i := 0; i < 10_000; i++ {
+		insts = append(insts, trace.Inst{PC: 0x400000, Kind: trace.KindALU})
+	}
+	sys, err := NewSystem(DefaultConfig(1), []CoreSetup{{Trace: trace.NewSliceReader(insts)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run(0, 10_000)
+	if res.PerCore[0].IPC < 3.5 {
+		t.Fatalf("ALU-only IPC = %.2f, want near fetch width 4", res.PerCore[0].IPC)
+	}
+}
+
+func TestPointerChaseSlowerThanIndependent(t *testing.T) {
+	// The same miss stream is much slower when each load depends on the
+	// previous one (no MLP).
+	mkInsts := func(dep bool) []trace.Inst {
+		var out []trace.Inst
+		for i := 0; i < 4000; i++ {
+			in := trace.Inst{PC: 0x400000, Kind: trace.KindLoad, Addr: uint64(0x100000000) + uint64(i)*4096}
+			if dep && i > 0 {
+				in.Dep = 1
+			}
+			out = append(out, in)
+		}
+		return out
+	}
+	run := func(dep bool) float64 {
+		sys, err := NewSystem(DefaultConfig(1), []CoreSetup{{Trace: trace.NewSliceReader(mkInsts(dep))}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys.Run(0, 4000).PerCore[0].IPC
+	}
+	indep, chained := run(false), run(true)
+	if chained >= indep/2 {
+		t.Fatalf("dependent chain IPC %.4f not much slower than independent %.4f", chained, indep)
+	}
+}
+
+func TestBranchMispredictsReduceIPC(t *testing.T) {
+	mk := func(predictable bool) trace.Reader {
+		cfg := trace.GenConfig{
+			Seed: 3, LoadRatio: 0, StoreRatio: 0, BranchRatio: 0.4,
+			BranchPredictability: 0.55,
+			Phases: []trace.Phase{{Mix: []trace.Weighted{
+				{P: trace.NewRandomPattern(0, 1<<20), Weight: 1},
+			}}},
+		}
+		if predictable {
+			cfg.BranchPredictability = 1.0
+		}
+		return trace.MustGenerator(cfg)
+	}
+	run := func(predictable bool) float64 {
+		sys, err := NewSystem(DefaultConfig(1), []CoreSetup{{Trace: mk(predictable)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys.Run(5_000, 50_000).PerCore[0].IPC
+	}
+	if noisy, clean := run(false), run(true); noisy >= clean {
+		t.Fatalf("unpredictable branches IPC %.3f >= predictable %.3f", noisy, clean)
+	}
+}
+
+func TestWarmupResetsStatistics(t *testing.T) {
+	w := workload.MustByName("603.bwaves_s")
+	sys, err := NewSystem(DefaultConfig(1), []CoreSetup{{Trace: w.NewReader(1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run(50_000, 100_000)
+	c := res.PerCore[0]
+	if c.Instructions != 100_000 {
+		t.Fatalf("detail instructions = %d", c.Instructions)
+	}
+	// Demand accesses during warmup must not leak into the ROI stats:
+	// 100K instructions can produce at most ~100K L1D accesses.
+	if c.L1D.DemandAccesses > 110_000 {
+		t.Fatalf("L1D accesses %d include warmup traffic", c.L1D.DemandAccesses)
+	}
+}
+
+func TestMulticoreContention(t *testing.T) {
+	// Two memory-hogs sharing one channel must each be slower than when
+	// running alone.
+	w := workload.MustByName("603.bwaves_s")
+	duoCfg := DefaultConfig(2)
+	soloCfg := duoCfg
+	soloCfg.Cores = 1 // same shared LLC and DRAM, isolated core
+	solo, err := NewSystem(soloCfg, []CoreSetup{{Trace: w.NewReader(1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	soloIPC := solo.Run(20_000, 100_000).PerCore[0].IPC
+
+	duo, err := NewSystem(duoCfg, []CoreSetup{
+		{Trace: w.NewReader(1)},
+		{Trace: w.NewReader(2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := duo.Run(20_000, 100_000)
+	for i, c := range res.PerCore {
+		if c.IPC >= soloIPC {
+			t.Fatalf("core %d IPC %.3f >= solo %.3f despite shared DRAM", i, c.IPC, soloIPC)
+		}
+	}
+}
+
+func TestFilterWiring(t *testing.T) {
+	w := workload.MustByName("603.bwaves_s")
+	filter := ppf.New(ppf.DefaultConfig())
+	sys, err := NewSystem(DefaultConfig(1), []CoreSetup{{
+		Trace:      w.NewReader(1),
+		Prefetcher: prefetch.NewSPP(prefetch.AggressiveSPPConfig()),
+		Filter:     filter,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run(20_000, 100_000)
+	c := res.PerCore[0]
+	if c.Filter == nil || c.Filter.Inferences == 0 {
+		t.Fatal("filter never consulted")
+	}
+	if c.Filter.TrainPositive == 0 {
+		t.Fatal("filter never trained positively")
+	}
+	if c.PrefetchesIssued == 0 || c.PrefetchesUseful == 0 {
+		t.Fatalf("prefetching ineffective: %+v", c)
+	}
+}
+
+func TestSharedLLCFeedbackRouting(t *testing.T) {
+	// Core 1's filter must not receive core 0's LLC feedback: run one
+	// prefetching core and one idle-pattern core and check the idle
+	// core's filter saw no useful events.
+	active := workload.MustByName("603.bwaves_s")
+	quiet := workload.MustByName("648.exchange2_s")
+	f0 := ppf.New(ppf.DefaultConfig())
+	f1 := ppf.New(ppf.DefaultConfig())
+	sys, err := NewSystem(DefaultConfig(2), []CoreSetup{
+		{Trace: active.NewReader(1), Prefetcher: prefetch.NewSPP(prefetch.AggressiveSPPConfig()), Filter: f0},
+		{Trace: quiet.NewReader(2), Prefetcher: prefetch.NewSPP(prefetch.AggressiveSPPConfig()), Filter: f1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run(20_000, 100_000)
+	if res.PerCore[0].PrefetchesUseful == 0 {
+		t.Fatal("active core produced no useful prefetches")
+	}
+	// The quiet core's useful count must be far below the active one's.
+	if res.PerCore[1].PrefetchesUseful > res.PerCore[0].PrefetchesUseful/2 {
+		t.Fatalf("feedback leaked across cores: %d vs %d",
+			res.PerCore[1].PrefetchesUseful, res.PerCore[0].PrefetchesUseful)
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	run := func() Result {
+		w := workload.MustByName("621.wrf_s")
+		sys, err := NewSystem(DefaultConfig(1), []CoreSetup{{
+			Trace:      w.NewReader(9),
+			Prefetcher: prefetch.NewSPP(prefetch.DefaultSPPConfig()),
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys.Run(10_000, 50_000)
+	}
+	a, b := run(), run()
+	if a.PerCore[0].IPC != b.PerCore[0].IPC || a.PerCore[0].Cycles != b.PerCore[0].Cycles {
+		t.Fatalf("simulation not deterministic: %v vs %v", a.PerCore[0], b.PerCore[0])
+	}
+}
+
+func TestFileTraceMatchesGenerator(t *testing.T) {
+	// Replaying a workload through the binary trace format must give the
+	// same simulation results as the live generator.
+	w := workload.MustByName("625.x264_s")
+	const n = 120_000
+	insts := trace.Collect(w.NewReader(4), n)
+
+	sysGen, _ := NewSystem(DefaultConfig(1), []CoreSetup{{Trace: trace.NewSliceReader(insts)}})
+	a := sysGen.Run(10_000, 100_000)
+
+	sysGen2, _ := NewSystem(DefaultConfig(1), []CoreSetup{{Trace: trace.NewLimitReader(w.NewReader(4), n)}})
+	b := sysGen2.Run(10_000, 100_000)
+
+	if a.PerCore[0].Cycles != b.PerCore[0].Cycles {
+		t.Fatalf("slice vs generator cycles differ: %d vs %d", a.PerCore[0].Cycles, b.PerCore[0].Cycles)
+	}
+}

@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"testing"
+
+	ppf "repro/internal/core"
+	"repro/internal/prefetch"
+	"repro/internal/workload"
+)
+
+// runQuick simulates one workload briefly and returns the result.
+func runQuick(t testing.TB, name string, pf prefetch.Prefetcher, filter *ppf.Filter, warmup, detail uint64) Result {
+	t.Helper()
+	w := workload.MustByName(name)
+	sys, err := NewSystem(DefaultConfig(1), []CoreSetup{{
+		Trace:      w.NewReader(1),
+		Prefetcher: pf,
+		Filter:     filter,
+	}})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	return sys.Run(warmup, detail)
+}
+
+func TestSmokeNoPrefetch(t *testing.T) {
+	res := runQuick(t, "603.bwaves_s", nil, nil, 20_000, 100_000)
+	c := res.PerCore[0]
+	if c.IPC <= 0 || c.IPC > 4 {
+		t.Fatalf("implausible IPC %v", c.IPC)
+	}
+	if c.L2.DemandMisses == 0 {
+		t.Fatalf("streaming workload should miss in L2, stats: %+v", c.L2)
+	}
+	t.Logf("no-pf: IPC=%.3f L2 misses=%d LLC misses=%d dram reads=%d",
+		c.IPC, c.L2.DemandMisses, res.LLC.DemandMisses, res.DRAM.Reads)
+}
+
+func TestSmokeSPPImproves(t *testing.T) {
+	base := runQuick(t, "603.bwaves_s", nil, nil, 20_000, 100_000)
+	spp := runQuick(t, "603.bwaves_s", prefetch.NewSPP(prefetch.DefaultSPPConfig()), nil, 20_000, 100_000)
+	b, s := base.PerCore[0], spp.PerCore[0]
+	t.Logf("base IPC=%.3f spp IPC=%.3f issued=%d useful=%d depth=%.2f",
+		b.IPC, s.IPC, s.PrefetchesIssued, s.PrefetchesUseful, s.AvgLookaheadDepth)
+	if s.IPC <= b.IPC {
+		t.Fatalf("SPP should speed up streaming workload: base %.3f vs spp %.3f", b.IPC, s.IPC)
+	}
+	if s.PrefetchesIssued == 0 || s.PrefetchesUseful == 0 {
+		t.Fatalf("SPP issued=%d useful=%d", s.PrefetchesIssued, s.PrefetchesUseful)
+	}
+}
+
+func TestSmokePPF(t *testing.T) {
+	spp := prefetch.NewSPP(prefetch.AggressiveSPPConfig())
+	filter := ppf.New(ppf.DefaultConfig())
+	res := runQuick(t, "603.bwaves_s", spp, filter, 20_000, 100_000)
+	c := res.PerCore[0]
+	t.Logf("ppf: IPC=%.3f cand=%d issued=%d useful=%d filter=%+v",
+		c.IPC, c.Candidates, c.PrefetchesIssued, c.PrefetchesUseful, *c.Filter)
+	if c.Filter.Inferences == 0 {
+		t.Fatal("filter never consulted")
+	}
+	if c.Filter.TrainPositive == 0 && c.Filter.TrainNegative == 0 {
+		t.Fatal("filter never trained")
+	}
+}

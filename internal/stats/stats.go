@@ -1,0 +1,160 @@
+// Package stats provides the statistical helpers used by the evaluation
+// methodology: geometric means of speedups, weighted multi-core speedup,
+// Pearson correlation (the paper's feature-selection metric), and weight
+// histograms for the Figure 6 reproduction.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// GeoMean returns the geometric mean of xs. All values must be positive.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Pearson returns the linear correlation coefficient between xs and ys,
+// in [-1, 1]. It returns 0 when either series is constant.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("stats: Pearson length mismatch %d vs %d", len(xs), len(ys)))
+	}
+	n := float64(len(xs))
+	if n == 0 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var cov, vx, vy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// WeightedSpeedup computes the multiprogrammed-speedup metric from the
+// paper's §5.3: Σ(IPC_i / IPC_isolated_i), later normalised against the
+// no-prefetching baseline by the caller.
+func WeightedSpeedup(ipc, ipcIsolated []float64) float64 {
+	if len(ipc) != len(ipcIsolated) {
+		panic("stats: WeightedSpeedup length mismatch")
+	}
+	sum := 0.0
+	for i := range ipc {
+		if ipcIsolated[i] <= 0 {
+			continue
+		}
+		sum += ipc[i] / ipcIsolated[i]
+	}
+	return sum
+}
+
+// Histogram bins integer-valued samples (perceptron weights) over the
+// inclusive range [lo, hi].
+type Histogram struct {
+	Lo, Hi int
+	Counts []uint64
+	Total  uint64
+}
+
+// NewHistogram creates a histogram with one bin per integer in [lo, hi].
+func NewHistogram(lo, hi int) *Histogram {
+	if hi < lo {
+		panic("stats: histogram with hi < lo")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]uint64, hi-lo+1)}
+}
+
+// Add records a sample, clamping to the range.
+func (h *Histogram) Add(v int) {
+	if v < h.Lo {
+		v = h.Lo
+	}
+	if v > h.Hi {
+		v = h.Hi
+	}
+	h.Counts[v-h.Lo]++
+	h.Total++
+}
+
+// Fraction returns the share of samples at value v.
+func (h *Histogram) Fraction(v int) float64 {
+	if h.Total == 0 || v < h.Lo || v > h.Hi {
+		return 0
+	}
+	return float64(h.Counts[v-h.Lo]) / float64(h.Total)
+}
+
+// MassNear returns the fraction of samples with |v| <= radius, the
+// "weights concentrated around zero" measure used to reject features.
+func (h *Histogram) MassNear(radius int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	var m uint64
+	for v := -radius; v <= radius; v++ {
+		if v >= h.Lo && v <= h.Hi {
+			m += h.Counts[v-h.Lo]
+		}
+	}
+	return float64(m) / float64(h.Total)
+}
+
+// SaturationMass returns the fraction of samples at the extreme values.
+func (h *Histogram) SaturationMass() float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.Counts[0]+h.Counts[len(h.Counts)-1]) / float64(h.Total)
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) of sorted data.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if p <= 0 {
+		return cp[0]
+	}
+	if p >= 100 {
+		return cp[len(cp)-1]
+	}
+	pos := p / 100 * float64(len(cp)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(cp) {
+		return cp[lo]
+	}
+	return cp[lo]*(1-frac) + cp[lo+1]*frac
+}

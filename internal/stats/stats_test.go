@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestGeoMean(t *testing.T) {
+	if !almost(GeoMean([]float64{2, 8}), 4) {
+		t.Fatal("geomean(2,8) != 4")
+	}
+	if !almost(GeoMean([]float64{1, 1, 1}), 1) {
+		t.Fatal("geomean of ones")
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("empty geomean should be 0")
+	}
+	if !math.IsNaN(GeoMean([]float64{1, -1})) {
+		t.Fatal("negative input should produce NaN")
+	}
+}
+
+func TestGeoMeanBetweenMinAndMax(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			xs[i] = 0.5 + float64(r)/1000
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		g := GeoMean(xs)
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if !almost(Mean([]float64{1, 2, 3}), 2) {
+		t.Fatal("mean")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+}
+
+func TestPearsonPerfectCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{10, 20, 30, 40}
+	if !almost(Pearson(xs, ys), 1) {
+		t.Fatalf("perfect positive = %v", Pearson(xs, ys))
+	}
+	neg := []float64{-1, -2, -3, -4}
+	if !almost(Pearson(xs, neg), -1) {
+		t.Fatalf("perfect negative = %v", Pearson(xs, neg))
+	}
+}
+
+func TestPearsonConstantSeries(t *testing.T) {
+	if Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}) != 0 {
+		t.Fatal("constant series should yield 0")
+	}
+}
+
+func TestPearsonBoundsProperty(t *testing.T) {
+	prop := func(pairs []struct{ A, B int8 }) bool {
+		if len(pairs) < 2 {
+			return true
+		}
+		xs := make([]float64, len(pairs))
+		ys := make([]float64, len(pairs))
+		for i, p := range pairs {
+			xs[i], ys[i] = float64(p.A), float64(p.B)
+		}
+		r := Pearson(xs, ys)
+		return r >= -1.0000001 && r <= 1.0000001
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPearsonPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Pearson([]float64{1}, []float64{1, 2})
+}
+
+func TestWeightedSpeedup(t *testing.T) {
+	got := WeightedSpeedup([]float64{1, 2}, []float64{2, 2})
+	if !almost(got, 1.5) {
+		t.Fatalf("weighted speedup = %v", got)
+	}
+	// Zero isolated IPC entries are skipped, not divided by.
+	got = WeightedSpeedup([]float64{1, 2}, []float64{0, 2})
+	if !almost(got, 1) {
+		t.Fatalf("weighted speedup with zero iso = %v", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(-2, 2)
+	for _, v := range []int{-3, -2, 0, 0, 1, 5} { // -3 and 5 clamp
+		h.Add(v)
+	}
+	if h.Total != 6 {
+		t.Fatalf("total %d", h.Total)
+	}
+	if !almost(h.Fraction(0), 2.0/6) {
+		t.Fatalf("fraction(0) = %v", h.Fraction(0))
+	}
+	if h.Fraction(99) != 0 {
+		t.Fatal("out-of-range fraction should be 0")
+	}
+	if !almost(h.MassNear(1), 3.0/6) {
+		t.Fatalf("mass near = %v", h.MassNear(1))
+	}
+	if !almost(h.SaturationMass(), 3.0/6) { // clamped -3→-2 (2 total at -2) and 5→2
+		t.Fatalf("saturation = %v", h.SaturationMass())
+	}
+}
+
+func TestHistogramPanicsOnBadRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(5, 2)
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 100) != 4 {
+		t.Fatal("extremes")
+	}
+	if !almost(Percentile(xs, 50), 2.5) {
+		t.Fatalf("median = %v", Percentile(xs, 50))
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Fatal("empty percentile should be NaN")
+	}
+	// Input must not be mutated (sorted copy).
+	if xs[0] != 4 {
+		t.Fatal("Percentile mutated its input")
+	}
+}

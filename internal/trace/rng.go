@@ -1,0 +1,44 @@
+package trace
+
+// rng is a small, fast, deterministic xorshift64* generator. The synthetic
+// workloads must be bit-for-bit reproducible across runs and platforms, so
+// the package carries its own generator instead of depending on math/rand
+// implementation details.
+type rng struct {
+	state uint64
+}
+
+// newRNG seeds a generator; a zero seed is remapped to a fixed non-zero
+// constant because xorshift has a zero fixed point.
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &rng{state: seed}
+}
+
+// Uint64 returns the next pseudo-random 64-bit value.
+func (r *rng) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a value in [0, n). n must be positive.
+func (r *rng) Intn(n int) int {
+	if n <= 0 {
+		panic("trace: rng.Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (r *rng) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Bool returns true with probability p.
+func (r *rng) Bool(p float64) bool { return r.Float64() < p }

@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Summary describes the measurable character of an instruction stream:
+// the mix, footprint, and reuse statistics that determine how a workload
+// behaves in the memory hierarchy. The tracegen tool prints it, tests
+// assert against it, and it is handy when designing new workloads.
+type Summary struct {
+	Instructions uint64
+	Loads        uint64
+	Stores       uint64
+	Branches     uint64
+
+	// DistinctBlocks and DistinctPages are the data footprint.
+	DistinctBlocks uint64
+	DistinctPages  uint64
+	// DependentLoads counts loads carrying a pointer-chase dependency.
+	DependentLoads uint64
+	// BlockReuse is mean touches per distinct block (loads+stores).
+	BlockReuse float64
+	// TopDeltas lists the most common non-zero block deltas between
+	// consecutive loads, with their share of all such deltas.
+	TopDeltas []DeltaShare
+	// BranchTakenRate is the fraction of branches taken.
+	BranchTakenRate float64
+	// DistinctPCs is the instruction footprint.
+	DistinctPCs uint64
+}
+
+// DeltaShare is one delta's share of consecutive-load deltas.
+type DeltaShare struct {
+	Delta int64
+	Share float64
+}
+
+// Summarize drains up to n instructions from r and computes the summary.
+func Summarize(r Reader, n uint64) Summary {
+	var s Summary
+	blocks := map[uint64]uint64{}
+	pages := map[uint64]bool{}
+	pcs := map[uint64]bool{}
+	deltas := map[int64]uint64{}
+	var lastBlock uint64
+	var haveLast bool
+	var taken uint64
+	var memOps uint64
+	for i := uint64(0); i < n; i++ {
+		in, ok := r.Next()
+		if !ok {
+			break
+		}
+		s.Instructions++
+		pcs[in.PC] = true
+		switch in.Kind {
+		case KindLoad:
+			s.Loads++
+			if in.Dep > 0 {
+				s.DependentLoads++
+			}
+			blk := in.Addr >> BlockBits
+			blocks[blk]++
+			pages[in.Addr>>PageBits] = true
+			memOps++
+			if haveLast && blk != lastBlock {
+				deltas[int64(blk)-int64(lastBlock)]++
+			}
+			lastBlock, haveLast = blk, true
+		case KindStore:
+			s.Stores++
+			blocks[in.Addr>>BlockBits]++
+			pages[in.Addr>>PageBits] = true
+			memOps++
+		case KindBranch:
+			s.Branches++
+			if in.Taken {
+				taken++
+			}
+		}
+	}
+	s.DistinctBlocks = uint64(len(blocks))
+	s.DistinctPages = uint64(len(pages))
+	s.DistinctPCs = uint64(len(pcs))
+	if len(blocks) > 0 {
+		s.BlockReuse = float64(memOps) / float64(len(blocks))
+	}
+	if s.Branches > 0 {
+		s.BranchTakenRate = float64(taken) / float64(s.Branches)
+	}
+	var totalDeltas uint64
+	for _, c := range deltas {
+		totalDeltas += c
+	}
+	type kv struct {
+		d int64
+		c uint64
+	}
+	var sorted []kv
+	for d, c := range deltas {
+		sorted = append(sorted, kv{d, c})
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].c != sorted[j].c {
+			return sorted[i].c > sorted[j].c
+		}
+		return sorted[i].d < sorted[j].d
+	})
+	for i := 0; i < len(sorted) && i < 5; i++ {
+		s.TopDeltas = append(s.TopDeltas, DeltaShare{
+			Delta: sorted[i].d,
+			Share: float64(sorted[i].c) / float64(totalDeltas),
+		})
+	}
+	return s
+}
+
+// String renders the summary as a compact report.
+func (s Summary) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "instructions      : %d\n", s.Instructions)
+	pct := func(x uint64) float64 {
+		if s.Instructions == 0 {
+			return 0
+		}
+		return 100 * float64(x) / float64(s.Instructions)
+	}
+	fmt.Fprintf(&sb, "loads             : %d (%.1f%%), %.1f%% dependent\n",
+		s.Loads, pct(s.Loads), 100*safeDiv(float64(s.DependentLoads), float64(s.Loads)))
+	fmt.Fprintf(&sb, "stores            : %d (%.1f%%)\n", s.Stores, pct(s.Stores))
+	fmt.Fprintf(&sb, "branches          : %d (%.1f%%), %.1f%% taken\n",
+		s.Branches, pct(s.Branches), 100*s.BranchTakenRate)
+	fmt.Fprintf(&sb, "data footprint    : %d blocks (%.1f KB) over %d pages\n",
+		s.DistinctBlocks, float64(s.DistinctBlocks)*BlockSize/1024, s.DistinctPages)
+	fmt.Fprintf(&sb, "block reuse       : %.2f touches/block\n", s.BlockReuse)
+	fmt.Fprintf(&sb, "instruction PCs   : %d\n", s.DistinctPCs)
+	if len(s.TopDeltas) > 0 {
+		sb.WriteString("top load deltas   :")
+		for _, d := range s.TopDeltas {
+			fmt.Fprintf(&sb, " %+d(%.0f%%)", d.Delta, 100*d.Share)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	insts := []Inst{
+		{PC: 1, Kind: KindLoad, Addr: 0 * 64},
+		{PC: 2, Kind: KindLoad, Addr: 1 * 64},
+		{PC: 3, Kind: KindLoad, Addr: 3 * 64, Dep: 1},
+		{PC: 4, Kind: KindStore, Addr: 0 * 64},
+		{PC: 5, Kind: KindBranch, Taken: true},
+		{PC: 6, Kind: KindBranch, Taken: false},
+		{PC: 7, Kind: KindALU},
+	}
+	s := Summarize(NewSliceReader(insts), 100)
+	if s.Instructions != 7 || s.Loads != 3 || s.Stores != 1 || s.Branches != 2 {
+		t.Fatalf("counts %+v", s)
+	}
+	if s.DependentLoads != 1 {
+		t.Fatalf("dependent loads %d", s.DependentLoads)
+	}
+	if s.DistinctBlocks != 3 { // blocks 0, 1, 3
+		t.Fatalf("distinct blocks %d", s.DistinctBlocks)
+	}
+	if s.BranchTakenRate != 0.5 {
+		t.Fatalf("taken rate %v", s.BranchTakenRate)
+	}
+	if s.BlockReuse != 4.0/3 {
+		t.Fatalf("block reuse %v", s.BlockReuse)
+	}
+	// Deltas between consecutive loads: +1 and +2.
+	if len(s.TopDeltas) != 2 {
+		t.Fatalf("top deltas %v", s.TopDeltas)
+	}
+}
+
+func TestSummarizeRespectsLimit(t *testing.T) {
+	g := MustGenerator(basicConfig(1))
+	s := Summarize(g, 5000)
+	if s.Instructions != 5000 {
+		t.Fatalf("instructions %d", s.Instructions)
+	}
+}
+
+func TestSummaryStringRenders(t *testing.T) {
+	g := MustGenerator(basicConfig(1))
+	s := Summarize(g, 20_000)
+	out := s.String()
+	for _, want := range []string{"loads", "data footprint", "top load deltas"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSummarizeSequentialDeltaDominance(t *testing.T) {
+	cfg := basicConfig(2)
+	cfg.HotLoadRatio = -1
+	cfg.BlockReuse = 1
+	s := Summarize(MustGenerator(cfg), 50_000)
+	if len(s.TopDeltas) == 0 {
+		t.Fatal("no deltas")
+	}
+	if s.TopDeltas[0].Delta != 1 || s.TopDeltas[0].Share < 0.9 {
+		t.Fatalf("sequential stream should be dominated by +1: %+v", s.TopDeltas)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(NewSliceReader(nil), 10)
+	if s.Instructions != 0 || s.BlockReuse != 0 || s.BranchTakenRate != 0 {
+		t.Fatalf("empty summary %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty render")
+	}
+}

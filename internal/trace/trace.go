@@ -1,0 +1,247 @@
+// Package trace defines the instruction-trace format consumed by the
+// simulator, together with deterministic synthetic generators that emulate
+// the memory behaviour of the SPEC CPU 2017 / 2006 and CloudSuite workloads
+// used in the PPF paper (Bhatia et al., ISCA 2019).
+//
+// A trace is a stream of Inst records. Real SimPoint traces are licensed
+// and billions of instructions long; the generators in this package
+// synthesise scaled-down streams whose *memory-access character*
+// (sequential sweeps, strided walks, signature-friendly delta patterns,
+// pointer chasing, irregular region footprints) matches the corresponding
+// application class. See DESIGN.md §4 for the substitution rationale.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Kind classifies an instruction for the timing model.
+type Kind uint8
+
+// Instruction kinds.
+const (
+	// KindALU is a register-to-register instruction; it occupies a ROB
+	// slot for one cycle and never touches memory.
+	KindALU Kind = iota
+	// KindLoad reads memory at Addr.
+	KindLoad
+	// KindStore writes memory at Addr.
+	KindStore
+	// KindBranch is a conditional branch; Taken records its outcome.
+	KindBranch
+)
+
+// String returns a short human-readable name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindALU:
+		return "alu"
+	case KindLoad:
+		return "load"
+	case KindStore:
+		return "store"
+	case KindBranch:
+		return "branch"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Inst is one dynamic instruction in a trace.
+type Inst struct {
+	// PC is the virtual program counter of the instruction.
+	PC uint64
+	// Addr is the data address touched by a load or store; zero otherwise.
+	Addr uint64
+	// Dep is the distance (in instructions) backwards to a load this
+	// load depends on, for pointer-chasing chains. Zero means no
+	// memory-carried dependency. Only meaningful for KindLoad.
+	Dep uint16
+	// Kind classifies the instruction.
+	Kind Kind
+	// Taken is the outcome of a branch; only meaningful for KindBranch.
+	Taken bool
+}
+
+// Reader yields a stream of instructions.
+type Reader interface {
+	// Next returns the next instruction in the stream. ok is false when
+	// the stream is exhausted.
+	Next() (inst Inst, ok bool)
+}
+
+// fileMagic identifies the binary trace file format.
+const fileMagic = 0x50504654 // "PPFT"
+
+// fileVersion is the current trace file format version.
+const fileVersion = 1
+
+// Writer serialises instructions to a compact binary stream.
+type Writer struct {
+	w     *bufio.Writer
+	buf   [24]byte
+	count uint64
+	err   error
+}
+
+// NewWriter wraps w in a trace Writer and emits the file header.
+func NewWriter(w io.Writer) (*Writer, error) {
+	tw := &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], fileMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], fileVersion)
+	if _, err := tw.w.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return tw, nil
+}
+
+// Write appends one instruction to the stream.
+func (tw *Writer) Write(in Inst) error {
+	if tw.err != nil {
+		return tw.err
+	}
+	b := tw.buf[:]
+	binary.LittleEndian.PutUint64(b[0:8], in.PC)
+	binary.LittleEndian.PutUint64(b[8:16], in.Addr)
+	binary.LittleEndian.PutUint16(b[16:18], in.Dep)
+	b[18] = byte(in.Kind)
+	if in.Taken {
+		b[19] = 1
+	} else {
+		b[19] = 0
+	}
+	// b[20:24] reserved, kept zero for alignment and future use.
+	b[20], b[21], b[22], b[23] = 0, 0, 0, 0
+	if _, err := tw.w.Write(b); err != nil {
+		tw.err = err
+		return err
+	}
+	tw.count++
+	return nil
+}
+
+// Count reports how many instructions have been written.
+func (tw *Writer) Count() uint64 { return tw.count }
+
+// Flush writes any buffered data to the underlying writer.
+func (tw *Writer) Flush() error {
+	if tw.err != nil {
+		return tw.err
+	}
+	return tw.w.Flush()
+}
+
+// FileReader reads instructions from a binary trace stream produced by
+// Writer. It implements Reader.
+type FileReader struct {
+	r   *bufio.Reader
+	buf [24]byte
+	err error
+}
+
+// ErrBadTrace reports a malformed trace file.
+var ErrBadTrace = errors.New("trace: malformed trace file")
+
+// NewFileReader validates the header of r and returns a reader over its
+// instructions.
+func NewFileReader(r io.Reader) (*FileReader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != fileMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadTrace)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != fileVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, v)
+	}
+	return &FileReader{r: br}, nil
+}
+
+// Next implements Reader.
+func (fr *FileReader) Next() (Inst, bool) {
+	if fr.err != nil {
+		return Inst{}, false
+	}
+	if _, err := io.ReadFull(fr.r, fr.buf[:]); err != nil {
+		fr.err = err
+		return Inst{}, false
+	}
+	b := fr.buf[:]
+	in := Inst{
+		PC:    binary.LittleEndian.Uint64(b[0:8]),
+		Addr:  binary.LittleEndian.Uint64(b[8:16]),
+		Dep:   binary.LittleEndian.Uint16(b[16:18]),
+		Kind:  Kind(b[18]),
+		Taken: b[19] != 0,
+	}
+	return in, true
+}
+
+// Err returns the first non-EOF error encountered while reading.
+func (fr *FileReader) Err() error {
+	if fr.err == io.EOF || fr.err == nil {
+		return nil
+	}
+	return fr.err
+}
+
+// SliceReader replays a fixed slice of instructions. It implements Reader
+// and is convenient in tests.
+type SliceReader struct {
+	insts []Inst
+	pos   int
+}
+
+// NewSliceReader returns a Reader over insts.
+func NewSliceReader(insts []Inst) *SliceReader { return &SliceReader{insts: insts} }
+
+// Next implements Reader.
+func (sr *SliceReader) Next() (Inst, bool) {
+	if sr.pos >= len(sr.insts) {
+		return Inst{}, false
+	}
+	in := sr.insts[sr.pos]
+	sr.pos++
+	return in, true
+}
+
+// Reset rewinds the reader to the beginning of the slice.
+func (sr *SliceReader) Reset() { sr.pos = 0 }
+
+// LimitReader wraps r and stops after n instructions.
+type LimitReader struct {
+	r Reader
+	n uint64
+}
+
+// NewLimitReader returns a Reader that yields at most n instructions of r.
+func NewLimitReader(r Reader, n uint64) *LimitReader { return &LimitReader{r: r, n: n} }
+
+// Next implements Reader.
+func (lr *LimitReader) Next() (Inst, bool) {
+	if lr.n == 0 {
+		return Inst{}, false
+	}
+	lr.n--
+	return lr.r.Next()
+}
+
+// Collect drains up to max instructions from r into a slice.
+func Collect(r Reader, max int) []Inst {
+	out := make([]Inst, 0, max)
+	for len(out) < max {
+		in, ok := r.Next()
+		if !ok {
+			break
+		}
+		out = append(out, in)
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindALU:    "alu",
+		KindLoad:   "load",
+		KindStore:  "store",
+		KindBranch: "branch",
+		Kind(9):    "kind(9)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	insts := []Inst{
+		{PC: 0x400000, Kind: KindALU},
+		{PC: 0x400004, Kind: KindLoad, Addr: 0xDEADBEEF00, Dep: 3},
+		{PC: 0x400008, Kind: KindStore, Addr: 0x7F0000000000},
+		{PC: 0x40000C, Kind: KindBranch, Taken: true},
+		{PC: 0x400010, Kind: KindBranch, Taken: false},
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	for _, in := range insts {
+		if err := w.Write(in); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if w.Count() != uint64(len(insts)) {
+		t.Fatalf("Count = %d, want %d", w.Count(), len(insts))
+	}
+
+	r, err := NewFileReader(&buf)
+	if err != nil {
+		t.Fatalf("NewFileReader: %v", err)
+	}
+	for i, want := range insts {
+		got, ok := r.Next()
+		if !ok {
+			t.Fatalf("Next()[%d]: unexpected EOF", i)
+		}
+		if got != want {
+			t.Errorf("inst %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if _, ok := r.Next(); ok {
+		t.Error("expected EOF after last instruction")
+	}
+	if err := r.Err(); err != nil {
+		t.Errorf("Err() = %v after clean EOF", err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(pc, addr uint64, dep uint16, kind uint8, taken bool) bool {
+		in := Inst{PC: pc, Addr: addr, Dep: dep, Kind: Kind(kind % 4), Taken: taken}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		if w.Write(in) != nil || w.Flush() != nil {
+			return false
+		}
+		r, err := NewFileReader(&buf)
+		if err != nil {
+			return false
+		}
+		got, ok := r.Next()
+		return ok && got == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileReaderRejectsBadMagic(t *testing.T) {
+	if _, err := NewFileReader(bytes.NewReader([]byte("not a trace file"))); err == nil {
+		t.Fatal("expected error for bad magic")
+	}
+}
+
+func TestFileReaderRejectsShortHeader(t *testing.T) {
+	if _, err := NewFileReader(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Fatal("expected error for truncated header")
+	}
+}
+
+func TestFileReaderTruncatedBody(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	_ = w.Write(Inst{PC: 1, Kind: KindALU})
+	_ = w.Flush()
+	trunc := buf.Bytes()[:buf.Len()-5]
+	r, err := NewFileReader(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatalf("header should parse: %v", err)
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("expected truncated read to fail")
+	}
+	if r.Err() == nil {
+		t.Fatal("expected non-nil Err for truncated body")
+	}
+}
+
+func TestSliceReader(t *testing.T) {
+	insts := []Inst{{PC: 1}, {PC: 2}, {PC: 3}}
+	sr := NewSliceReader(insts)
+	for i := 0; i < 2; i++ { // two passes via Reset
+		for j, want := range insts {
+			got, ok := sr.Next()
+			if !ok || got.PC != want.PC {
+				t.Fatalf("pass %d inst %d = %+v ok=%v", i, j, got, ok)
+			}
+		}
+		if _, ok := sr.Next(); ok {
+			t.Fatal("expected exhaustion")
+		}
+		sr.Reset()
+	}
+}
+
+func TestLimitReader(t *testing.T) {
+	sr := NewSliceReader([]Inst{{PC: 1}, {PC: 2}, {PC: 3}})
+	lr := NewLimitReader(sr, 2)
+	n := 0
+	for {
+		if _, ok := lr.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("LimitReader yielded %d, want 2", n)
+	}
+}
+
+func TestCollect(t *testing.T) {
+	sr := NewSliceReader([]Inst{{PC: 1}, {PC: 2}, {PC: 3}})
+	got := Collect(sr, 10)
+	if len(got) != 3 {
+		t.Fatalf("Collect returned %d, want 3", len(got))
+	}
+	got2 := Collect(NewSliceReader([]Inst{{PC: 1}, {PC: 2}}), 1)
+	if len(got2) != 1 {
+		t.Fatalf("Collect with max=1 returned %d", len(got2))
+	}
+}
+
+func TestWriterErrorPropagation(t *testing.T) {
+	w, err := NewWriter(failingWriter{})
+	if err == nil {
+		// Header may be buffered; force through Write+Flush.
+		_ = w.Write(Inst{})
+		if w.Flush() == nil {
+			t.Fatal("expected error writing to failing writer")
+		}
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) { return 0, io.ErrClosedPipe }

@@ -1,0 +1,91 @@
+package workload
+
+import "repro/internal/trace"
+
+// CloudSuite returns the CloudSuite-like cross-validation workloads. The
+// paper uses the CRC-2 traces: four 4-core applications with six distinct
+// phases per application. Scale-out server workloads are generally
+// prefetch-agnostic — large instruction footprints, irregular data
+// accesses, modest MLP — so these generators mix hot-set, pointer-chase
+// and short-burst streaming behaviour with explicit phase changes.
+func CloudSuite() []Workload {
+	mk := func(name string, build func() trace.GenConfig) Workload {
+		// CloudSuite applications sit near the MPKI > 1 boundary; the
+		// paper treats them as a separate prefetch-agnostic category.
+		return Workload{Name: name, Suite: CloudSuiteSuite, MemoryIntensive: false, build: build}
+	}
+	const phaseLen = 150_000
+	return []Workload{
+		mk("cassandra", func() trace.GenConfig {
+			hot := trace.NewHotColdPattern(0, 768*kb, 12*mb, 0.85)
+			chase := trace.NewPointerChasePattern(1, 10*mb)
+			scan := trace.NewSequentialPattern(2, 6*mb)
+			foot := trace.NewRegionFootprintPattern(3, 2048, []int{0, 2, 3, 9})
+			return trace.GenConfig{
+				LoadRatio: 0.30, StoreRatio: 0.12, BranchRatio: 0.17,
+				BranchPredictability: 0.94,
+				Phases: []trace.Phase{
+					{Length: phaseLen, Mix: []trace.Weighted{w(hot, 0.7), w(chase, 0.3)}},
+					{Length: phaseLen, Mix: []trace.Weighted{w(scan, 0.6), w(hot, 0.4)}},
+					{Length: phaseLen, Mix: []trace.Weighted{w(chase, 0.5), w(foot, 0.5)}},
+					{Length: phaseLen, Mix: []trace.Weighted{w(hot, 0.9), w(scan, 0.1)}},
+					{Length: phaseLen, Mix: []trace.Weighted{w(foot, 0.6), w(chase, 0.4)}},
+					{Length: phaseLen, Mix: []trace.Weighted{w(scan, 0.4), w(hot, 0.6)}},
+				},
+			}
+		}),
+		mk("classification", func() trace.GenConfig {
+			stream := trace.NewSequentialPattern(0, 16*mb)
+			hot := trace.NewHotColdPattern(1, 512*kb, 8*mb, 0.88)
+			stride := trace.NewStridePattern(2, 8*mb, 4)
+			rnd := trace.NewRandomPattern(3, 4*mb)
+			return trace.GenConfig{
+				LoadRatio: 0.31, StoreRatio: 0.11, BranchRatio: 0.13,
+				BranchPredictability: 0.96,
+				Phases: []trace.Phase{
+					{Length: phaseLen, Mix: []trace.Weighted{w(stream, 0.7), w(hot, 0.3)}},
+					{Length: phaseLen, Mix: []trace.Weighted{w(hot, 0.8), w(rnd, 0.2)}},
+					{Length: phaseLen, Mix: []trace.Weighted{w(stride, 0.6), w(stream, 0.4)}},
+					{Length: phaseLen, Mix: []trace.Weighted{w(hot, 0.7), w(stride, 0.3)}},
+					{Length: phaseLen, Mix: []trace.Weighted{w(stream, 0.5), w(rnd, 0.5)}},
+					{Length: phaseLen, Mix: []trace.Weighted{w(hot, 0.9), w(stream, 0.1)}},
+				},
+			}
+		}),
+		mk("cloud9", func() trace.GenConfig {
+			hot := trace.NewHotColdPattern(0, 640*kb, 6*mb, 0.9)
+			chase := trace.NewPointerChasePattern(1, 8*mb)
+			foot := trace.NewRegionFootprintPattern(2, 3072, []int{0, 1, 5, 6, 13})
+			return trace.GenConfig{
+				LoadRatio: 0.29, StoreRatio: 0.13, BranchRatio: 0.19,
+				BranchPredictability: 0.93,
+				Phases: []trace.Phase{
+					{Length: phaseLen, Mix: []trace.Weighted{w(hot, 0.8), w(foot, 0.2)}},
+					{Length: phaseLen, Mix: []trace.Weighted{w(chase, 0.6), w(hot, 0.4)}},
+					{Length: phaseLen, Mix: []trace.Weighted{w(foot, 0.7), w(chase, 0.3)}},
+					{Length: phaseLen, Mix: []trace.Weighted{w(hot, 0.95), w(chase, 0.05)}},
+					{Length: phaseLen, Mix: []trace.Weighted{w(foot, 0.5), w(hot, 0.5)}},
+					{Length: phaseLen, Mix: []trace.Weighted{w(chase, 0.4), w(foot, 0.6)}},
+				},
+			}
+		}),
+		mk("nutch", func() trace.GenConfig {
+			hot := trace.NewHotColdPattern(0, 512*kb, 10*mb, 0.87)
+			scan := trace.NewSequentialPattern(1, 8*mb)
+			rnd := trace.NewRandomPattern(2, 6*mb)
+			chase := trace.NewPointerChasePattern(3, 6*mb)
+			return trace.GenConfig{
+				LoadRatio: 0.30, StoreRatio: 0.12, BranchRatio: 0.18,
+				BranchPredictability: 0.94,
+				Phases: []trace.Phase{
+					{Length: phaseLen, Mix: []trace.Weighted{w(scan, 0.6), w(hot, 0.4)}},
+					{Length: phaseLen, Mix: []trace.Weighted{w(hot, 0.85), w(rnd, 0.15)}},
+					{Length: phaseLen, Mix: []trace.Weighted{w(rnd, 0.5), w(scan, 0.5)}},
+					{Length: phaseLen, Mix: []trace.Weighted{w(chase, 0.5), w(hot, 0.5)}},
+					{Length: phaseLen, Mix: []trace.Weighted{w(scan, 0.3), w(hot, 0.7)}},
+					{Length: phaseLen, Mix: []trace.Weighted{w(rnd, 0.3), w(chase, 0.7)}},
+				},
+			}
+		}),
+	}
+}

@@ -1,0 +1,242 @@
+package workload
+
+import "repro/internal/trace"
+
+// SPEC2006 returns the 29-application SPEC CPU 2006-like cross-validation
+// suite. 16 of 29 applications are memory-intensive, matching the paper's
+// split. The pattern parameters deliberately differ from the 2017-like
+// suite (different working sets, delta sequences, mix proportions) so the
+// cross-validation exercises behaviour PPF was not tuned on.
+func SPEC2006() []Workload {
+	mk := func(name string, intensive bool, build func() trace.GenConfig) Workload {
+		return Workload{Name: name, Suite: SPEC2006Suite, MemoryIntensive: intensive, build: build}
+	}
+	compute := func(hotKB, coldMB uint64, pHot, loadR, branchR, pred float64) func() trace.GenConfig {
+		return func() trace.GenConfig {
+			return trace.GenConfig{
+				LoadRatio: loadR, StoreRatio: 0.12, BranchRatio: branchR,
+				BranchPredictability: pred,
+				Phases: mixPhase(
+					w(trace.NewHotColdPattern(0, hotKB*kb, coldMB*mb, pHot), 1.0),
+				),
+			}
+		}
+	}
+	return []Workload{
+		// --- Memory-intensive (16) ---
+		mk("410.bwaves", true, func() trace.GenConfig {
+			return trace.GenConfig{
+				LoadRatio: 0.33, StoreRatio: 0.08, BranchRatio: 0.07,
+				BranchPredictability: 0.99,
+				Phases: mixPhase(
+					w(trace.NewSequentialPattern(0, 20*mb), 0.5),
+					w(trace.NewDeltaSeqPattern(1, 4096, []int{1, 2}), 0.5),
+				),
+			}
+		}),
+		mk("429.mcf", true, func() trace.GenConfig {
+			return trace.GenConfig{
+				LoadRatio: 0.35, StoreRatio: 0.09, BranchRatio: 0.17,
+				BranchPredictability: 0.92,
+				Phases: mixPhase(
+					w(trace.NewPointerChasePattern(0, 40*mb), 0.55),
+					w(trace.NewHotColdPattern(1, 256*kb, 12*mb, 0.7), 0.45),
+				),
+			}
+		}),
+		mk("433.milc", true, func() trace.GenConfig {
+			return trace.GenConfig{
+				LoadRatio: 0.32, StoreRatio: 0.12, BranchRatio: 0.06,
+				BranchPredictability: 0.99, StoreStreamRatio: 0.5,
+				Phases: mixPhase(
+					w(trace.NewSequentialPattern(0, 28*mb), 0.65),
+					w(trace.NewStridePattern(1, 12*mb, 2), 0.35),
+				),
+			}
+		}),
+		mk("434.zeusmp", true, func() trace.GenConfig {
+			return trace.GenConfig{
+				LoadRatio: 0.31, StoreRatio: 0.11, BranchRatio: 0.07,
+				BranchPredictability: 0.985,
+				Phases: mixPhase(
+					w(trace.NewStridePattern(0, 16*mb, 4), 0.5),
+					w(trace.NewSequentialPattern(1, 12*mb), 0.5),
+				),
+			}
+		}),
+		mk("436.cactusADM", true, func() trace.GenConfig {
+			return trace.GenConfig{
+				LoadRatio: 0.33, StoreRatio: 0.10, BranchRatio: 0.07,
+				BranchPredictability: 0.985,
+				Phases: mixPhase(
+					w(trace.NewVaryingDeltaPattern(0, 6144, [][]int{{2}, {3, 1}, {2, 2}}, 0.3), 0.6),
+					w(trace.NewStridePattern(1, 12*mb, 3), 0.4),
+				),
+			}
+		}),
+		mk("437.leslie3d", true, func() trace.GenConfig {
+			return trace.GenConfig{
+				LoadRatio: 0.32, StoreRatio: 0.11, BranchRatio: 0.07,
+				BranchPredictability: 0.985,
+				Phases: mixPhase(
+					w(trace.NewDeltaSeqPattern(0, 6144, []int{1, 1, 3}), 0.55),
+					w(trace.NewSequentialPattern(1, 16*mb), 0.45),
+				),
+			}
+		}),
+		mk("450.soplex", true, func() trace.GenConfig {
+			return trace.GenConfig{
+				LoadRatio: 0.33, StoreRatio: 0.10, BranchRatio: 0.15,
+				BranchPredictability: 0.94,
+				Phases: mixPhase(
+					w(trace.NewStridePattern(0, 16*mb, 6), 0.35),
+					w(trace.NewPointerChasePattern(1, 12*mb), 0.3),
+					w(trace.NewSequentialPattern(2, 8*mb), 0.35),
+				),
+			}
+		}),
+		mk("459.GemsFDTD", true, func() trace.GenConfig {
+			return trace.GenConfig{
+				LoadRatio: 0.33, StoreRatio: 0.10, BranchRatio: 0.06,
+				BranchPredictability: 0.99,
+				Phases: mixPhase(
+					w(trace.NewDeltaSeqPattern(0, 8192, []int{1, 1, 1, 1, 4}), 0.6),
+					w(trace.NewStridePattern(1, 16*mb, 2), 0.4),
+				),
+			}
+		}),
+		mk("462.libquantum", true, func() trace.GenConfig {
+			// The canonical pure stream: a single large sequential sweep.
+			return trace.GenConfig{
+				LoadRatio: 0.34, StoreRatio: 0.10, BranchRatio: 0.12,
+				BranchPredictability: 0.995, StoreStreamRatio: 0.4,
+				Phases: mixPhase(
+					w(trace.NewSequentialPattern(0, 32*mb), 1.0),
+				),
+			}
+		}),
+		mk("470.lbm", true, func() trace.GenConfig {
+			return trace.GenConfig{
+				LoadRatio: 0.29, StoreRatio: 0.17, BranchRatio: 0.05,
+				BranchPredictability: 0.995, StoreStreamRatio: 0.8,
+				Phases: mixPhase(
+					w(trace.NewSequentialPattern(0, 28*mb), 0.7),
+					w(trace.NewStridePattern(1, 12*mb, 2), 0.3),
+				),
+			}
+		}),
+		mk("471.omnetpp", true, func() trace.GenConfig {
+			return trace.GenConfig{
+				LoadRatio: 0.33, StoreRatio: 0.12, BranchRatio: 0.18,
+				BranchPredictability: 0.93,
+				Phases: mixPhase(
+					w(trace.NewPointerChasePattern(0, 20*mb), 0.45),
+					w(trace.NewHotColdPattern(1, 384*kb, 8*mb, 0.75), 0.55),
+				),
+			}
+		}),
+		mk("473.astar", true, func() trace.GenConfig {
+			return trace.GenConfig{
+				LoadRatio: 0.32, StoreRatio: 0.11, BranchRatio: 0.16,
+				BranchPredictability: 0.9,
+				Phases: mixPhase(
+					w(trace.NewPointerChasePattern(0, 12*mb), 0.4),
+					w(trace.NewRegionFootprintPattern(1, 3072, []int{0, 1, 7, 8, 15}), 0.35),
+					w(trace.NewHotColdPattern(2, 256*kb, 4*mb, 0.8), 0.25),
+				),
+			}
+		}),
+		mk("481.wrf", true, func() trace.GenConfig {
+			return trace.GenConfig{
+				LoadRatio: 0.31, StoreRatio: 0.10, BranchRatio: 0.09,
+				BranchPredictability: 0.975,
+				Phases: mixPhase(
+					w(trace.NewDeltaSeqPattern(0, 4096, []int{2, 1, 1}), 0.45),
+					w(trace.NewSequentialPattern(1, 12*mb), 0.55),
+				),
+			}
+		}),
+		mk("482.sphinx3", true, func() trace.GenConfig {
+			return trace.GenConfig{
+				LoadRatio: 0.33, StoreRatio: 0.08, BranchRatio: 0.11,
+				BranchPredictability: 0.96,
+				Phases: mixPhase(
+					w(trace.NewSequentialPattern(0, 10*mb), 0.5),
+					w(trace.NewHotColdPattern(1, 512*kb, 8*mb, 0.7), 0.5),
+				),
+			}
+		}),
+		mk("483.xalancbmk", true, func() trace.GenConfig {
+			return trace.GenConfig{
+				LoadRatio: 0.33, StoreRatio: 0.10, BranchRatio: 0.19,
+				BranchPredictability: 0.95,
+				Phases: mixPhase(
+					w(trace.NewVaryingDeltaPattern(0, 4096, [][]int{{1}, {3, 1}, {1, 2}}, 0.2), 0.6),
+					w(trace.NewHotColdPattern(1, 384*kb, 4*mb, 0.75), 0.4),
+				),
+			}
+		}),
+		mk("403.gcc", true, func() trace.GenConfig {
+			return trace.GenConfig{
+				LoadRatio: 0.29, StoreRatio: 0.14, BranchRatio: 0.20,
+				BranchPredictability: 0.95,
+				Phases: mixPhase(
+					w(trace.NewRegionFootprintPattern(0, 4096, []int{0, 1, 4, 9, 21}), 0.5),
+					w(trace.NewHotColdPattern(1, 512*kb, 6*mb, 0.8), 0.5),
+				),
+			}
+		}),
+		// --- Compute-bound remainder (13) ---
+		mk("400.perlbench", false, compute(256, 2, 0.95, 0.28, 0.20, 0.955)),
+		mk("401.bzip2", false, func() trace.GenConfig {
+			return trace.GenConfig{
+				LoadRatio: 0.30, StoreRatio: 0.13, BranchRatio: 0.15,
+				BranchPredictability: 0.93,
+				Phases: mixPhase(
+					w(trace.NewSequentialPattern(0, 3*mb), 0.5),
+					w(trace.NewRandomPattern(1, 2*mb), 0.5),
+				),
+			}
+		}),
+		mk("416.gamess", false, compute(384, 1, 0.97, 0.27, 0.10, 0.985)),
+		mk("435.gromacs", false, compute(512, 2, 0.94, 0.29, 0.08, 0.98)),
+		mk("444.namd", false, compute(512, 1, 0.95, 0.30, 0.06, 0.99)),
+		mk("445.gobmk", false, compute(384, 2, 0.93, 0.26, 0.19, 0.91)),
+		mk("447.dealII", false, compute(512, 2, 0.94, 0.29, 0.12, 0.965)),
+		mk("453.povray", false, compute(256, 1, 0.97, 0.28, 0.13, 0.97)),
+		mk("454.calculix", false, compute(512, 2, 0.95, 0.30, 0.07, 0.985)),
+		mk("456.hmmer", false, func() trace.GenConfig {
+			return trace.GenConfig{
+				LoadRatio: 0.32, StoreRatio: 0.12, BranchRatio: 0.09,
+				BranchPredictability: 0.98,
+				Phases: mixPhase(
+					w(trace.NewSequentialPattern(0, 1*mb), 0.6),
+					w(trace.NewHotColdPattern(1, 256*kb, 1*mb, 0.95), 0.4),
+				),
+			}
+		}),
+		mk("458.sjeng", false, compute(512, 3, 0.92, 0.25, 0.18, 0.93)),
+		mk("464.h264ref", false, func() trace.GenConfig {
+			return trace.GenConfig{
+				LoadRatio: 0.31, StoreRatio: 0.12, BranchRatio: 0.09,
+				BranchPredictability: 0.97,
+				Phases: mixPhase(
+					w(trace.NewSequentialPattern(0, 2*mb), 0.55),
+					w(trace.NewStridePattern(1, 1*mb, 2), 0.45),
+				),
+			}
+		}),
+		mk("465.tonto", false, compute(384, 1, 0.96, 0.28, 0.09, 0.98)),
+	}
+}
+
+// SPEC2006MemIntensive returns the 16-application memory-intensive subset.
+func SPEC2006MemIntensive() []Workload {
+	var out []Workload
+	for _, w := range SPEC2006() {
+		if w.MemoryIntensive {
+			out = append(out, w)
+		}
+	}
+	return out
+}

@@ -1,0 +1,364 @@
+// Package workload defines the synthetic benchmark suites used by the
+// reproduction: a SPEC CPU 2017-like suite (20 applications, 11 of them
+// memory-intensive, matching the paper's subset split), a SPEC CPU
+// 2006-like suite (29 applications, 16 memory-intensive) and a
+// CloudSuite-like suite (4 four-core applications with six phases each)
+// used for cross-validation.
+//
+// Each workload maps a named application onto a deterministic pattern mix
+// whose memory-access character imitates the real program's published
+// behaviour class (streaming, pointer-chasing, strided, irregular).
+// DESIGN.md §4 documents this substitution.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Suite identifies a benchmark family.
+type Suite string
+
+// Suites.
+const (
+	SPEC2017Suite   Suite = "spec2017"
+	SPEC2006Suite   Suite = "spec2006"
+	CloudSuiteSuite Suite = "cloudsuite"
+)
+
+// Workload is one named benchmark.
+type Workload struct {
+	// Name is the benchmark name (e.g. "603.bwaves_s").
+	Name string
+	// Suite is the benchmark family.
+	Suite Suite
+	// MemoryIntensive marks workloads in the paper's LLC MPKI > 1 subset.
+	MemoryIntensive bool
+	// build constructs a fresh generator config; pattern state must not
+	// be shared between readers, so this is re-invoked per reader.
+	build func() trace.GenConfig
+}
+
+// NewReader returns a fresh instruction stream for the workload. The same
+// (workload, seed) pair always produces the identical stream.
+func (w Workload) NewReader(seed uint64) trace.Reader {
+	cfg := w.build()
+	cfg.Seed = seed ^ nameHash(w.Name)
+	return trace.MustGenerator(cfg)
+}
+
+// nameHash gives each workload a distinct deterministic base seed.
+func nameHash(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+const (
+	kb = uint64(1) << 10
+	mb = uint64(1) << 20
+)
+
+// mix is shorthand for a single-phase schedule.
+func mixPhase(ws ...trace.Weighted) []trace.Phase {
+	return []trace.Phase{{Mix: ws}}
+}
+
+func w(p trace.Pattern, weight float64) trace.Weighted {
+	return trace.Weighted{P: p, Weight: weight}
+}
+
+// SPEC2017 returns the 20-application SPEC CPU 2017-like suite.
+func SPEC2017() []Workload {
+	mk := func(name string, intensive bool, build func() trace.GenConfig) Workload {
+		return Workload{Name: name, Suite: SPEC2017Suite, MemoryIntensive: intensive, build: build}
+	}
+	return []Workload{
+		// --- Memory-intensive subset (11 applications) ---
+		mk("603.bwaves_s", true, func() trace.GenConfig {
+			// Streaming fluid dynamics: several long sequential sweeps.
+			// Deep lookahead pays off, but unchecked aggression floods
+			// the bus at stream ends (Figure 1's subject).
+			return trace.GenConfig{
+				LoadRatio: 0.32, StoreRatio: 0.08, BranchRatio: 0.08,
+				BranchPredictability: 0.985, StoreStreamRatio: 0.3,
+				Phases: mixPhase(
+					w(trace.NewSequentialPattern(0, 24*mb), 0.4),
+					w(trace.NewSequentialPattern(1, 24*mb), 0.3),
+					w(trace.NewDeltaSeqPattern(2, 4096, []int{1, 1, 2}), 0.3),
+				),
+			}
+		}),
+		mk("605.mcf_s", true, func() trace.GenConfig {
+			// Network simplex: dominated by dependent pointer chasing.
+			return trace.GenConfig{
+				LoadRatio: 0.36, StoreRatio: 0.08, BranchRatio: 0.16,
+				BranchPredictability: 0.93,
+				Phases: mixPhase(
+					w(trace.NewPointerChasePattern(0, 48*mb), 0.45),
+					w(trace.NewRandomPattern(1, 16*mb), 0.2),
+					w(trace.NewHotColdPattern(2, 256*kb, 16*mb, 0.8), 0.35),
+				),
+			}
+		}),
+		mk("607.cactuBSSN_s", true, func() trace.GenConfig {
+			// Stencil with noisy but direction-consistent strides: a
+			// fixed-offset (BOP-style) prefetcher fits it better than
+			// signature lookahead, as the paper observes.
+			return trace.GenConfig{
+				LoadRatio: 0.34, StoreRatio: 0.10, BranchRatio: 0.08,
+				BranchPredictability: 0.98,
+				Phases: mixPhase(
+					w(trace.NewVaryingDeltaPattern(0, 8192, [][]int{{2}, {2, 2}, {1, 3}, {3, 1}}, 0.35), 0.6),
+					w(trace.NewStridePattern(1, 16*mb, 2), 0.4),
+				),
+			}
+		}),
+		mk("619.lbm_s", true, func() trace.GenConfig {
+			// Lattice Boltzmann: streaming loads plus streaming stores.
+			return trace.GenConfig{
+				LoadRatio: 0.28, StoreRatio: 0.18, BranchRatio: 0.06,
+				BranchPredictability: 0.99, StoreStreamRatio: 0.75,
+				Phases: mixPhase(
+					w(trace.NewSequentialPattern(0, 32*mb), 0.6),
+					w(trace.NewStridePattern(1, 16*mb, 3), 0.4),
+				),
+			}
+		}),
+		mk("620.omnetpp_s", true, func() trace.GenConfig {
+			// Discrete event simulation: heap-allocated event objects.
+			return trace.GenConfig{
+				LoadRatio: 0.34, StoreRatio: 0.12, BranchRatio: 0.17,
+				BranchPredictability: 0.94,
+				Phases: mixPhase(
+					w(trace.NewPointerChasePattern(0, 24*mb), 0.4),
+					w(trace.NewHotColdPattern(1, 512*kb, 8*mb, 0.75), 0.4),
+					w(trace.NewRegionFootprintPattern(2, 4096, []int{0, 3, 4, 9, 17}), 0.2),
+				),
+			}
+		}),
+		mk("621.wrf_s", true, func() trace.GenConfig {
+			// Weather model: mixed regular strides.
+			return trace.GenConfig{
+				LoadRatio: 0.31, StoreRatio: 0.10, BranchRatio: 0.09,
+				BranchPredictability: 0.975,
+				Phases: mixPhase(
+					w(trace.NewDeltaSeqPattern(0, 4096, []int{1, 2, 1}), 0.4),
+					w(trace.NewSequentialPattern(1, 12*mb), 0.3),
+					w(trace.NewStridePattern(2, 12*mb, 4), 0.3),
+				),
+			}
+		}),
+		mk("623.xalancbmk_s", true, func() trace.GenConfig {
+			// XML transformation: varying prefetch deltas. SPP's own
+			// throttling halts early here; a better accuracy check can
+			// keep speculating (paper §6.1 discussion).
+			return trace.GenConfig{
+				LoadRatio: 0.33, StoreRatio: 0.10, BranchRatio: 0.18,
+				BranchPredictability: 0.95,
+				Phases: mixPhase(
+					w(trace.NewVaryingDeltaPattern(0, 6144, [][]int{{1}, {2, 1}, {1, 1, 3}, {4, 1}}, 0.18), 0.6),
+					w(trace.NewHotColdPattern(1, 512*kb, 6*mb, 0.7), 0.25),
+					w(trace.NewPointerChasePattern(2, 8*mb), 0.15),
+				),
+			}
+		}),
+		mk("627.cam4_s", true, func() trace.GenConfig {
+			// Atmosphere model: spatial footprints over grid regions.
+			return trace.GenConfig{
+				LoadRatio: 0.30, StoreRatio: 0.11, BranchRatio: 0.10,
+				BranchPredictability: 0.97,
+				Phases: mixPhase(
+					w(trace.NewRegionFootprintPattern(0, 6144, []int{0, 1, 2, 8, 9, 10, 16, 17}), 0.5),
+					w(trace.NewSequentialPattern(1, 12*mb), 0.3),
+					w(trace.NewRandomPattern(2, 4*mb), 0.2),
+				),
+			}
+		}),
+		mk("628.pop2_s", true, func() trace.GenConfig {
+			// Ocean model: regular strides with mixed granularity.
+			return trace.GenConfig{
+				LoadRatio: 0.30, StoreRatio: 0.10, BranchRatio: 0.09,
+				BranchPredictability: 0.975,
+				Phases: mixPhase(
+					w(trace.NewStridePattern(0, 16*mb, 2), 0.4),
+					w(trace.NewDeltaSeqPattern(1, 4096, []int{3, 1}), 0.3),
+					w(trace.NewSequentialPattern(2, 8*mb), 0.3),
+				),
+			}
+		}),
+		mk("649.fotonik3d_s", true, func() trace.GenConfig {
+			// Electromagnetics: highly regular recurring delta pattern;
+			// the showcase for deep speculation (paper: +10–25% for PPF).
+			return trace.GenConfig{
+				LoadRatio: 0.33, StoreRatio: 0.09, BranchRatio: 0.06,
+				BranchPredictability: 0.99,
+				Phases: mixPhase(
+					w(trace.NewDeltaSeqPattern(0, 8192, []int{1, 1, 1, 5}), 0.55),
+					w(trace.NewSequentialPattern(1, 24*mb), 0.45),
+				),
+			}
+		}),
+		mk("654.roms_s", true, func() trace.GenConfig {
+			// Ocean model: streams plus wide strides and an irregular rim.
+			return trace.GenConfig{
+				LoadRatio: 0.31, StoreRatio: 0.11, BranchRatio: 0.08,
+				BranchPredictability: 0.98,
+				Phases: mixPhase(
+					w(trace.NewSequentialPattern(0, 16*mb), 0.5),
+					w(trace.NewStridePattern(1, 16*mb, 8), 0.3),
+					w(trace.NewRandomPattern(2, 8*mb), 0.2),
+				),
+			}
+		}),
+		// --- Compute-bound remainder (9 applications) ---
+		mk("600.perlbench_s", false, func() trace.GenConfig {
+			return trace.GenConfig{
+				LoadRatio: 0.28, StoreRatio: 0.14, BranchRatio: 0.20,
+				BranchPredictability: 0.96,
+				Phases: mixPhase(
+					w(trace.NewHotColdPattern(0, 256*kb, 2*mb, 0.95), 0.7),
+					w(trace.NewPointerChasePattern(1, 1*mb), 0.3),
+				),
+			}
+		}),
+		mk("602.gcc_s", false, func() trace.GenConfig {
+			return trace.GenConfig{
+				LoadRatio: 0.27, StoreRatio: 0.13, BranchRatio: 0.21,
+				BranchPredictability: 0.95,
+				Phases: mixPhase(
+					w(trace.NewHotColdPattern(0, 384*kb, 3*mb, 0.9), 0.55),
+					w(trace.NewRegionFootprintPattern(1, 1024, []int{0, 2, 5, 11}), 0.45),
+				),
+			}
+		}),
+		mk("625.x264_s", false, func() trace.GenConfig {
+			return trace.GenConfig{
+				LoadRatio: 0.30, StoreRatio: 0.12, BranchRatio: 0.10,
+				BranchPredictability: 0.97,
+				Phases: mixPhase(
+					w(trace.NewSequentialPattern(0, 2*mb), 0.5),
+					w(trace.NewHotColdPattern(1, 256*kb, 1*mb, 0.92), 0.5),
+				),
+			}
+		}),
+		mk("631.deepsjeng_s", false, func() trace.GenConfig {
+			return trace.GenConfig{
+				LoadRatio: 0.26, StoreRatio: 0.12, BranchRatio: 0.18,
+				BranchPredictability: 0.94,
+				Phases: mixPhase(
+					w(trace.NewHotColdPattern(0, 512*kb, 3*mb, 0.93), 0.75),
+					w(trace.NewRandomPattern(1, 1*mb), 0.25),
+				),
+			}
+		}),
+		mk("638.imagick_s", false, func() trace.GenConfig {
+			// Image processing: mostly cache-resident but with regular
+			// sweeps; responds well to accurate prefetching under
+			// constrained configs (paper §6.3).
+			return trace.GenConfig{
+				LoadRatio: 0.30, StoreRatio: 0.12, BranchRatio: 0.08,
+				BranchPredictability: 0.985,
+				Phases: mixPhase(
+					w(trace.NewSequentialPattern(0, 3*mb), 0.55),
+					w(trace.NewHotColdPattern(1, 512*kb, 1*mb, 0.9), 0.45),
+				),
+			}
+		}),
+		mk("641.leela_s", false, func() trace.GenConfig {
+			return trace.GenConfig{
+				LoadRatio: 0.25, StoreRatio: 0.10, BranchRatio: 0.16,
+				BranchPredictability: 0.93,
+				Phases: mixPhase(
+					w(trace.NewHotColdPattern(0, 384*kb, 1*mb, 0.96), 1.0),
+				),
+			}
+		}),
+		mk("644.nab_s", false, func() trace.GenConfig {
+			return trace.GenConfig{
+				LoadRatio: 0.29, StoreRatio: 0.11, BranchRatio: 0.08,
+				BranchPredictability: 0.98,
+				Phases: mixPhase(
+					w(trace.NewStridePattern(0, 2*mb, 2), 0.5),
+					w(trace.NewHotColdPattern(1, 512*kb, 1*mb, 0.92), 0.5),
+				),
+			}
+		}),
+		mk("648.exchange2_s", false, func() trace.GenConfig {
+			return trace.GenConfig{
+				LoadRatio: 0.22, StoreRatio: 0.12, BranchRatio: 0.17,
+				BranchPredictability: 0.97, HotLoadRatio: 0.9,
+				Phases: mixPhase(
+					w(trace.NewHotColdPattern(0, 64*kb, 256*kb, 0.995), 1.0),
+				),
+			}
+		}),
+		mk("657.xz_s", false, func() trace.GenConfig {
+			return trace.GenConfig{
+				LoadRatio: 0.28, StoreRatio: 0.13, BranchRatio: 0.14,
+				BranchPredictability: 0.95,
+				Phases: mixPhase(
+					w(trace.NewSequentialPattern(0, 4*mb), 0.4),
+					w(trace.NewRandomPattern(1, 3*mb), 0.3),
+					w(trace.NewHotColdPattern(2, 256*kb, 2*mb, 0.9), 0.3),
+				),
+			}
+		}),
+	}
+}
+
+// SPEC2017MemIntensive returns the paper's LLC MPKI > 1 subset (11 of 20).
+func SPEC2017MemIntensive() []Workload {
+	var out []Workload
+	for _, w := range SPEC2017() {
+		if w.MemoryIntensive {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Names lists workload names in order.
+func Names(ws []Workload) []string {
+	out := make([]string, len(ws))
+	for i, w := range ws {
+		out[i] = w.Name
+	}
+	return out
+}
+
+// ByName finds a workload across all suites.
+func ByName(name string) (Workload, bool) {
+	for _, set := range [][]Workload{SPEC2017(), SPEC2006(), CloudSuite()} {
+		for _, w := range set {
+			if w.Name == name {
+				return w, true
+			}
+		}
+	}
+	return Workload{}, false
+}
+
+// All returns every workload across the three suites, sorted by name.
+func All() []Workload {
+	var out []Workload
+	out = append(out, SPEC2017()...)
+	out = append(out, SPEC2006()...)
+	out = append(out, CloudSuite()...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// MustByName is ByName that panics when the workload is unknown.
+func MustByName(name string) Workload {
+	w, ok := ByName(name)
+	if !ok {
+		panic(fmt.Sprintf("workload: unknown workload %q", name))
+	}
+	return w
+}

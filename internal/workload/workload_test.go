@@ -1,0 +1,154 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestSuiteSizesMatchPaper(t *testing.T) {
+	if n := len(SPEC2017()); n != 20 {
+		t.Fatalf("SPEC2017 has %d workloads, paper uses 20", n)
+	}
+	if n := len(SPEC2017MemIntensive()); n != 11 {
+		t.Fatalf("SPEC2017 memory-intensive subset has %d, paper has 11", n)
+	}
+	if n := len(SPEC2006()); n != 29 {
+		t.Fatalf("SPEC2006 has %d workloads, paper uses 29", n)
+	}
+	if n := len(SPEC2006MemIntensive()); n != 16 {
+		t.Fatalf("SPEC2006 memory-intensive subset has %d, paper has 16", n)
+	}
+	if n := len(CloudSuite()); n != 4 {
+		t.Fatalf("CloudSuite has %d applications, paper uses 4", n)
+	}
+}
+
+func TestNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, w := range All() {
+		if seen[w.Name] {
+			t.Fatalf("duplicate workload name %q", w.Name)
+		}
+		seen[w.Name] = true
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, ok := ByName("605.mcf_s")
+	if !ok || w.Name != "605.mcf_s" || !w.MemoryIntensive {
+		t.Fatalf("ByName(605.mcf_s) = %+v ok=%v", w, ok)
+	}
+	if _, ok := ByName("nonexistent"); ok {
+		t.Fatal("nonexistent workload found")
+	}
+}
+
+func TestMustByNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustByName("nope")
+}
+
+func TestReaderDeterminism(t *testing.T) {
+	w := MustByName("603.bwaves_s")
+	a := w.NewReader(5)
+	b := w.NewReader(5)
+	for i := 0; i < 5000; i++ {
+		ia, _ := a.Next()
+		ib, _ := b.Next()
+		if ia != ib {
+			t.Fatalf("divergence at instruction %d", i)
+		}
+	}
+}
+
+func TestReadersIndependentState(t *testing.T) {
+	// Two readers from the same workload must not share pattern state:
+	// draining one must not perturb the other.
+	w := MustByName("649.fotonik3d_s")
+	a := w.NewReader(5)
+	ref := trace.Collect(w.NewReader(5), 1000)
+	b := w.NewReader(5)
+	trace.Collect(a, 5000) // advance a well past b
+	got := trace.Collect(b, 1000)
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("reader state shared: divergence at %d", i)
+		}
+	}
+}
+
+func TestAllWorkloadsGenerate(t *testing.T) {
+	for _, w := range All() {
+		rd := w.NewReader(1)
+		loads := 0
+		for i := 0; i < 3000; i++ {
+			in, ok := rd.Next()
+			if !ok {
+				t.Fatalf("%s: generator ended early", w.Name)
+			}
+			if in.Kind == trace.KindLoad {
+				loads++
+			}
+		}
+		if loads == 0 {
+			t.Errorf("%s produced no loads", w.Name)
+		}
+	}
+}
+
+func TestCloudSuitePhasesChangeBehaviour(t *testing.T) {
+	// CloudSuite workloads have 6 phases of 150K instructions; the load
+	// address mix in phase 0 should differ from phase 2.
+	w := MustByName("cassandra")
+	rd := w.NewReader(1)
+	segCount := func(n int) map[uint64]int {
+		m := map[uint64]int{}
+		for i := 0; i < n; i++ {
+			in, _ := rd.Next()
+			if in.Kind == trace.KindLoad {
+				m[in.Addr>>34]++
+			}
+		}
+		return m
+	}
+	p0 := segCount(150_000)
+	p1 := segCount(150_000)
+	same := true
+	for seg, c0 := range p0 {
+		c1 := p1[seg]
+		if c0 == 0 {
+			continue
+		}
+		ratio := float64(c1) / float64(c0)
+		if ratio < 0.7 || ratio > 1.4 {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("phase 0 and phase 1 have indistinguishable mixes")
+	}
+}
+
+func TestMemIntensiveHaveLargerFootprints(t *testing.T) {
+	// Sanity: intensive workloads should touch more distinct blocks than
+	// compute-bound ones over the same window.
+	distinct := func(name string) int {
+		rd := MustByName(name).NewReader(1)
+		blocks := map[uint64]bool{}
+		for i := 0; i < 60_000; i++ {
+			in, _ := rd.Next()
+			if in.Kind == trace.KindLoad {
+				blocks[in.Addr>>6] = true
+			}
+		}
+		return len(blocks)
+	}
+	if distinct("603.bwaves_s") <= distinct("648.exchange2_s") {
+		t.Fatal("bwaves should touch more blocks than exchange2")
+	}
+}
