@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: check build vet test race determinism bench experiments clean
+
+# check is the full CI gate: static checks, build, race-enabled tests,
+# and the worker-count determinism proof.
+check: vet build race determinism
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the whole suite under the race detector. The runner tests
+# are written to fail here if the worker pool ever shares state.
+race:
+	$(GO) test -race ./...
+
+# determinism re-runs only the golden tests that prove -j 1 and -j 8
+# produce byte-identical experiment reports.
+determinism:
+	$(GO) test -race -run Deterministic -count=1 ./internal/experiment/
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+
+experiments:
+	$(GO) run ./cmd/experiments -run all -quick -progress
+
+clean:
+	$(GO) clean ./...

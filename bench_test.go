@@ -38,7 +38,7 @@ func benchBudget() experiment.Budget {
 
 func BenchmarkFigure1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiment.Figure1(benchBudget())
+		r := experiment.Figure1(experiment.Serial(), benchBudget())
 		if len(r.Points) != 9 {
 			b.Fatal("bad sweep")
 		}
@@ -56,18 +56,18 @@ func BenchmarkTable2Table3(b *testing.B) {
 func BenchmarkFigure6to8(b *testing.B) {
 	bud := experiment.Budget{Warmup: 10_000, Detail: 50_000}
 	for i := 0; i < b.N; i++ {
-		_ = experiment.Figure6(bud)
-		r7 := experiment.Figure7(bud)
+		_ = experiment.Figure6(experiment.Serial(), bud)
+		r7 := experiment.Figure7(experiment.Serial(), bud)
 		if len(r7.Correlations) == 0 {
 			b.Fatal("no correlations")
 		}
-		_ = experiment.Figure8(bud)
+		_ = experiment.Figure8(experiment.Serial(), bud)
 	}
 }
 
 func BenchmarkFigure9(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiment.Figure9(benchBudget())
+		r := experiment.Figure9(experiment.Serial(), benchBudget())
 		if len(r.Rows) != 20 {
 			b.Fatal("suite incomplete")
 		}
@@ -76,7 +76,7 @@ func BenchmarkFigure9(b *testing.B) {
 
 func BenchmarkFigure10(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiment.Figure10(benchBudget())
+		r := experiment.Figure10(experiment.Serial(), benchBudget())
 		if len(r.L2Coverage) == 0 {
 			b.Fatal("no coverage data")
 		}
@@ -85,7 +85,7 @@ func BenchmarkFigure10(b *testing.B) {
 
 func BenchmarkFigure11(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiment.Figure11(3, benchBudget())
+		r := experiment.Figure11(experiment.Serial(), 3, benchBudget())
 		if r.Cores != 4 {
 			b.Fatal("bad core count")
 		}
@@ -94,7 +94,7 @@ func BenchmarkFigure11(b *testing.B) {
 
 func BenchmarkFigure12(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiment.Figure12(2, benchBudget())
+		r := experiment.Figure12(experiment.Serial(), 2, benchBudget())
 		if r.Cores != 8 {
 			b.Fatal("bad core count")
 		}
@@ -104,7 +104,7 @@ func BenchmarkFigure12(b *testing.B) {
 func BenchmarkFigure13(b *testing.B) {
 	bud := experiment.Budget{Warmup: 10_000, Detail: 50_000}
 	for i := 0; i < b.N; i++ {
-		r := experiment.Figure13(bud)
+		r := experiment.Figure13(experiment.Serial(), bud)
 		if len(r.SPEC2006.Rows) != 29 {
 			b.Fatal("2006 suite incomplete")
 		}
@@ -114,7 +114,7 @@ func BenchmarkFigure13(b *testing.B) {
 func BenchmarkConstrained(b *testing.B) {
 	bud := experiment.Budget{Warmup: 10_000, Detail: 60_000}
 	for i := 0; i < b.N; i++ {
-		r := experiment.Constrained(bud)
+		r := experiment.Constrained(experiment.Serial(), bud)
 		if len(r.SmallLLC.Rows) == 0 {
 			b.Fatal("no rows")
 		}
@@ -124,7 +124,7 @@ func BenchmarkConstrained(b *testing.B) {
 func BenchmarkAblation(b *testing.B) {
 	bud := experiment.Budget{Warmup: 10_000, Detail: 40_000}
 	for i := 0; i < b.N; i++ {
-		r := experiment.Ablation(bud)
+		r := experiment.Ablation(experiment.Serial(), bud)
 		if len(r.Rows) == 0 {
 			b.Fatal("no ablations")
 		}
@@ -134,7 +134,7 @@ func BenchmarkAblation(b *testing.B) {
 func BenchmarkSelection(b *testing.B) {
 	bud := experiment.Budget{Warmup: 10_000, Detail: 40_000}
 	for i := 0; i < b.N; i++ {
-		r := experiment.Selection(bud)
+		r := experiment.Selection(experiment.Serial(), bud)
 		if len(r.Names) != 23 {
 			b.Fatal("bad candidate pool")
 		}
@@ -144,7 +144,7 @@ func BenchmarkSelection(b *testing.B) {
 func BenchmarkGenerality(b *testing.B) {
 	bud := experiment.Budget{Warmup: 10_000, Detail: 60_000}
 	for i := 0; i < b.N; i++ {
-		r := experiment.Generality(bud)
+		r := experiment.Generality(experiment.Serial(), bud)
 		if len(r.Rows) != 14 {
 			b.Fatal("bad generality rows")
 		}

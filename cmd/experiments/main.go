@@ -3,12 +3,19 @@
 // Usage:
 //
 //	experiments -list
-//	experiments -run fig1,fig9 [-quick]
+//	experiments -run fig1,fig9 [-quick] [-j 8] [-progress]
 //	experiments -run all
 //
 // Each experiment prints the same rows/series the paper reports, with the
 // paper's published values quoted for comparison. EXPERIMENTS.md records a
 // full paper-vs-measured log.
+//
+// Sweeps fan out over a bounded worker pool (-j, default GOMAXPROCS).
+// Results are deterministic at any -j: every sweep enumerates its
+// (scheme, workload, seed) cells in a fixed order and gathers by cell,
+// so the rendered tables are byte-identical whether -j is 1 or 64.
+// -progress streams live done/total/ETA lines and a per-job wall-time
+// summary to stderr.
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/stats"
 )
 
 type runner struct {
@@ -29,20 +37,20 @@ type runner struct {
 	desc string
 	// run executes the experiment, returning the rendered report and the
 	// raw result value (marshalled when -json is set).
-	run func(b experiment.Budget) (string, any)
+	run func(x experiment.Exec, b experiment.Budget) (string, any)
 }
 
 // wrap adapts a typed experiment function to the runner signature.
-func wrap[T interface{ Render() string }](f func(experiment.Budget) T) func(experiment.Budget) (string, any) {
-	return func(b experiment.Budget) (string, any) {
-		r := f(b)
+func wrap[T interface{ Render() string }](f func(experiment.Exec, experiment.Budget) T) func(experiment.Exec, experiment.Budget) (string, any) {
+	return func(x experiment.Exec, b experiment.Budget) (string, any) {
+		r := f(x, b)
 		return r.Render(), r
 	}
 }
 
 func runners(mixes int) []runner {
-	text := func(f func() string) func(experiment.Budget) (string, any) {
-		return func(experiment.Budget) (string, any) {
+	text := func(f func() string) func(experiment.Exec, experiment.Budget) (string, any) {
+		return func(experiment.Exec, experiment.Budget) (string, any) {
 			out := f()
 			return out, out
 		}
@@ -57,17 +65,23 @@ func runners(mixes int) []runner {
 		{"fig8", "per-trace Pearson spread", wrap(experiment.Figure8)},
 		{"fig9", "single-core SPEC CPU 2017 speedups", wrap(experiment.Figure9)},
 		{"fig10", "cache-miss coverage", wrap(experiment.Figure10)},
-		{"fig11", "4-core memory-intensive mixes", wrap(func(b experiment.Budget) experiment.MulticoreResult { return experiment.Figure11(mixes, b) })},
-		{"fig11rand", "4-core fully random mixes", wrap(func(b experiment.Budget) experiment.MulticoreResult { return experiment.Figure11Random(mixes, b) })},
-		{"fig12", "8-core memory-intensive mixes", wrap(func(b experiment.Budget) experiment.MulticoreResult { return experiment.Figure12(mixes, b) })},
+		{"fig11", "4-core memory-intensive mixes", wrap(func(x experiment.Exec, b experiment.Budget) experiment.MulticoreResult {
+			return experiment.Figure11(x, mixes, b)
+		})},
+		{"fig11rand", "4-core fully random mixes", wrap(func(x experiment.Exec, b experiment.Budget) experiment.MulticoreResult {
+			return experiment.Figure11Random(x, mixes, b)
+		})},
+		{"fig12", "8-core memory-intensive mixes", wrap(func(x experiment.Exec, b experiment.Budget) experiment.MulticoreResult {
+			return experiment.Figure12(x, mixes, b)
+		})},
 		{"fig13", "cross-validation (CloudSuite + SPEC 2006)", wrap(experiment.Figure13)},
 		{"constrained", "small-LLC and low-bandwidth variants (§6.3)", wrap(experiment.Constrained)},
 		{"ablation", "PPF design-choice ablations", wrap(experiment.Ablation)},
 		{"generality", "PPF over next-line and stride (§3.2)", wrap(experiment.Generality)},
 		{"selection", "23-candidate feature-selection procedure (§5.5)", wrap(experiment.Selection)},
 		{"thresholds", "PPF threshold calibration sweep", wrap(experiment.ThresholdSweep)},
-		{"stability", "seed-robustness of the headline result", wrap(func(b experiment.Budget) experiment.StabilityResult {
-			return experiment.Stability([]uint64{1, 2, 3}, b)
+		{"stability", "seed-robustness of the headline result", wrap(func(x experiment.Exec, b experiment.Budget) experiment.StabilityResult {
+			return experiment.Stability(x, []uint64{1, 2, 3}, b)
 		})},
 	}
 }
@@ -79,6 +93,8 @@ func main() {
 	mixes := flag.Int("mixes", 12, "number of multi-core mixes (paper uses 100)")
 	warmup := flag.Uint64("warmup", 0, "override warmup instructions")
 	detail := flag.Uint64("detail", 0, "override detailed instructions")
+	jobs := flag.Int("j", 0, "max parallel simulation jobs (0 = GOMAXPROCS); any value yields identical tables")
+	progress := flag.Bool("progress", false, "stream sweep progress/ETA and per-job timing to stderr")
 	jsonDir := flag.String("json", "", "also write each result as JSON into this directory")
 	flag.Parse()
 
@@ -137,11 +153,23 @@ func main() {
 		}
 	}
 	for _, r := range selected {
+		x := experiment.Exec{Workers: *jobs}
+		var tm stats.Timings
+		if *progress {
+			x.Progress = os.Stderr
+			x.Timings = &tm
+		}
 		start := time.Now()
 		fmt.Printf("==== %s: %s ====\n", r.name, r.desc)
-		rendered, data := r.run(b)
+		rendered, data := r.run(x, b)
+		wall := time.Since(start)
 		fmt.Println(rendered)
-		fmt.Printf("(%s in %.1fs)\n\n", r.name, time.Since(start).Seconds())
+		fmt.Printf("(%s in %.1fs)\n\n", r.name, wall.Seconds())
+		if *progress && tm.Len() > 0 {
+			s := tm.Summary()
+			fmt.Fprintf(os.Stderr, "%s timing: %s; %.1fx job-time/wall ratio\n",
+				r.name, s, s.Total.Seconds()/wall.Seconds())
+		}
 		if *jsonDir != "" {
 			blob, err := json.MarshalIndent(data, "", "  ")
 			if err != nil {

@@ -35,67 +35,88 @@ func ablationSetup(w workload.Workload, seed uint64, mk func() *ppf.Filter) sim.
 	}
 }
 
-// runVariant measures one filter variant's geomean over the subset.
-func runVariant(ws []workload.Workload, b Budget, mk func() *ppf.Filter) float64 {
-	var speedups []float64
-	for _, w := range ws {
-		base := mustRunSingle(sim.DefaultConfig(1), SchemeNone, w, 1, b)
-		sys, err := sim.NewSystem(sim.DefaultConfig(1), []sim.CoreSetup{ablationSetup(w, 1, mk)})
-		if err != nil {
-			panic(err)
-		}
-		r := sys.Run(b.Warmup, b.Detail)
-		speedups = append(speedups, r.PerCore[0].IPC/base.PerCore[0].IPC)
+// variantGeomean folds one variant's per-workload IPCs into a geomean
+// speedup over the shared baselines.
+func variantGeomean(ipcs, baseIPC []float64) float64 {
+	speedups := make([]float64, len(ipcs))
+	for i := range ipcs {
+		speedups[i] = ipcs[i] / baseIPC[i]
 	}
 	return stats.GeoMean(speedups)
 }
 
-// Ablation runs the variant study over the memory-intensive subset.
-func Ablation(b Budget) AblationResult {
+// Ablation runs the variant study over the memory-intensive subset. The
+// no-prefetch baselines run once as a parallel phase (historically they
+// were re-simulated per variant — same numbers, wasted work), then every
+// (variant, workload) cell fans out as one job matrix.
+func Ablation(x Exec, b Budget) AblationResult {
 	ws := sortedCopy(workload.SPEC2017MemIntensive())
 	var res AblationResult
 
-	var sppSpeedups []float64
-	for _, w := range ws {
-		base := mustRunSingle(sim.DefaultConfig(1), SchemeNone, w, 1, b)
-		spp := mustRunSingle(sim.DefaultConfig(1), SchemeSPP, w, 1, b)
-		sppSpeedups = append(sppSpeedups, spp.PerCore[0].IPC/base.PerCore[0].IPC)
+	baseIPC := baselineIPCs(x, sim.DefaultConfig(1), ws, 1, b)
+
+	// The variant matrix: plain SPP (reference, no filter), full PPF,
+	// leave-one-out per feature, and the single-threshold filter.
+	type variant struct {
+		name string
+		mk   func() *ppf.Filter // nil = plain SPP at its default config
 	}
-	res.SPP = stats.GeoMean(sppSpeedups)
-
-	res.Baseline = runVariant(ws, b, func() *ppf.Filter { return ppf.New(ppf.DefaultConfig()) })
-
-	// Leave-one-out: drop each feature in turn.
+	variants := []variant{
+		{name: "spp", mk: nil},
+		{name: "full", mk: func() *ppf.Filter { return ppf.New(ppf.DefaultConfig()) }},
+	}
 	full := ppf.DefaultFeatures()
 	for drop := range full {
-		name := full[drop].Name
-		mk := func() *ppf.Filter {
-			feats := make([]ppf.FeatureSpec, 0, len(full)-1)
-			for i, spec := range ppf.DefaultFeatures() {
-				if i != drop {
-					feats = append(feats, spec)
+		drop := drop
+		variants = append(variants, variant{
+			name: "without " + full[drop].Name,
+			mk: func() *ppf.Filter {
+				feats := make([]ppf.FeatureSpec, 0, len(full)-1)
+				for i, spec := range ppf.DefaultFeatures() {
+					if i != drop {
+						feats = append(feats, spec)
+					}
 				}
-			}
-			cfg := ppf.DefaultConfig()
-			cfg.Features = feats
-			return ppf.New(cfg)
-		}
-		res.Rows = append(res.Rows, AblationRow{
-			Variant: "without " + name,
-			Geomean: runVariant(ws, b, mk),
+				cfg := ppf.DefaultConfig()
+				cfg.Features = feats
+				return ppf.New(cfg)
+			},
 		})
 	}
-
 	// Single threshold: no LLC middle band (TauLo == TauHi), so every
 	// accepted prefetch fills the L2.
-	res.Rows = append(res.Rows, AblationRow{
-		Variant: "single threshold (no LLC band)",
-		Geomean: runVariant(ws, b, func() *ppf.Filter {
+	variants = append(variants, variant{
+		name: "single threshold (no LLC band)",
+		mk: func() *ppf.Filter {
 			cfg := ppf.DefaultConfig()
 			cfg.TauLo = cfg.TauHi
 			return ppf.New(cfg)
-		}),
+		},
 	})
+
+	ipcs := runJobs(x, "ablation", len(variants)*len(ws), func(i int) float64 {
+		v, w := variants[i/len(ws)], ws[i%len(ws)]
+		if v.mk == nil {
+			return mustRunSingle(sim.DefaultConfig(1), SchemeSPP, w, 1, b).PerCore[0].IPC
+		}
+		sys, err := sim.NewSystem(sim.DefaultConfig(1), []sim.CoreSetup{ablationSetup(w, 1, v.mk)})
+		if err != nil {
+			panic(err)
+		}
+		return sys.Run(b.Warmup, b.Detail).PerCore[0].IPC
+	})
+
+	for vi, v := range variants {
+		g := variantGeomean(ipcs[vi*len(ws):(vi+1)*len(ws)], baseIPC)
+		switch v.name {
+		case "spp":
+			res.SPP = g
+		case "full":
+			res.Baseline = g
+		default:
+			res.Rows = append(res.Rows, AblationRow{Variant: v.name, Geomean: g})
+		}
+	}
 	return res
 }
 
@@ -131,8 +152,10 @@ type GeneralityRow struct {
 type GeneralityResult struct{ Rows []GeneralityRow }
 
 // Generality measures next-line and stride prefetchers with and without a
-// PPF filter over the memory-intensive subset.
-func Generality(b Budget) GeneralityResult {
+// PPF filter over the memory-intensive subset. The no-prefetch baselines
+// run once (historically re-simulated for all 14 engine variants), then
+// every (engine, filtered, workload) cell is one job.
+func Generality(x Exec, b Budget) GeneralityResult {
 	ws := sortedCopy(workload.SPEC2017MemIntensive())
 	var res GeneralityResult
 	engines := []struct {
@@ -147,28 +170,32 @@ func Generality(b Budget) GeneralityResult {
 		{"sms", func() prefetch.Prefetcher { return prefetch.NewSMS(prefetch.DefaultSMSConfig()) }},
 		{"sandbox", func() prefetch.Prefetcher { return prefetch.NewSandbox(prefetch.DefaultSandboxConfig()) }},
 	}
-	for _, eng := range engines {
-		for _, filtered := range []bool{false, true} {
-			var speedups []float64
-			for _, w := range ws {
-				base := mustRunSingle(sim.DefaultConfig(1), SchemeNone, w, 1, b)
-				setup := sim.CoreSetup{Trace: w.NewReader(1), Prefetcher: eng.mk()}
-				if filtered {
-					setup.Filter = ppf.New(ppf.DefaultConfig())
-				}
-				sys, err := sim.NewSystem(sim.DefaultConfig(1), []sim.CoreSetup{setup})
-				if err != nil {
-					panic(err)
-				}
-				r := sys.Run(b.Warmup, b.Detail)
-				speedups = append(speedups, r.PerCore[0].IPC/base.PerCore[0].IPC)
-			}
-			res.Rows = append(res.Rows, GeneralityRow{
-				Prefetcher: eng.name,
-				Filtered:   filtered,
-				Geomean:    stats.GeoMean(speedups),
-			})
+
+	baseIPC := baselineIPCs(x, sim.DefaultConfig(1), ws, 1, b)
+
+	// Cell order mirrors the historical loops: engine, then unfiltered/
+	// filtered, then workload.
+	variants := len(engines) * 2
+	ipcs := runJobs(x, "generality", variants*len(ws), func(i int) float64 {
+		vi, w := i/len(ws), ws[i%len(ws)]
+		eng, filtered := engines[vi/2], vi%2 == 1
+		setup := sim.CoreSetup{Trace: w.NewReader(1), Prefetcher: eng.mk()}
+		if filtered {
+			setup.Filter = ppf.New(ppf.DefaultConfig())
 		}
+		sys, err := sim.NewSystem(sim.DefaultConfig(1), []sim.CoreSetup{setup})
+		if err != nil {
+			panic(err)
+		}
+		return sys.Run(b.Warmup, b.Detail).PerCore[0].IPC
+	})
+
+	for vi := 0; vi < variants; vi++ {
+		res.Rows = append(res.Rows, GeneralityRow{
+			Prefetcher: engines[vi/2].name,
+			Filtered:   vi%2 == 1,
+			Geomean:    variantGeomean(ipcs[vi*len(ws):(vi+1)*len(ws)], baseIPC),
+		})
 	}
 	return res
 }

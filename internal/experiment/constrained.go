@@ -17,11 +17,11 @@ type ConstrainedResult struct {
 }
 
 // Constrained runs both §6.3 variants.
-func Constrained(b Budget) ConstrainedResult {
+func Constrained(x Exec, b Budget) ConstrainedResult {
 	ws := sortedCopy(workload.SPEC2017MemIntensive())
 	return ConstrainedResult{
-		SmallLLC:     speedupStudy(sim.SmallLLCConfig(), ws, AllSchemes(), b),
-		LowBandwidth: speedupStudy(sim.LowBandwidthConfig(), ws, AllSchemes(), b),
+		SmallLLC:     speedupStudy(x, sim.SmallLLCConfig(), ws, AllSchemes(), b),
+		LowBandwidth: speedupStudy(x, sim.LowBandwidthConfig(), ws, AllSchemes(), b),
 	}
 }
 

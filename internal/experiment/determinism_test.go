@@ -1,0 +1,70 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// The parallel runner's contract is that worker count never changes
+// results: sweeps enumerate their cells in a fixed order and gather by
+// cell index, so -j 1 and -j 8 must produce byte-identical reports.
+// These tests pin that contract on one cheap sweep (Figure 1, a depth
+// sweep with per-depth normalisation) and one representative
+// multi-scheme sweep (Figure 9 over a workload subset).
+
+func TestFigure1DeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	b := tinyBudget()
+	serial := Figure1(Exec{Workers: 1}, b)
+	parallel := Figure1(Exec{Workers: 8}, b)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("fig1 raw results differ between -j 1 and -j 8:\n%+v\nvs\n%+v", serial, parallel)
+	}
+	if serial.Render() != parallel.Render() {
+		t.Fatal("fig1 rendered reports differ between -j 1 and -j 8")
+	}
+}
+
+func TestFigure9DeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	ws := sortedCopy(workload.SPEC2017MemIntensive())[:4]
+	b := tinyBudget()
+	run := func(workers int) Figure9Result {
+		return speedupStudy(Exec{Workers: workers}, sim.DefaultConfig(1), ws, AllSchemes(), b)
+	}
+	serial := run(1)
+	parallel := run(8)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("fig9 raw results differ between -j 1 and -j 8")
+	}
+	if serial.Render() != parallel.Render() {
+		t.Fatal("fig9 rendered reports differ between -j 1 and -j 8")
+	}
+	// Sanity: the runs actually simulated something.
+	if len(serial.Rows) != len(ws) || serial.Rows[0].BaseIPC <= 0 {
+		t.Fatalf("degenerate result: %+v", serial.Rows)
+	}
+}
+
+// TestFeatureStudyDeterministicAcrossWorkerCounts covers the other gather
+// style: float accumulators merged in workload order (Figure 7's Pearson
+// sums), where naive shared-accumulator parallelism would reorder float
+// additions and drift in the last ulp.
+func TestFeatureStudyDeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	b := Budget{Warmup: 5_000, Detail: 30_000}
+	serial := Figure7(Exec{Workers: 1}, b)
+	parallel := Figure7(Exec{Workers: 8}, b)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("fig7 results differ between -j 1 and -j 8:\n%+v\nvs\n%+v", serial, parallel)
+	}
+}

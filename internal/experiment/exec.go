@@ -1,0 +1,78 @@
+package experiment
+
+import (
+	"context"
+	"io"
+
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Exec selects how an experiment's simulation jobs execute. The zero
+// value runs one job per GOMAXPROCS-sized worker slot with no reporting;
+// Serial() forces the historical one-at-a-time behaviour.
+//
+// Determinism guarantee: every sweep in this package enumerates its
+// (scheme, workload, seed) cells in a fixed order and gathers results by
+// cell index, so for any Exec the rendered tables and raw result structs
+// are byte-for-byte identical — Workers only changes wall-clock time.
+type Exec struct {
+	// Workers bounds concurrently running simulations (0 = GOMAXPROCS).
+	Workers int
+	// Progress, when non-nil, receives live sweep progress/ETA lines.
+	Progress io.Writer
+	// Timings, when non-nil, collects per-job wall time.
+	Timings *stats.Timings
+}
+
+// Serial is the single-worker execution policy (the pre-runner default).
+func Serial() Exec { return Exec{Workers: 1} }
+
+// runJobs fans fn over n cells on the shared worker pool and returns the
+// results in cell order. Experiment configurations are statically valid,
+// so a job failure (always a recovered panic) is re-raised here, keeping
+// the package's historical panic-on-bug behaviour.
+func runJobs[T any](x Exec, label string, n int, fn func(i int) T) []T {
+	out, err := runner.Map(context.Background(), n, runner.Options{
+		Workers:  x.Workers,
+		Label:    label,
+		Progress: x.Progress,
+		Timings:  x.Timings,
+	}, func(_ context.Context, i int) (T, error) {
+		return fn(i), nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// baselineIPCs measures every workload's no-prefetch IPC (the
+// denominator of each speedup) as one parallel phase.
+func baselineIPCs(x Exec, cfg sim.Config, ws []workload.Workload, seed uint64, b Budget) []float64 {
+	return runJobs(x, "baseline", len(ws), func(i int) float64 {
+		return mustRunSingle(cfg, SchemeNone, ws[i], seed, b).PerCore[0].IPC
+	})
+}
+
+// schemeCell is one (workload, scheme) simulation in a speedup sweep;
+// SchemeNone cells are the baselines.
+type schemeCell struct {
+	wi int
+	s  Scheme
+}
+
+// schemeCells enumerates the standard baseline+schemes job matrix in
+// gather order: for each workload, the baseline then every scheme.
+func schemeCells(nWorkloads int, schemes []Scheme) []schemeCell {
+	cells := make([]schemeCell, 0, nWorkloads*(1+len(schemes)))
+	for wi := 0; wi < nWorkloads; wi++ {
+		cells = append(cells, schemeCell{wi, SchemeNone})
+		for _, s := range schemes {
+			cells = append(cells, schemeCell{wi, s})
+		}
+	}
+	return cells
+}

@@ -67,7 +67,7 @@ func TestFigure1Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-heavy")
 	}
-	r := Figure1(tinyBudget())
+	r := Figure1(Serial(), tinyBudget())
 	if len(r.Points) != 9 || r.Points[0].Depth != 7 || r.Points[8].Depth != 15 {
 		t.Fatalf("depth sweep wrong: %+v", r.Points)
 	}
@@ -88,7 +88,7 @@ func TestFigure9Quick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-heavy")
 	}
-	r := speedupStudy(sim.DefaultConfig(1),
+	r := speedupStudy(Serial(), sim.DefaultConfig(1),
 		sortedCopy(workload.SPEC2017MemIntensive())[:4],
 		[]Scheme{SchemeSPP, SchemePPF}, tinyBudget())
 	if len(r.Rows) != 4 {
@@ -108,7 +108,7 @@ func TestMulticoreQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-heavy")
 	}
-	r := Multicore(2, 2, workload.SPEC2017MemIntensive(), tinyBudget())
+	r := Multicore(Serial(), 2, 2, workload.SPEC2017MemIntensive(), tinyBudget())
 	for _, s := range r.Schemes {
 		if len(r.PerMix[s]) != 2 {
 			t.Fatalf("%s has %d mixes", s, len(r.PerMix[s]))
@@ -183,7 +183,7 @@ func TestFigure10Quick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-heavy")
 	}
-	r := Figure10(tinyBudget())
+	r := Figure10(Serial(), tinyBudget())
 	for _, s := range r.Schemes {
 		if r.L2Coverage[s] < -1 || r.L2Coverage[s] > 1 {
 			t.Fatalf("%s coverage out of range: %v", s, r.L2Coverage[s])
@@ -202,7 +202,7 @@ func TestConstrainedQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-heavy")
 	}
-	r := Constrained(Budget{Warmup: 10_000, Detail: 40_000})
+	r := Constrained(Serial(), Budget{Warmup: 10_000, Detail: 40_000})
 	if len(r.SmallLLC.Rows) != 11 || len(r.LowBandwidth.Rows) != 11 {
 		t.Fatalf("rows %d/%d, want 11 mem-intensive apps each",
 			len(r.SmallLLC.Rows), len(r.LowBandwidth.Rows))
@@ -216,7 +216,7 @@ func TestGeneralityQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-heavy")
 	}
-	r := Generality(Budget{Warmup: 10_000, Detail: 40_000})
+	r := Generality(Serial(), Budget{Warmup: 10_000, Detail: 40_000})
 	if len(r.Rows) != 14 {
 		t.Fatalf("%d rows, want 14 (7 engines x filtered/unfiltered)", len(r.Rows))
 	}
@@ -230,11 +230,11 @@ func TestFigure6And7Quick(t *testing.T) {
 		t.Skip("simulation-heavy")
 	}
 	b := Budget{Warmup: 5_000, Detail: 30_000}
-	f6 := Figure6(b)
+	f6 := Figure6(Serial(), b)
 	if f6.ConfXorPage.Total == 0 {
 		t.Fatal("no trained ConfXorPage weights")
 	}
-	f7 := Figure7(b)
+	f7 := Figure7(Serial(), b)
 	if len(f7.Correlations) != 10 { // 9 final + LastSignature
 		t.Fatalf("%d correlations", len(f7.Correlations))
 	}

@@ -85,6 +85,20 @@ func (a *corrAccumulator) add(weights []int8, outcome int) {
 	}
 }
 
+// merge folds another accumulator's sums into a. Parallel feature
+// studies accumulate per workload and merge in workload order, so the
+// totals are independent of worker scheduling.
+func (a *corrAccumulator) merge(o *corrAccumulator) {
+	a.n += o.n
+	a.sumY += o.sumY
+	a.sumY2 += o.sumY2
+	for i := 0; i < a.nFeats; i++ {
+		a.sumX[i] += o.sumX[i]
+		a.sumX2[i] += o.sumX2[i]
+		a.sumXY[i] += o.sumXY[i]
+	}
+}
+
 func (a *corrAccumulator) pearson(i int) float64 {
 	n := float64(a.n)
 	if n == 0 {
@@ -125,12 +139,19 @@ func runFeatureStudy(w workload.Workload, b Budget, acc *corrAccumulator) *ppf.F
 }
 
 // Figure7 computes the global Pearson factor of every feature over the
-// full SPEC CPU 2017-like suite.
-func Figure7(b Budget) Figure7Result {
+// full SPEC CPU 2017-like suite. Each workload trains against its own
+// accumulator in one job; the partial sums merge in workload order.
+func Figure7(x Exec, b Budget) Figure7Result {
 	feats := featureStudyFeatures()
+	ws := sortedCopy(workload.SPEC2017())
+	accs := runJobs(x, "fig7", len(ws), func(i int) *corrAccumulator {
+		acc := newCorrAccumulator(len(feats))
+		runFeatureStudy(ws[i], b, acc)
+		return acc
+	})
 	acc := newCorrAccumulator(len(feats))
-	for _, w := range sortedCopy(workload.SPEC2017()) {
-		runFeatureStudy(w, b, acc)
+	for _, a := range accs {
+		acc.merge(a)
 	}
 	res := Figure7Result{TrainEvents: acc.n}
 	for i, spec := range feats {
@@ -168,8 +189,9 @@ func (r Figure7Result) Render() string {
 }
 
 // Figure6 dumps trained-weight histograms for ConfXorPage and
-// LastSignature over the memory-intensive subset.
-func Figure6(b Budget) Figure6Result {
+// LastSignature over the memory-intensive subset. One training job per
+// workload; the integer histograms accumulate in workload order.
+func Figure6(x Exec, b Budget) Figure6Result {
 	feats := featureStudyFeatures()
 	confIdx, lastIdx := -1, -1
 	for i, spec := range feats {
@@ -184,8 +206,11 @@ func Figure6(b Budget) Figure6Result {
 		ConfXorPage:   stats.NewHistogram(ppf.WeightMin, ppf.WeightMax),
 		LastSignature: stats.NewHistogram(ppf.WeightMin, ppf.WeightMax),
 	}
-	for _, w := range workload.SPEC2017MemIntensive() {
-		f := runFeatureStudy(w, b, nil)
+	ws := workload.SPEC2017MemIntensive()
+	filters := runJobs(x, "fig6", len(ws), func(i int) *ppf.Filter {
+		return runFeatureStudy(ws[i], b, nil)
+	})
+	for _, f := range filters {
 		for _, v := range f.WeightsOf(confIdx) {
 			if v != 0 {
 				res.ConfXorPage.Add(int(v))
@@ -224,8 +249,10 @@ func (r Figure6Result) Render() string {
 }
 
 // Figure8 computes the per-trace Pearson spread for the three features
-// the paper examines (PC⊕Delta, Signature⊕Delta, PC⊕Depth).
-func Figure8(b Budget) Figure8Result {
+// the paper examines (PC⊕Delta, Signature⊕Delta, PC⊕Depth). Each trace
+// already trains a private accumulator, so workloads parallelise with no
+// merging at all.
+func Figure8(x Exec, b Budget) Figure8Result {
 	target := []string{"PCXorDelta", "SigXorDelta", "PCXorDepth"}
 	feats := featureStudyFeatures()
 	idx := map[string]int{}
@@ -233,11 +260,19 @@ func Figure8(b Budget) Figure8Result {
 		idx[spec.Name] = i
 	}
 	res := Figure8Result{Features: target, PerTrace: make([][]float64, len(target))}
-	for _, w := range sortedCopy(workload.SPEC2017()) {
+	ws := sortedCopy(workload.SPEC2017())
+	perWorkload := runJobs(x, "fig8", len(ws), func(i int) []float64 {
 		acc := newCorrAccumulator(len(feats))
-		runFeatureStudy(w, b, acc)
+		runFeatureStudy(ws[i], b, acc)
+		vals := make([]float64, len(target))
 		for t, name := range target {
-			res.PerTrace[t] = append(res.PerTrace[t], abs64(acc.pearson(idx[name])))
+			vals[t] = abs64(acc.pearson(idx[name]))
+		}
+		return vals
+	})
+	for _, vals := range perWorkload {
+		for t := range target {
+			res.PerTrace[t] = append(res.PerTrace[t], vals[t])
 		}
 	}
 	for t := range res.PerTrace {

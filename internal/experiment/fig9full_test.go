@@ -6,6 +6,6 @@ func TestFig9Full(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long")
 	}
-	r := Figure9(DefaultBudget())
+	r := Figure9(Exec{}, DefaultBudget())
 	t.Log("\n" + r.Render())
 }

@@ -29,17 +29,19 @@ type Figure1Result struct {
 }
 
 // Figure1 runs the forced-depth sweep on the paper's subject workload.
-func Figure1(b Budget) Figure1Result {
-	return figure1On("603.bwaves_s", b)
+func Figure1(x Exec, b Budget) Figure1Result {
+	return figure1On(x, "603.bwaves_s", b)
 }
 
 // figure1On runs the sweep on any workload (used to pick a subject whose
-// irregularity exposes the over-aggression effect).
-func figure1On(name string, b Budget) Figure1Result {
+// irregularity exposes the over-aggression effect). Each forced depth is
+// one independent job; normalisation happens after the gather so the
+// series is identical at any worker count.
+func figure1On(x Exec, name string, b Budget) Figure1Result {
 	w := workload.MustByName(name)
-	res := Figure1Result{Workload: w.Name}
-	var baseIPC, basePF, baseGood float64
-	for depth := 7; depth <= 15; depth++ {
+	const minDepth, maxDepth = 7, 15
+	results := runJobs(x, "fig1-depth", maxDepth-minDepth+1, func(i int) sim.CoreResult {
+		depth := minDepth + i
 		cfg := sim.DefaultConfig(1)
 		spp := prefetch.NewSPP(prefetch.SPPConfig{
 			PrefetchThreshold: 1,
@@ -55,19 +57,23 @@ func figure1On(name string, b Budget) Figure1Result {
 		if err != nil {
 			panic(err)
 		}
-		r := sys.Run(b.Warmup, b.Detail)
-		c := r.PerCore[0]
+		return sys.Run(b.Warmup, b.Detail).PerCore[0]
+	})
+
+	res := Figure1Result{Workload: w.Name}
+	var baseIPC, basePF, baseGood float64
+	for i, c := range results {
 		ipc := c.IPC
 		// TOTAL_PF counts every prefetch the engine issues, as the paper
 		// does (ChampSim counts requests before queue dedup); GOOD_PF is
 		// the subset that proved useful.
 		total := float64(c.Candidates)
 		good := float64(c.PrefetchesUseful)
-		if depth == 7 {
+		if i == 0 {
 			baseIPC, basePF, baseGood = ipc, total, good
 		}
 		res.Points = append(res.Points, Figure1Point{
-			Depth:   depth,
+			Depth:   minDepth + i,
 			IPC:     ipc / baseIPC,
 			TotalPF: total / basePF,
 			GoodPF:  good / baseGood,

@@ -19,13 +19,15 @@ type Figure13Result struct {
 	SPEC2006 Figure9Result
 }
 
-// Figure13 runs both cross-validation studies. nMixes bounds the
-// CloudSuite mixes (each CloudSuite app runs as a 4-core instance).
-func Figure13(b Budget) Figure13Result {
+// Figure13 runs both cross-validation studies (each CloudSuite app runs
+// as a 4-core instance).
+func Figure13(x Exec, b Budget) Figure13Result {
 	var res Figure13Result
 
 	// CloudSuite: each application runs four copies (distinct seeds) on a
-	// 4-core machine, as the CRC-2 traces are 4-core applications.
+	// 4-core machine, as the CRC-2 traces are 4-core applications. One
+	// job per (application, scheme) cell, baseline first; the gather
+	// walks applications in suite order.
 	cloud := MulticoreResult{
 		Cores:   4,
 		Schemes: AllSchemes(),
@@ -33,26 +35,29 @@ func Figure13(b Budget) Figure13Result {
 		Geomean: map[Scheme]float64{},
 	}
 	cfg := sim.DefaultConfig(4)
-	for m, w := range workload.CloudSuite() {
-		run := func(s Scheme) float64 {
-			setups := make([]sim.CoreSetup, 4)
-			for c := range setups {
-				setups[c] = NewSetup(s, w, mixSeed(m, c))
-			}
-			sys, err := sim.NewSystem(cfg, setups)
-			if err != nil {
-				panic(err)
-			}
-			r := sys.Run(b.Warmup, b.Detail)
-			total := 0.0
-			for _, pc := range r.PerCore {
-				total += pc.IPC
-			}
-			return total
+	apps := workload.CloudSuite()
+	schemes := append([]Scheme{SchemeNone}, cloud.Schemes...)
+	totals := runJobs(x, "cloudsuite", len(apps)*len(schemes), func(i int) float64 {
+		m, s := i/len(schemes), schemes[i%len(schemes)]
+		setups := make([]sim.CoreSetup, 4)
+		for c := range setups {
+			setups[c] = NewSetup(s, apps[m], mixSeed(m, c))
 		}
-		base := run(SchemeNone)
-		for _, s := range cloud.Schemes {
-			cloud.PerMix[s] = append(cloud.PerMix[s], run(s)/base)
+		sys, err := sim.NewSystem(cfg, setups)
+		if err != nil {
+			panic(err)
+		}
+		r := sys.Run(b.Warmup, b.Detail)
+		total := 0.0
+		for _, pc := range r.PerCore {
+			total += pc.IPC
+		}
+		return total
+	})
+	for m := range apps {
+		row := totals[m*len(schemes) : (m+1)*len(schemes)]
+		for si, s := range cloud.Schemes {
+			cloud.PerMix[s] = append(cloud.PerMix[s], row[si+1]/row[0])
 		}
 	}
 	for _, s := range cloud.Schemes {
@@ -61,7 +66,7 @@ func Figure13(b Budget) Figure13Result {
 	res.Cloud = cloud
 
 	// SPEC CPU 2006-like single-core suite.
-	res.SPEC2006 = speedupStudy(sim.DefaultConfig(1), sortedCopy(workload.SPEC2006()), AllSchemes(), b)
+	res.SPEC2006 = speedupStudy(x, sim.DefaultConfig(1), sortedCopy(workload.SPEC2006()), AllSchemes(), b)
 	return res
 }
 

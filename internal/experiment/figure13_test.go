@@ -15,7 +15,7 @@ func TestFigure13bRows(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long")
 	}
-	r := speedupStudy(sim.DefaultConfig(1), sortedCopy(workload.SPEC2006MemIntensive()),
+	r := speedupStudy(Serial(), sim.DefaultConfig(1), sortedCopy(workload.SPEC2006MemIntensive()),
 		[]Scheme{SchemeSPP, SchemePPF}, QuickBudget())
 	for _, row := range r.Rows {
 		t.Logf("%-16s base=%.3f spp=%+.1f%% ppf=%+.1f%%", row.Workload, row.BaseIPC,

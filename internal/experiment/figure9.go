@@ -25,21 +25,30 @@ type Figure9Result struct {
 
 // Figure9 runs the four prefetching schemes over the SPEC CPU 2017-like
 // suite on the single-core default machine.
-func Figure9(b Budget) Figure9Result {
-	return speedupStudy(sim.DefaultConfig(1), sortedCopy(workload.SPEC2017()), AllSchemes(), b)
+func Figure9(x Exec, b Budget) Figure9Result {
+	return speedupStudy(x, sim.DefaultConfig(1), sortedCopy(workload.SPEC2017()), AllSchemes(), b)
 }
 
 // speedupStudy runs every (workload, scheme) pair plus the no-prefetch
-// baseline and collects speedups.
-func speedupStudy(cfg sim.Config, ws []workload.Workload, schemes []Scheme, b Budget) Figure9Result {
+// baseline as one job matrix on the worker pool, then gathers speedups
+// in workload order so the result is identical at any worker count.
+func speedupStudy(x Exec, cfg sim.Config, ws []workload.Workload, schemes []Scheme, b Budget) Figure9Result {
+	cells := schemeCells(len(ws), schemes)
+	results := runJobs(x, "speedup", len(cells), func(i int) sim.Result {
+		c := cells[i]
+		return mustRunSingle(cfg, c.s, ws[c.wi], 1, b)
+	})
+
 	res := Figure9Result{
 		Schemes:        schemes,
 		GeomeanIntense: map[Scheme]float64{},
 		GeomeanAll:     map[Scheme]float64{},
 	}
 	var depthSPP, depthPPF []float64
+	i := 0
 	for _, w := range ws {
-		base := mustRunSingle(cfg, SchemeNone, w, 1, b)
+		base := results[i]
+		i++
 		row := SpeedupRow{
 			Workload: w.Name,
 			Intense:  w.MemoryIntensive,
@@ -48,7 +57,8 @@ func speedupStudy(cfg sim.Config, ws []workload.Workload, schemes []Scheme, b Bu
 			Depth:    map[Scheme]float64{},
 		}
 		for _, s := range schemes {
-			r := mustRunSingle(cfg, s, w, 1, b)
+			r := results[i]
+			i++
 			row.Speedup[s] = r.PerCore[0].IPC / row.BaseIPC
 			row.Depth[s] = r.PerCore[0].AvgLookaheadDepth
 			if w.MemoryIntensive {

@@ -26,7 +26,13 @@ type MulticoreResult struct {
 // machine and measures the paper's weighted-IPC speedup metric: for each
 // mix, Σ(IPC_i / IPC_isolated_i) is computed per scheme and normalised to
 // the no-prefetching value of the same mix.
-func Multicore(cores, nMixes int, pool []workload.Workload, b Budget) MulticoreResult {
+//
+// The sweep runs in two parallel phases: the deduplicated isolated
+// single-core baselines first (each mix's normalisation divisors), then
+// every (mix, scheme) machine including the no-prefetch baselines. Mix
+// composition and seeds depend only on (m, c), and the gather walks mixes
+// in order, so the result is identical at any worker count.
+func Multicore(x Exec, cores, nMixes int, pool []workload.Workload, b Budget) MulticoreResult {
 	pool = sortedCopy(pool)
 	res := MulticoreResult{
 		Cores:   cores,
@@ -36,50 +42,72 @@ func Multicore(cores, nMixes int, pool []workload.Workload, b Budget) MulticoreR
 	}
 	cfg := sim.DefaultConfig(cores)
 
-	// Isolated IPCs are measured on a single-core machine with the full
-	// multi-core LLC, per the paper's methodology ("isolated 1-core 8 MB
-	// LLC environment").
-	isoCfg := sim.DefaultConfig(1)
-	isoCfg.LLC = cfg.LLC
-	isoCache := map[string]float64{}
-	isolated := func(w workload.Workload, seed uint64) float64 {
-		key := fmt.Sprintf("%s/%d", w.Name, seed)
-		if v, ok := isoCache[key]; ok {
-			return v
+	// Fix every mix's composition up front (deterministic in m, c).
+	mixes := make([][]workload.Workload, nMixes)
+	for m := range mixes {
+		mixes[m] = make([]workload.Workload, cores)
+		for c := 0; c < cores; c++ {
+			mixes[m][c] = pick(pool, m, c)
 		}
-		r := mustRunSingle(isoCfg, SchemeNone, w, seed, b)
-		isoCache[key] = r.PerCore[0].IPC
-		return r.PerCore[0].IPC
 	}
 
-	runMix := func(mix []workload.Workload, m int, s Scheme) float64 {
+	// Phase 1: isolated IPCs, measured on a single-core machine with the
+	// full multi-core LLC, per the paper's methodology ("isolated 1-core
+	// 8 MB LLC environment"). Deduplicated across mixes in first-seen
+	// order, then fanned out as one job batch.
+	isoCfg := sim.DefaultConfig(1)
+	isoCfg.LLC = cfg.LLC
+	type isoJob struct {
+		w    workload.Workload
+		seed uint64
+	}
+	var isoJobs []isoJob
+	isoIndex := map[string]int{}
+	for m := range mixes {
+		for c := 0; c < cores; c++ {
+			key := fmt.Sprintf("%s/%d", mixes[m][c].Name, mixSeed(m, c))
+			if _, ok := isoIndex[key]; !ok {
+				isoIndex[key] = len(isoJobs)
+				isoJobs = append(isoJobs, isoJob{mixes[m][c], mixSeed(m, c)})
+			}
+		}
+	}
+	isoIPC := runJobs(x, "multicore-iso", len(isoJobs), func(i int) float64 {
+		return mustRunSingle(isoCfg, SchemeNone, isoJobs[i].w, isoJobs[i].seed, b).PerCore[0].IPC
+	})
+	isolated := func(m, c int) float64 {
+		return isoIPC[isoIndex[fmt.Sprintf("%s/%d", mixes[m][c].Name, mixSeed(m, c))]]
+	}
+
+	// Phase 2: every (mix, scheme) machine, no-prefetch baseline first.
+	mixSchemes := append([]Scheme{SchemeNone}, res.Schemes...)
+	perMix := runJobs(x, "multicore-mix", nMixes*len(mixSchemes), func(i int) sim.Result {
+		m, s := i/len(mixSchemes), mixSchemes[i%len(mixSchemes)]
 		setups := make([]sim.CoreSetup, cores)
 		for c := range setups {
-			setups[c] = NewSetup(s, mix[c], mixSeed(m, c))
+			setups[c] = NewSetup(s, mixes[m][c], mixSeed(m, c))
 		}
 		sys, err := sim.NewSystem(cfg, setups)
 		if err != nil {
 			panic(err)
 		}
-		r := sys.Run(b.Warmup, b.Detail)
+		return sys.Run(b.Warmup, b.Detail)
+	})
+
+	weighted := func(m int, r sim.Result) float64 {
 		ipc := make([]float64, cores)
 		iso := make([]float64, cores)
 		for c := 0; c < cores; c++ {
 			ipc[c] = r.PerCore[c].IPC
-			iso[c] = isolated(mix[c], mixSeed(m, c))
+			iso[c] = isolated(m, c)
 		}
 		return stats.WeightedSpeedup(ipc, iso)
 	}
-
 	for m := 0; m < nMixes; m++ {
-		mix := make([]workload.Workload, cores)
-		for c := 0; c < cores; c++ {
-			mix[c] = pick(pool, m, c)
-		}
-		baseWS := runMix(mix, m, SchemeNone)
-		for _, s := range res.Schemes {
-			ws := runMix(mix, m, s)
-			res.PerMix[s] = append(res.PerMix[s], ws/baseWS)
+		row := perMix[m*len(mixSchemes) : (m+1)*len(mixSchemes)]
+		baseWS := weighted(m, row[0])
+		for si, s := range res.Schemes {
+			res.PerMix[s] = append(res.PerMix[s], weighted(m, row[si+1])/baseWS)
 		}
 	}
 	for _, s := range res.Schemes {
@@ -90,19 +118,19 @@ func Multicore(cores, nMixes int, pool []workload.Workload, b Budget) MulticoreR
 }
 
 // Figure11 runs the 4-core memory-intensive mixes (paper Figure 11).
-func Figure11(nMixes int, b Budget) MulticoreResult {
-	return Multicore(4, nMixes, workload.SPEC2017MemIntensive(), b)
+func Figure11(x Exec, nMixes int, b Budget) MulticoreResult {
+	return Multicore(x, 4, nMixes, workload.SPEC2017MemIntensive(), b)
 }
 
 // Figure11Random runs the fully random 4-core mixes the paper reports in
 // text (PPF +5.6% over SPP).
-func Figure11Random(nMixes int, b Budget) MulticoreResult {
-	return Multicore(4, nMixes, workload.SPEC2017(), b)
+func Figure11Random(x Exec, nMixes int, b Budget) MulticoreResult {
+	return Multicore(x, 4, nMixes, workload.SPEC2017(), b)
 }
 
 // Figure12 runs the 8-core memory-intensive mixes (paper Figure 12).
-func Figure12(nMixes int, b Budget) MulticoreResult {
-	return Multicore(8, nMixes, workload.SPEC2017MemIntensive(), b)
+func Figure12(x Exec, nMixes int, b Budget) MulticoreResult {
+	return Multicore(x, 8, nMixes, workload.SPEC2017MemIntensive(), b)
 }
 
 // Render prints sorted per-mix curves compactly plus geomeans.

@@ -58,6 +58,18 @@ func (sa *selectionAccumulator) add(weights []int8, outcome int) {
 	}
 }
 
+// merge folds another accumulator's sums into sa (see
+// corrAccumulator.merge; workload-ordered merging keeps the totals
+// independent of worker scheduling).
+func (sa *selectionAccumulator) merge(o *selectionAccumulator) {
+	sa.corrAccumulator.merge(o.corrAccumulator)
+	for i := range sa.sumXiXj {
+		for j := range sa.sumXiXj[i] {
+			sa.sumXiXj[i][j] += o.sumXiXj[i][j]
+		}
+	}
+}
+
 // cross returns |Pearson| between features i and j.
 func (sa *selectionAccumulator) cross(i, j int) float64 {
 	if j < i {
@@ -77,11 +89,13 @@ func (sa *selectionAccumulator) cross(i, j int) float64 {
 }
 
 // Selection runs the candidate pool over the memory-intensive subset and
-// applies the paper's pruning rules.
-func Selection(b Budget) SelectionResult {
+// applies the paper's pruning rules. Each workload trains into a private
+// accumulator in one job; the partial sums merge in workload order.
+func Selection(x Exec, b Budget) SelectionResult {
 	feats := ppf.CandidateFeatures()
-	acc := newSelectionAccumulator(len(feats))
-	for _, w := range sortedCopy(workload.SPEC2017MemIntensive()) {
+	ws := sortedCopy(workload.SPEC2017MemIntensive())
+	accs := runJobs(x, "selection", len(ws), func(i int) *selectionAccumulator {
+		acc := newSelectionAccumulator(len(feats))
 		filter := ppf.New(ppf.Config{
 			TauHi:    ppf.DefaultConfig().TauHi,
 			TauLo:    ppf.DefaultConfig().TauLo,
@@ -91,7 +105,7 @@ func Selection(b Budget) SelectionResult {
 		})
 		filter.OnTrainEvent = acc.add
 		sys, err := sim.NewSystem(sim.DefaultConfig(1), []sim.CoreSetup{{
-			Trace:      w.NewReader(1),
+			Trace:      ws[i].NewReader(1),
 			Prefetcher: prefetch.NewSPP(prefetch.AggressiveSPPConfig()),
 			Filter:     filter,
 		}})
@@ -99,6 +113,11 @@ func Selection(b Budget) SelectionResult {
 			panic(err)
 		}
 		sys.Run(b.Warmup, b.Detail)
+		return acc
+	})
+	acc := newSelectionAccumulator(len(feats))
+	for _, a := range accs {
+		acc.merge(a)
 	}
 
 	res := SelectionResult{Samples: acc.n, Dropped: map[string]string{}}

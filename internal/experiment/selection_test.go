@@ -41,7 +41,7 @@ func TestSelectionRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-heavy")
 	}
-	r := Selection(Budget{Warmup: 10_000, Detail: 40_000})
+	r := Selection(Serial(), Budget{Warmup: 10_000, Detail: 40_000})
 	if len(r.Names) != 23 {
 		t.Fatalf("candidate pool has %d features, want 23 (paper §5.5)", len(r.Names))
 	}

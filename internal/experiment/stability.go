@@ -24,21 +24,29 @@ type StabilityResult struct {
 }
 
 // Stability runs the memory-intensive Figure 9 comparison under several
-// workload seeds.
-func Stability(seeds []uint64, b Budget) StabilityResult {
+// workload seeds. One job per (seed, workload, scheme) cell; the gather
+// walks seeds then workloads in order.
+func Stability(x Exec, seeds []uint64, b Budget) StabilityResult {
 	if len(seeds) == 0 {
 		seeds = []uint64{1, 2, 3}
 	}
 	res := StabilityResult{Seeds: seeds}
 	ws := sortedCopy(workload.SPEC2017MemIntensive())
-	for _, seed := range seeds {
+	schemes := []Scheme{SchemeNone, SchemeSPP, SchemePPF}
+	ipcs := runJobs(x, "stability", len(seeds)*len(ws)*len(schemes), func(i int) float64 {
+		seed := seeds[i/(len(ws)*len(schemes))]
+		w := ws[i/len(schemes)%len(ws)]
+		s := schemes[i%len(schemes)]
+		return mustRunSingle(sim.DefaultConfig(1), s, w, seed, b).PerCore[0].IPC
+	})
+	i := 0
+	for range seeds {
 		var spp, ppf []float64
-		for _, w := range ws {
-			base := mustRunSingle(sim.DefaultConfig(1), SchemeNone, w, seed, b)
-			s := mustRunSingle(sim.DefaultConfig(1), SchemeSPP, w, seed, b)
-			p := mustRunSingle(sim.DefaultConfig(1), SchemePPF, w, seed, b)
-			spp = append(spp, s.PerCore[0].IPC/base.PerCore[0].IPC)
-			ppf = append(ppf, p.PerCore[0].IPC/base.PerCore[0].IPC)
+		for range ws {
+			base, sIPC, pIPC := ipcs[i], ipcs[i+1], ipcs[i+2]
+			i += 3
+			spp = append(spp, sIPC/base)
+			ppf = append(ppf, pIPC/base)
 		}
 		gs, gp := stats.GeoMean(spp), stats.GeoMean(ppf)
 		res.SPP = append(res.SPP, gs)

@@ -7,7 +7,6 @@ import (
 	ppf "repro/internal/core"
 	"repro/internal/prefetch"
 	"repro/internal/sim"
-	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -28,41 +27,44 @@ type ThresholdSweepResult struct {
 
 // ThresholdSweep evaluates a grid of thresholds over a representative
 // subset of the memory-intensive workloads (the full subset at full
-// budget is expensive; the ranking is stable on the subset).
-func ThresholdSweep(b Budget) ThresholdSweepResult {
+// budget is expensive; the ranking is stable on the subset). Baselines
+// run as one parallel phase, then every (grid point, workload) cell is
+// one job; the grid gathers in its historical enumeration order.
+func ThresholdSweep(x Exec, b Budget) ThresholdSweepResult {
 	subset := []string{"603.bwaves_s", "619.lbm_s", "605.mcf_s", "623.xalancbmk_s", "649.fotonik3d_s"}
 	var ws []workload.Workload
 	for _, n := range subset {
 		ws = append(ws, workload.MustByName(n))
 	}
-	baseIPC := map[string]float64{}
-	for _, w := range ws {
-		baseIPC[w.Name] = mustRunSingle(sim.DefaultConfig(1), SchemeNone, w, 1, b).PerCore[0].IPC
-	}
-	var res ThresholdSweepResult
+	baseIPC := baselineIPCs(x, sim.DefaultConfig(1), ws, 1, b)
+
+	var grid []ThresholdPoint
 	for _, tauHi := range []int{-12, -4, 4, 12} {
 		for _, gap := range []int{8, 14, 22} {
-			tauLo := tauHi - gap
-			var speedups []float64
-			for _, w := range ws {
-				cfg := ppf.DefaultConfig()
-				cfg.TauHi, cfg.TauLo = tauHi, tauLo
-				sys, err := sim.NewSystem(sim.DefaultConfig(1), []sim.CoreSetup{{
-					Trace:      w.NewReader(1),
-					Prefetcher: prefetch.NewSPP(prefetch.AggressiveSPPConfig()),
-					Filter:     ppf.New(cfg),
-				}})
-				if err != nil {
-					panic(err)
-				}
-				r := sys.Run(b.Warmup, b.Detail)
-				speedups = append(speedups, r.PerCore[0].IPC/baseIPC[w.Name])
-			}
-			p := ThresholdPoint{TauHi: tauHi, TauLo: tauLo, Geomean: stats.GeoMean(speedups)}
-			res.Points = append(res.Points, p)
-			if p.Geomean > res.Best.Geomean {
-				res.Best = p
-			}
+			grid = append(grid, ThresholdPoint{TauHi: tauHi, TauLo: tauHi - gap})
+		}
+	}
+	ipcs := runJobs(x, "thresholds", len(grid)*len(ws), func(i int) float64 {
+		pt, w := grid[i/len(ws)], ws[i%len(ws)]
+		cfg := ppf.DefaultConfig()
+		cfg.TauHi, cfg.TauLo = pt.TauHi, pt.TauLo
+		sys, err := sim.NewSystem(sim.DefaultConfig(1), []sim.CoreSetup{{
+			Trace:      w.NewReader(1),
+			Prefetcher: prefetch.NewSPP(prefetch.AggressiveSPPConfig()),
+			Filter:     ppf.New(cfg),
+		}})
+		if err != nil {
+			panic(err)
+		}
+		return sys.Run(b.Warmup, b.Detail).PerCore[0].IPC
+	})
+
+	var res ThresholdSweepResult
+	for gi, pt := range grid {
+		pt.Geomean = variantGeomean(ipcs[gi*len(ws):(gi+1)*len(ws)], baseIPC)
+		res.Points = append(res.Points, pt)
+		if pt.Geomean > res.Best.Geomean {
+			res.Best = pt
 		}
 	}
 	return res

@@ -18,11 +18,11 @@ func TestFigure11WrappersRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-heavy")
 	}
-	r := Figure11(1, microBudget())
+	r := Figure11(Serial(), 1, microBudget())
 	if r.Cores != 4 || len(r.PerMix[SchemePPF]) != 1 {
 		t.Fatalf("fig11 wrapper broken: %+v", r)
 	}
-	rr := Figure11Random(1, microBudget())
+	rr := Figure11Random(Serial(), 1, microBudget())
 	if rr.Cores != 4 {
 		t.Fatal("fig11rand wrapper broken")
 	}
@@ -32,7 +32,7 @@ func TestFigure12WrapperRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-heavy")
 	}
-	r := Figure12(1, microBudget())
+	r := Figure12(Serial(), 1, microBudget())
 	if r.Cores != 8 {
 		t.Fatal("fig12 wrapper broken")
 	}
@@ -45,7 +45,7 @@ func TestFigure13Runs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-heavy")
 	}
-	r := Figure13(microBudget())
+	r := Figure13(Serial(), microBudget())
 	if len(r.SPEC2006.Rows) != 29 {
 		t.Fatalf("2006 rows %d", len(r.SPEC2006.Rows))
 	}
@@ -62,7 +62,7 @@ func TestFigure8Runs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-heavy")
 	}
-	r := Figure8(microBudget())
+	r := Figure8(Serial(), microBudget())
 	if len(r.Features) != 3 || len(r.PerTrace[0]) != 20 {
 		t.Fatalf("fig8 shape: %d features, %d traces", len(r.Features), len(r.PerTrace[0]))
 	}
@@ -82,7 +82,7 @@ func TestAblationRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-heavy")
 	}
-	r := Ablation(microBudget())
+	r := Ablation(Serial(), microBudget())
 	// 9 leave-one-out rows plus the single-threshold variant.
 	if len(r.Rows) != len(ppf.DefaultFeatures())+1 {
 		t.Fatalf("%d ablation rows", len(r.Rows))
@@ -99,7 +99,7 @@ func TestThresholdSweepRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-heavy")
 	}
-	r := ThresholdSweep(microBudget())
+	r := ThresholdSweep(Serial(), microBudget())
 	if len(r.Points) != 12 {
 		t.Fatalf("%d sweep points", len(r.Points))
 	}
@@ -142,7 +142,7 @@ func TestStabilityRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-heavy")
 	}
-	r := Stability([]uint64{1, 2}, microBudget())
+	r := Stability(Serial(), []uint64{1, 2}, microBudget())
 	if len(r.Seeds) != 2 || len(r.PPFvsSPP) != 2 {
 		t.Fatalf("stability shape %+v", r)
 	}

@@ -1,0 +1,78 @@
+package runner
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// progress periodically reports done/total and an ETA for a sweep. All
+// writes happen from one reporter goroutine; job goroutines only touch
+// the atomic counter, so the reporter adds no lock contention to the
+// pool's hot path.
+type progress struct {
+	w       io.Writer
+	label   string
+	total   int
+	workers int
+	done    atomic.Int64
+	start   time.Time
+	stopCh  chan struct{}
+	doneCh  chan struct{}
+}
+
+func newProgress(w io.Writer, label string, total, workers int) *progress {
+	p := &progress{
+		w: w, label: label, total: total, workers: workers,
+		start:  time.Now(),
+		stopCh: make(chan struct{}),
+		doneCh: make(chan struct{}),
+	}
+	go p.loop()
+	return p
+}
+
+// jobDone records one finished job.
+func (p *progress) jobDone() { p.done.Add(1) }
+
+func (p *progress) loop() {
+	defer close(p.doneCh)
+	tick := time.NewTicker(250 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			p.render(false)
+		case <-p.stopCh:
+			p.render(true)
+			return
+		}
+	}
+}
+
+// render prints one status line. Intermediate lines end in \r so a
+// terminal shows a single updating line; the final line ends in \n.
+func (p *progress) render(final bool) {
+	done := int(p.done.Load())
+	elapsed := time.Since(p.start)
+	eta := "?"
+	if done > 0 {
+		remain := time.Duration(float64(elapsed) / float64(done) * float64(p.total-done))
+		eta = remain.Round(100 * time.Millisecond).String()
+	}
+	end := "\r"
+	if final {
+		end = "\n"
+		eta = "done"
+	}
+	fmt.Fprintf(p.w, "%s: %d/%d jobs (j=%d, %.1fs elapsed, eta %s)   %s",
+		p.label, done, p.total, p.workers, elapsed.Seconds(), eta, end)
+}
+
+// stop emits the final line and joins the reporter goroutine, so callers
+// may read the underlying writer race-free once stop returns.
+func (p *progress) stop() {
+	close(p.stopCh)
+	<-p.doneCh
+}

@@ -1,0 +1,148 @@
+// Package runner is the parallel job engine every experiment sweep runs
+// on: a bounded worker pool with deterministic result placement, context
+// cancellation, first-error propagation, panic recovery, per-job seed
+// derivation and an optional progress/ETA reporter.
+//
+// Determinism contract: Map assigns job i's result to slot i of the
+// returned slice, so callers that enumerate their (scheme, workload,
+// seed) cells in a fixed order observe identical results at any worker
+// count — the worker count changes only wall-clock time, never output.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Options configures one Map or Do invocation.
+type Options struct {
+	// Workers bounds the number of concurrently running jobs. Zero or
+	// negative selects GOMAXPROCS.
+	Workers int
+	// Label names the sweep in progress output and timing samples.
+	Label string
+	// Progress, when non-nil, receives live done/total/ETA lines
+	// (typically os.Stderr). Nil disables reporting.
+	Progress io.Writer
+	// Timings, when non-nil, collects each job's wall time.
+	Timings *stats.Timings
+}
+
+// workers resolves the effective pool size for n jobs.
+func (o Options) workers(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Map runs fn(ctx, i) for every i in [0, n) on a bounded worker pool and
+// returns the results in job order. The first job error (or recovered
+// panic) cancels the sweep: jobs not yet started are skipped, running
+// jobs may observe ctx.Done(), and the first error is returned with a
+// nil slice. A panicking job is reported as an error carrying the panic
+// value and stack rather than crashing the pool.
+func Map[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Context, job int) (T, error)) ([]T, error) {
+	if n < 0 {
+		panic(fmt.Sprintf("runner: negative job count %d", n))
+	}
+	results := make([]T, n)
+	if n == 0 {
+		return results, ctx.Err()
+	}
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	var prog *progress
+	if opts.Progress != nil {
+		prog = newProgress(opts.Progress, opts.Label, n, opts.workers(n))
+		defer prog.stop()
+	}
+
+	runJob := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				fail(fmt.Errorf("runner: job %d (%s) panicked: %v\n%s",
+					i, opts.Label, r, debug.Stack()))
+			}
+		}()
+		start := time.Now()
+		v, err := fn(ctx, i)
+		if opts.Timings != nil {
+			opts.Timings.Add(fmt.Sprintf("%s[%d]", opts.Label, i), time.Since(start))
+		}
+		if prog != nil {
+			prog.jobDone()
+		}
+		if err != nil {
+			fail(fmt.Errorf("runner: job %d (%s): %w", i, opts.Label, err))
+			return
+		}
+		results[i] = v
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.workers(n); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				runJob(i)
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := parent.Err(); err != nil {
+		// The caller's context was cancelled before every job ran.
+		return nil, err
+	}
+	return results, nil
+}
+
+// Do is Map for jobs with no result value.
+func Do(ctx context.Context, n int, opts Options, fn func(ctx context.Context, job int) error) error {
+	_, err := Map(ctx, n, opts, func(ctx context.Context, i int) (struct{}, error) {
+		return struct{}{}, fn(ctx, i)
+	})
+	return err
+}

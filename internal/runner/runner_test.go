@@ -1,0 +1,225 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+func TestMapOrderStableResults(t *testing.T) {
+	for _, workers := range []int{1, 3, 8, 64} {
+		got, err := Map(context.Background(), 100, Options{Workers: workers},
+			func(_ context.Context, i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: slot %d holds %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	_, err := Map(context.Background(), 40, Options{Workers: workers},
+		func(_ context.Context, i int) (int, error) {
+			n := cur.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+			return i, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent jobs, pool bound is %d", p, workers)
+	}
+}
+
+func TestMapFirstErrorPropagationCancelsSweep(t *testing.T) {
+	sentinel := errors.New("boom")
+	var started atomic.Int64
+	_, err := Map(context.Background(), 1000, Options{Workers: 2},
+		func(ctx context.Context, i int) (int, error) {
+			started.Add(1)
+			if i == 3 {
+				return 0, sentinel
+			}
+			// Later jobs linger briefly so the canceled feeder, not luck,
+			// is what keeps the started count low.
+			select {
+			case <-ctx.Done():
+			case <-time.After(time.Millisecond):
+			}
+			return i, nil
+		})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error %v does not wrap the job error", err)
+	}
+	if n := started.Load(); n == 1000 {
+		t.Fatal("sweep ran every job despite an early error")
+	}
+}
+
+// TestMapExternalCancellationMidSweep parks every running job on
+// ctx.Done and cancels from outside: the pool must stop feeding, unblock
+// the parked jobs, and report context.Canceled instead of hanging.
+func TestMapExternalCancellationMidSweep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	done := make(chan error, 1)
+	go func() {
+		_, err := Map(ctx, 500, Options{Workers: 4},
+			func(ctx context.Context, i int) (int, error) {
+				started.Add(1)
+				<-ctx.Done() // jobs only finish once cancelled
+				return 0, ctx.Err()
+			})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Map did not return after external cancellation")
+	}
+	if n := started.Load(); n >= 500 {
+		t.Fatalf("all %d jobs started despite mid-sweep cancellation", n)
+	}
+}
+
+func TestMapPanicRecovery(t *testing.T) {
+	_, err := Map(context.Background(), 20, Options{Workers: 4, Label: "explode"},
+		func(_ context.Context, i int) (int, error) {
+			if i == 7 {
+				panic("kaboom")
+			}
+			return i, nil
+		})
+	if err == nil {
+		t.Fatal("panicking job must surface as an error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "panicked") || !strings.Contains(msg, "kaboom") ||
+		!strings.Contains(msg, "explode") {
+		t.Fatalf("panic error lacks context: %v", msg)
+	}
+}
+
+// TestMapSharedAccumulatorUnderRace exercises the pattern the experiment
+// sweeps rely on — concurrent jobs funnelling into a shared
+// stats.Timings and the results slice — and fails under `go test -race`
+// if either path shares state incorrectly.
+func TestMapSharedAccumulatorUnderRace(t *testing.T) {
+	var tm stats.Timings
+	var sum atomic.Int64
+	got, err := Map(context.Background(), 200, Options{Workers: 8, Label: "acc", Timings: &tm},
+		func(_ context.Context, i int) (int, error) {
+			sum.Add(int64(i))
+			return i, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 200 || tm.Len() != 200 {
+		t.Fatalf("results %d / timings %d, want 200/200", len(got), tm.Len())
+	}
+	s := tm.Summary()
+	if s.Jobs != 200 || s.Max < s.P50 || !strings.HasPrefix(s.Slowest, "acc[") {
+		t.Fatalf("bad summary %+v", s)
+	}
+	if sum.Load() != 199*200/2 {
+		t.Fatalf("shared counter %d", sum.Load())
+	}
+}
+
+func TestMapZeroJobs(t *testing.T) {
+	got, err := Map(context.Background(), 0, Options{},
+		func(_ context.Context, i int) (int, error) { return i, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestDoPropagatesError(t *testing.T) {
+	sentinel := errors.New("nope")
+	if err := Do(context.Background(), 10, Options{Workers: 2},
+		func(_ context.Context, i int) error {
+			if i == 2 {
+				return sentinel
+			}
+			return nil
+		}); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := Do(context.Background(), 10, Options{Workers: 2},
+		func(_ context.Context, i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProgressReporting(t *testing.T) {
+	var buf bytes.Buffer
+	_, err := Map(context.Background(), 12, Options{Workers: 4, Label: "sweep", Progress: &buf},
+		func(_ context.Context, i int) (int, error) {
+			time.Sleep(time.Millisecond)
+			return i, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String() // safe: the reporter goroutine joined before Map returned
+	if !strings.Contains(out, "sweep: 12/12") || !strings.Contains(out, "j=4") {
+		t.Fatalf("progress output missing final line: %q", out)
+	}
+}
+
+func TestSeedDeterministicAndDistinct(t *testing.T) {
+	seen := map[uint64]string{}
+	for _, base := range []uint64{0, 1, 42, ^uint64(0)} {
+		for job := 0; job < 1000; job++ {
+			s := Seed(base, job)
+			if s == 0 {
+				t.Fatalf("Seed(%d,%d) = 0", base, job)
+			}
+			if s != Seed(base, job) {
+				t.Fatalf("Seed(%d,%d) not deterministic", base, job)
+			}
+			key := fmt.Sprintf("%d/%d", base, job)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision between %s and %s", prev, key)
+			}
+			seen[s] = key
+		}
+	}
+	// Mix64 fixes zero (all its ops preserve 0) — Seed's Weyl step is
+	// what keeps job seeds away from that degenerate point.
+	if Mix64(0) != 0 {
+		t.Fatal("Mix64(0) changed; the zero-fixed-point contract moved")
+	}
+	if Mix64(1) == Mix64(2) {
+		t.Fatal("Mix64 degenerate")
+	}
+}

@@ -1,0 +1,30 @@
+package runner
+
+// Mix64 is the splitmix64 finalizer: a cheap, high-quality bijective
+// mixer (note it fixes zero: Mix64(0) == 0). Identical constants to the
+// generator the multi-core mix picker in internal/experiment has always
+// used, so derived seed streams are stable across releases.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// Seed derives the job-th seed of the deterministic stream rooted at
+// base. Distinct (base, job) pairs give statistically independent seeds,
+// and the value depends only on the pair — never on worker scheduling —
+// so a sweep that seeds job i with Seed(base, i) is reproducible at any
+// worker count. Zero is never returned (several downstream generators
+// treat zero as "unseeded").
+func Seed(base uint64, job int) uint64 {
+	// Weyl sequence step by the golden ratio, then finalize; the same
+	// splitmix64 construction the reference PRNG literature uses.
+	s := Mix64(base + (uint64(job)+1)*0x9E3779B97F4A7C15)
+	if s == 0 {
+		return 0x9E3779B97F4A7C15
+	}
+	return s
+}

@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Timings is a concurrency-safe collector of per-job wall times. The
+// parallel experiment runner feeds one sample per simulation job into it
+// so sweep cost stays observable: the summed durations approximate the
+// CPU time a sweep consumed, while the sweep's wall time shrinks with the
+// worker count.
+type Timings struct {
+	mu      sync.Mutex
+	labels  []string
+	samples []time.Duration
+}
+
+// Add records one job's wall time. Safe for concurrent use.
+func (t *Timings) Add(label string, d time.Duration) {
+	t.mu.Lock()
+	t.labels = append(t.labels, label)
+	t.samples = append(t.samples, d)
+	t.mu.Unlock()
+}
+
+// Len returns the number of recorded samples.
+func (t *Timings) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.samples)
+}
+
+// Reset discards all recorded samples.
+func (t *Timings) Reset() {
+	t.mu.Lock()
+	t.labels = t.labels[:0]
+	t.samples = t.samples[:0]
+	t.mu.Unlock()
+}
+
+// TimingSummary aggregates a set of job timings.
+type TimingSummary struct {
+	Jobs    int
+	Total   time.Duration // sum over jobs ≈ CPU time consumed
+	Mean    time.Duration
+	P50     time.Duration
+	P95     time.Duration
+	Max     time.Duration
+	Slowest string // label of the longest job
+}
+
+// Summary computes aggregate statistics over the recorded samples.
+func (t *Timings) Summary() TimingSummary {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := TimingSummary{Jobs: len(t.samples)}
+	if s.Jobs == 0 {
+		return s
+	}
+	sorted := append([]time.Duration(nil), t.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i, d := range t.samples {
+		s.Total += d
+		if d > s.Max {
+			s.Max = d
+			s.Slowest = t.labels[i]
+		}
+	}
+	s.Mean = s.Total / time.Duration(s.Jobs)
+	s.P50 = sorted[len(sorted)/2]
+	s.P95 = sorted[(len(sorted)*95)/100]
+	return s
+}
+
+// String renders the summary as a single report line.
+func (s TimingSummary) String() string {
+	if s.Jobs == 0 {
+		return "0 jobs"
+	}
+	return fmt.Sprintf("%d jobs, %.1fs job-time total, mean %s, p50 %s, p95 %s, max %s (%s)",
+		s.Jobs, s.Total.Seconds(),
+		s.Mean.Round(time.Millisecond), s.P50.Round(time.Millisecond),
+		s.P95.Round(time.Millisecond), s.Max.Round(time.Millisecond), s.Slowest)
+}
