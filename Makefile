@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race determinism bench experiments clean
+.PHONY: check build vet test race determinism bench bench-smoke profile experiments clean
 
 # check is the full CI gate: static checks, build, race-enabled tests,
 # and the worker-count determinism proof.
@@ -25,8 +25,21 @@ race:
 determinism:
 	$(GO) test -race -run Deterministic -count=1 ./internal/experiment/
 
+# bench measures the per-access hot kernels and one fixed Figure 9 cell,
+# writing BENCH_kernel.json (schema documented in EXPERIMENTS.md). This
+# is the simulation kernel's perf trajectory across PRs.
 bench:
+	$(GO) run ./cmd/bench -out BENCH_kernel.json
+
+# bench-smoke compiles and runs every micro-benchmark once — a CI guard
+# that the benchmarks themselves keep working, without timing anything.
+bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+
+# profile captures CPU and heap profiles of a representative experiment;
+# inspect with `go tool pprof cpu.pprof`.
+profile:
+	$(GO) run ./cmd/experiments -run fig1 -quick -cpuprofile cpu.pprof -memprofile mem.pprof
 
 experiments:
 	$(GO) run ./cmd/experiments -run all -quick -progress

@@ -25,6 +25,7 @@ import (
 	"repro/internal/branch"
 	ppf "repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/kernelbench"
 	"repro/internal/prefetch"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -208,9 +209,25 @@ func BenchmarkFilterTrainCycle(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		in.Addr += 64
-		f.RecordIssue(in)
+		f.RecordIssue(in, ppf.FillL2)
 		f.OnDemand(in.Addr)
 	}
+}
+
+func BenchmarkKernelFilterDecideTrain(b *testing.B) {
+	kernelbench.FilterDecideTrain(b)
+}
+
+func BenchmarkKernelCacheReadHit(b *testing.B) {
+	kernelbench.CacheReadHit(b)
+}
+
+func BenchmarkKernelCacheReadMiss(b *testing.B) {
+	kernelbench.CacheReadMiss(b)
+}
+
+func BenchmarkKernelSPPTrigger(b *testing.B) {
+	kernelbench.SPPTrigger(b)
 }
 
 func BenchmarkBranchPredictor(b *testing.B) {

@@ -1,0 +1,88 @@
+// Command bench measures the simulator's hot kernels and writes the
+// snapshot to BENCH_kernel.json, the repository's kernel-performance
+// trajectory (schema: internal/stats.KernelBench).
+//
+// Usage:
+//
+//	bench                      # full run, writes BENCH_kernel.json
+//	bench -out file.json       # alternate output path
+//	bench -quick               # shorter sim cell for CI smoke runs
+//	bench -skip-sim            # micro-kernels only
+//
+// Each micro-kernel runs under testing.Benchmark (the standard ~1s
+// auto-scaling harness); the sim row times one fixed Figure 9 cell
+// (603.bwaves_s, SPP+PPF) end to end and reports simulated
+// instructions per wall second.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/kernelbench"
+	"repro/internal/stats"
+)
+
+func main() {
+	out := flag.String("out", "BENCH_kernel.json", "output path for the JSON snapshot")
+	quick := flag.Bool("quick", false, "use a short sim budget (CI smoke)")
+	skipSim := flag.Bool("skip-sim", false, "skip the figure-level sim-rate row")
+	flag.Parse()
+
+	kernels := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"filter_decide_train", kernelbench.FilterDecideTrain},
+		{"cache_read_hit", kernelbench.CacheReadHit},
+		{"cache_read_miss", kernelbench.CacheReadMiss},
+		{"spp_trigger", kernelbench.SPPTrigger},
+	}
+
+	snap := stats.KernelBench{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	for _, k := range kernels {
+		r := testing.Benchmark(k.fn)
+		row := stats.KernelResult{
+			Name:        k.name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Iterations:  int64(r.N),
+		}
+		snap.Kernels = append(snap.Kernels, row)
+		fmt.Printf("%-24s %12.1f ns/op %8d B/op %6d allocs/op  (n=%d)\n",
+			k.name, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp, row.Iterations)
+	}
+
+	if !*skipSim {
+		warmup, detail := uint64(200_000), uint64(1_000_000)
+		if *quick {
+			warmup, detail = 30_000, 120_000
+		}
+		insts, elapsed := kernelbench.Fig9CellRate(warmup, detail)
+		sec := elapsed.Seconds()
+		snap.Sim = &stats.SimRate{
+			Workload:           "603.bwaves_s",
+			WarmupInstructions: warmup,
+			DetailInstructions: detail,
+			Instructions:       insts,
+			Seconds:            sec,
+			InstructionsPerSec: float64(insts) / sec,
+		}
+		fmt.Printf("%-24s %12.0f sim-instructions/sec (%d instructions in %.2fs)\n",
+			"fig9_cell", snap.Sim.InstructionsPerSec, insts, sec)
+	}
+
+	if err := snap.WriteFile(*out); err != nil {
+		fmt.Fprintf(os.Stderr, "writing %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -109,8 +109,8 @@ func main() {
 		}
 		if c.Filter != nil {
 			f := c.Filter
-			fmt.Printf("  PPF: %d inferences -> %d L2 / %d LLC / %d dropped (issue rate %.1f%%)\n",
-				f.Inferences, f.IssuedL2, f.IssuedLLC, f.Dropped, 100*f.IssueRate())
+			fmt.Printf("  PPF: %d inferences -> %d L2 / %d LLC / %d dropped / %d squashed (issue rate %.1f%%)\n",
+				f.Inferences, f.IssuedL2, f.IssuedLLC, f.Dropped, f.Squashed, 100*f.IssueRate())
 			fmt.Printf("       training: %d positive, %d negative, %d false negatives recovered\n",
 				f.TrainPositive, f.TrainNegative, f.FalseNegatives)
 		}

@@ -9,6 +9,11 @@
 // tracked in an MSHR table so that accesses to in-flight blocks merge
 // onto the pending fill instead of issuing duplicate requests, and so
 // that a full MSHR back-pressures the core.
+//
+// The line and MSHR state is stored structure-of-arrays: the per-access
+// tag and LRU scans walk one densely packed array each instead of
+// striding across per-line structs, which keeps the hot lookup/victim
+// loops inside one or two cache lines of simulator-host memory per set.
 package cache
 
 import "fmt"
@@ -18,6 +23,19 @@ const BlockBits = 6
 
 // BlockSize is the cache block size in bytes.
 const BlockSize = 1 << BlockBits
+
+// invalidTag marks an empty line or MSHR slot. Block addresses are
+// byte addresses shifted right by BlockBits (at most 58 significant
+// bits even with per-core address-space tagging), so the all-ones
+// pattern can never collide with a real block.
+const invalidTag = ^uint64(0)
+
+// Per-line flag bits (the valid bit is implicit: tag != invalidTag).
+const (
+	flagDirty uint8 = 1 << iota
+	flagPrefetched
+	flagUsed
+)
 
 // Level is anything that can service a block request: a cache or DRAM.
 type Level interface {
@@ -100,25 +118,6 @@ func (s Stats) Accuracy() float64 {
 	return float64(s.PrefetchUseful) / float64(s.PrefetchFills)
 }
 
-type line struct {
-	tag        uint64
-	lastUse    uint64
-	owner      int16
-	valid      bool
-	dirty      bool
-	prefetched bool
-	used       bool
-}
-
-type mshrEntry struct {
-	block uint64 // block address (addr >> BlockBits)
-	done  uint64
-	valid bool
-	// lowPrio marks fills issued at prefetch priority; a demand merging
-	// onto one promotes the in-flight request to demand priority.
-	lowPrio bool
-}
-
 // Config describes one cache's geometry and latency.
 type Config struct {
 	Name       string
@@ -147,11 +146,26 @@ func (c Config) Validate() error {
 type Cache struct {
 	cfg     Config
 	sets    int
+	ways    int
 	setMask uint64
-	lines   []line // sets*ways, row-major by set
+
+	// Line state, structure-of-arrays, sets*ways row-major by set. A
+	// slot is valid iff tags[i] != invalidTag.
+	tags    []uint64
+	lastUse []uint64
+	flags   []uint8
+	owner   []int16
+
 	useTick uint64
-	mshrs   []mshrEntry
-	next    Level
+
+	// MSHR state, structure-of-arrays. A slot is in use iff
+	// mshrBlock[i] != invalidTag; mshrLow marks prefetch-priority fills
+	// (a demand merging onto one promotes the in-flight request).
+	mshrBlock []uint64
+	mshrDone  []uint64
+	mshrLow   []bool
+
+	next Level
 
 	// EvictHook, when non-nil, observes every eviction of a valid block.
 	// The PPF filter uses it to detect prefetches that polluted the cache.
@@ -178,14 +192,28 @@ func New(cfg Config, next Level) (*Cache, error) {
 		return nil, fmt.Errorf("cache %q: next level must not be nil", cfg.Name)
 	}
 	sets := cfg.SizeBytes / BlockSize / cfg.Ways
-	return &Cache{
-		cfg:     cfg,
-		sets:    sets,
-		setMask: uint64(sets - 1),
-		lines:   make([]line, sets*cfg.Ways),
-		mshrs:   make([]mshrEntry, cfg.MSHRs),
-		next:    next,
-	}, nil
+	n := sets * cfg.Ways
+	c := &Cache{
+		cfg:       cfg,
+		sets:      sets,
+		ways:      cfg.Ways,
+		setMask:   uint64(sets - 1),
+		tags:      make([]uint64, n),
+		lastUse:   make([]uint64, n),
+		flags:     make([]uint8, n),
+		owner:     make([]int16, n),
+		mshrBlock: make([]uint64, cfg.MSHRs),
+		mshrDone:  make([]uint64, cfg.MSHRs),
+		mshrLow:   make([]bool, cfg.MSHRs),
+		next:      next,
+	}
+	for i := range c.tags {
+		c.tags[i] = invalidTag
+	}
+	for i := range c.mshrBlock {
+		c.mshrBlock[i] = invalidTag
+	}
+	return c, nil
 }
 
 // MustNew is New that panics on error, for statically-valid configs.
@@ -211,13 +239,13 @@ func (c *Cache) Sets() int { return c.sets }
 
 func (c *Cache) setOf(block uint64) int { return int(block & c.setMask) }
 
-// lookup returns the index into c.lines of the block, or -1.
+// lookup returns the line index of the block, or -1. Invalid slots hold
+// invalidTag, so a tag match alone proves residence.
 func (c *Cache) lookup(block uint64) int {
-	set := c.setOf(block)
-	base := set * c.cfg.Ways
-	for w := 0; w < c.cfg.Ways; w++ {
-		ln := &c.lines[base+w]
-		if ln.valid && ln.tag == block {
+	base := c.setOf(block) * c.ways
+	tags := c.tags[base : base+c.ways]
+	for w := range tags {
+		if tags[w] == block {
 			return base + w
 		}
 	}
@@ -227,20 +255,19 @@ func (c *Cache) lookup(block uint64) int {
 // Contains reports whether the block holding addr is resident.
 func (c *Cache) Contains(addr uint64) bool { return c.lookup(addr>>BlockBits) >= 0 }
 
-// pendingFill returns the in-flight fill entry for block, if one is
-// outstanding and still in the future at cycle `at`.
-func (c *Cache) pendingFill(block, at uint64) (*mshrEntry, bool) {
-	for i := range c.mshrs {
-		e := &c.mshrs[i]
-		if e.valid && e.block == block {
-			if e.done <= at {
-				e.valid = false
-				return nil, false
+// pendingFill returns the MSHR slot index of the in-flight fill for
+// block, if one is outstanding and still in the future at cycle `at`.
+func (c *Cache) pendingFill(block, at uint64) (int, bool) {
+	for i, b := range c.mshrBlock {
+		if b == block {
+			if c.mshrDone[i] <= at {
+				c.mshrBlock[i] = invalidTag
+				return -1, false
 			}
-			return e, true
+			return i, true
 		}
 	}
-	return nil, false
+	return -1, false
 }
 
 // reserveMSHR claims an MSHR slot for a new miss at cycle `at`. It returns
@@ -254,23 +281,23 @@ func (c *Cache) reserveMSHR(at uint64) (idx int, start uint64) {
 	minIdx := 0
 	prefIdx := -1
 	var prefMin uint64 = ^uint64(0)
-	for i := range c.mshrs {
-		e := &c.mshrs[i]
-		if e.valid && e.done <= at {
-			e.valid = false
+	for i, b := range c.mshrBlock {
+		if b != invalidTag && c.mshrDone[i] <= at {
+			c.mshrBlock[i] = invalidTag
+			b = invalidTag
 		}
-		if !e.valid {
+		if b == invalidTag {
 			if freeIdx < 0 {
 				freeIdx = i
 			}
 			continue
 		}
-		if e.done < minDone {
-			minDone = e.done
+		if c.mshrDone[i] < minDone {
+			minDone = c.mshrDone[i]
 			minIdx = i
 		}
-		if e.lowPrio && e.done < prefMin {
-			prefMin = e.done
+		if c.mshrLow[i] && c.mshrDone[i] < prefMin {
+			prefMin = c.mshrDone[i]
 			prefIdx = i
 		}
 	}
@@ -282,24 +309,28 @@ func (c *Cache) reserveMSHR(at uint64) (idx int, start uint64) {
 		// demand: the speculative fill loses its merge entry (real
 		// designs drop prefetches under MSHR pressure) and the demand
 		// issues immediately.
-		c.mshrs[prefIdx].valid = false
+		c.mshrBlock[prefIdx] = invalidTag
 		return prefIdx, at
 	}
 	// Structural hazard among demand fills only: the miss issues when
 	// the earliest outstanding fill retires.
 	c.stats.MSHRFullStalls++
-	c.mshrs[minIdx].valid = false
+	c.mshrBlock[minIdx] = invalidTag
 	return minIdx, minDone
 }
 
 // commitMSHR records the outstanding fill in a reserved slot.
 func (c *Cache) commitMSHR(idx int, block, done uint64) {
-	c.mshrs[idx] = mshrEntry{block: block, done: done, valid: true}
+	c.mshrBlock[idx] = block
+	c.mshrDone[idx] = done
+	c.mshrLow[idx] = false
 }
 
 // commitMSHRPrefetch records an outstanding prefetch-priority fill.
 func (c *Cache) commitMSHRPrefetch(idx int, block, done uint64) {
-	c.mshrs[idx] = mshrEntry{block: block, done: done, valid: true, lowPrio: true}
+	c.mshrBlock[idx] = block
+	c.mshrDone[idx] = done
+	c.mshrLow[idx] = true
 }
 
 // reserveMSHRPrefetch claims a slot for a prefetch fill without ever
@@ -309,19 +340,19 @@ func (c *Cache) commitMSHRPrefetch(idx int, block, done uint64) {
 func (c *Cache) reserveMSHRPrefetch(at uint64) (idx int, ok bool) {
 	free := 0
 	freeIdx := -1
-	for i := range c.mshrs {
-		e := &c.mshrs[i]
-		if e.valid && e.done <= at {
-			e.valid = false
+	for i, b := range c.mshrBlock {
+		if b != invalidTag && c.mshrDone[i] <= at {
+			c.mshrBlock[i] = invalidTag
+			b = invalidTag
 		}
-		if !e.valid {
+		if b == invalidTag {
 			free++
 			if freeIdx < 0 {
 				freeIdx = i
 			}
 		}
 	}
-	if freeIdx < 0 || free <= len(c.mshrs)/4 {
+	if freeIdx < 0 || free <= len(c.mshrBlock)/4 {
 		return 0, false
 	}
 	return freeIdx, true
@@ -329,62 +360,67 @@ func (c *Cache) reserveMSHRPrefetch(at uint64) (idx int, ok bool) {
 
 // victim picks the LRU way in set and returns its line index.
 func (c *Cache) victim(set int) int {
-	base := set * c.cfg.Ways
+	base := set * c.ways
 	best := base
 	var bestUse uint64 = ^uint64(0)
-	for w := 0; w < c.cfg.Ways; w++ {
-		ln := &c.lines[base+w]
-		if !ln.valid {
-			return base + w
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.tags[i] == invalidTag {
+			return i
 		}
-		if ln.lastUse < bestUse {
-			bestUse = ln.lastUse
-			best = base + w
+		if c.lastUse[i] < bestUse {
+			bestUse = c.lastUse[i]
+			best = i
 		}
 	}
 	return best
 }
 
 // insert places block into the cache, evicting as needed, and returns the
-// inserted line. owner is the prefetching core (-1 for demand fills).
-func (c *Cache) insert(block uint64, at uint64, prefetched bool, owner int) *line {
-	set := c.setOf(block)
-	idx := c.victim(set)
-	ln := &c.lines[idx]
-	if ln.valid {
+// inserted line index. owner is the prefetching core (-1 for demand fills).
+func (c *Cache) insert(block uint64, at uint64, prefetched bool, owner int) int {
+	idx := c.victim(c.setOf(block))
+	if c.tags[idx] != invalidTag {
+		fl := c.flags[idx]
 		c.stats.Evictions++
-		if ln.prefetched && !ln.used {
+		if fl&flagPrefetched != 0 && fl&flagUsed == 0 {
 			c.stats.PrefetchUnused++
 		}
 		if c.EvictHook != nil {
 			c.EvictHook(EvictInfo{
-				Addr:       ln.tag << BlockBits,
-				Prefetched: ln.prefetched,
-				Used:       ln.used,
-				Owner:      int(ln.owner),
+				Addr:       c.tags[idx] << BlockBits,
+				Prefetched: fl&flagPrefetched != 0,
+				Used:       fl&flagUsed != 0,
+				Owner:      int(c.owner[idx]),
 			})
 		}
-		if ln.dirty {
+		if fl&flagDirty != 0 {
 			c.stats.Writebacks++
-			c.next.Write(ln.tag<<BlockBits, at)
+			c.next.Write(c.tags[idx]<<BlockBits, at)
 		}
 	}
 	c.useTick++
-	*ln = line{tag: block, lastUse: c.useTick, valid: true, prefetched: prefetched, owner: int16(owner)}
-	return ln
+	c.tags[idx] = block
+	c.lastUse[idx] = c.useTick
+	var fl uint8
+	if prefetched {
+		fl = flagPrefetched
+	}
+	c.flags[idx] = fl
+	c.owner[idx] = int16(owner)
+	return idx
 }
 
 // touch refreshes LRU state and prefetch-usefulness bookkeeping on a
 // demand hit.
 func (c *Cache) touch(idx int, addr uint64) {
-	ln := &c.lines[idx]
 	c.useTick++
-	ln.lastUse = c.useTick
-	if ln.prefetched && !ln.used {
-		ln.used = true
+	c.lastUse[idx] = c.useTick
+	if fl := c.flags[idx]; fl&flagPrefetched != 0 && fl&flagUsed == 0 {
+		c.flags[idx] = fl | flagUsed
 		c.stats.PrefetchUseful++
 		if c.UsefulHook != nil {
-			c.UsefulHook(addr&^(BlockSize-1), int(ln.owner))
+			c.UsefulHook(addr&^(BlockSize-1), int(c.owner[idx]))
 		}
 	}
 }
@@ -414,20 +450,20 @@ func (c *Cache) Write(addr uint64, at uint64) {
 	}
 	done := c.next.Read(addr, reqAt)
 	c.commitMSHR(idx, block, done)
-	ln := c.insert(block, at, false, -1)
-	ln.dirty = true
+	li := c.insert(block, at, false, -1)
+	c.flags[li] |= flagDirty
 }
 
 func (c *Cache) touchWrite(idx int) {
-	ln := &c.lines[idx]
 	c.useTick++
-	ln.lastUse = c.useTick
-	ln.dirty = true
-	if ln.prefetched && !ln.used {
-		ln.used = true
+	c.lastUse[idx] = c.useTick
+	fl := c.flags[idx]
+	c.flags[idx] = fl | flagDirty
+	if fl&flagPrefetched != 0 && fl&flagUsed == 0 {
+		c.flags[idx] |= flagUsed
 		c.stats.PrefetchUseful++
 		if c.UsefulHook != nil {
-			c.UsefulHook(ln.tag<<BlockBits, int(ln.owner))
+			c.UsefulHook(c.tags[idx]<<BlockBits, int(c.owner[idx]))
 		}
 	}
 }
@@ -444,22 +480,22 @@ func (c *Cache) access(addr, at uint64) uint64 {
 		// A hit on a block whose fill is still in flight completes when
 		// the fill does (hit-under-miss merge). It counts as a hit for
 		// MPKI purposes: the miss was (at least partially) covered.
-		if e, pending := c.pendingFill(block, at); pending {
+		if mi, pending := c.pendingFill(block, at); pending {
 			c.stats.MSHRMerges++
-			if c.lines[idx].prefetched {
+			if c.flags[idx]&flagPrefetched != 0 {
 				c.stats.PrefetchLate++
 			}
-			done = e.done
-			if e.lowPrio {
+			done = c.mshrDone[mi]
+			if c.mshrLow[mi] {
 				// Promote the in-flight prefetch to demand priority: the
 				// controller reschedules the request as if it were a
 				// fresh demand, and the fill completes at whichever is
 				// sooner.
 				if promoted := promoteRead(c.next, addr, at); promoted < done {
 					done = promoted
-					e.done = promoted
+					c.mshrDone[mi] = promoted
 				}
-				e.lowPrio = false
+				c.mshrLow[mi] = false
 			}
 			c.stats.MergeWaitSum += done - at
 		} else {
@@ -496,9 +532,9 @@ func (c *Cache) Prefetch(addr uint64, at uint64, fillHere bool, owner int) (uint
 		c.stats.PrefetchDropped++
 		return at, false
 	}
-	if e, pending := c.pendingFill(block, at); pending {
+	if mi, pending := c.pendingFill(block, at); pending {
 		c.stats.PrefetchDropped++
-		return e.done, false
+		return c.mshrDone[mi], false
 	}
 	if !fillHere {
 		if nc, ok := c.next.(*Cache); ok {
@@ -558,9 +594,9 @@ func (c *Cache) ReadPrefetch(addr, at uint64, owner int) uint64 {
 	if idx := c.lookup(block); idx >= 0 {
 		c.stats.PrefetchReadHit++
 		c.useTick++
-		c.lines[idx].lastUse = c.useTick
-		if e, pending := c.pendingFill(block, at); pending {
-			return e.done
+		c.lastUse[idx] = c.useTick
+		if mi, pending := c.pendingFill(block, at); pending {
+			return c.mshrDone[mi]
 		}
 		return at + c.cfg.HitLatency
 	}
@@ -597,14 +633,14 @@ func promoteRead(next Level, addr, at uint64) uint64 {
 // resident the data is a hit away; otherwise the promotion falls through.
 func (c *Cache) PromoteRead(addr, at uint64) uint64 {
 	block := addr >> BlockBits
-	if e, pending := c.pendingFill(block, at); pending {
-		if e.lowPrio {
-			if promoted := promoteRead(c.next, addr, at); promoted < e.done {
-				e.done = promoted
+	if mi, pending := c.pendingFill(block, at); pending {
+		if c.mshrLow[mi] {
+			if promoted := promoteRead(c.next, addr, at); promoted < c.mshrDone[mi] {
+				c.mshrDone[mi] = promoted
 			}
-			e.lowPrio = false
+			c.mshrLow[mi] = false
 		}
-		return e.done
+		return c.mshrDone[mi]
 	}
 	if c.lookup(block) >= 0 {
 		return at + c.cfg.HitLatency

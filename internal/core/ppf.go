@@ -10,6 +10,11 @@ const (
 	WeightMax = 15
 )
 
+// MaxFeatures bounds the feature-vector length so cached index vectors
+// can live inline in table entries without per-event allocation. The
+// largest set in use is the 23-feature selection pool.
+const MaxFeatures = 32
+
 // Table geometry (paper §3.1 "Recording"): 1,024-entry direct-mapped
 // prefetch and reject tables, 10-bit index, 6-bit tag.
 const (
@@ -74,12 +79,16 @@ func DefaultConfig() Config {
 	return Config{TauHi: -4, TauLo: -18, ThetaP: 40, ThetaN: -40}
 }
 
-// Stats aggregates filter activity.
+// Stats aggregates filter activity. The per-decision counters partition
+// the inferences: Inferences == IssuedL2 + IssuedLLC + Dropped + Squashed
+// whenever every non-drop decision is resolved with RecordIssue or
+// RecordSquashed (as the simulator does).
 type Stats struct {
 	Inferences     uint64 // candidates scored
-	IssuedL2       uint64
-	IssuedLLC      uint64
-	Dropped        uint64
+	IssuedL2       uint64 // prefetches actually issued into the L2
+	IssuedLLC      uint64 // prefetches actually issued into the LLC
+	Dropped        uint64 // candidates the filter rejected
+	Squashed       uint64 // accepted candidates squashed before issue (MSHR full / in-flight duplicate)
 	TrainPositive  uint64 // weight-increment events
 	TrainNegative  uint64 // weight-decrement events
 	FalseNegatives uint64 // reject-table hits: we dropped a useful prefetch
@@ -87,7 +96,10 @@ type Stats struct {
 	EvictUnused    uint64 // issued prefetch evicted without use
 }
 
-// IssueRate is the fraction of candidates the filter let through.
+// IssueRate is the fraction of scored candidates that were actually
+// issued as prefetches. Candidates the filter accepted but the cache
+// squashed (full MSHRs, in-flight duplicates) count in the denominator
+// but not the numerator.
 func (s Stats) IssueRate() float64 {
 	if s.Inferences == 0 {
 		return 0
@@ -95,17 +107,27 @@ func (s Stats) IssueRate() float64 {
 	return float64(s.IssuedL2+s.IssuedLLC) / float64(s.Inferences)
 }
 
-// recordEntry is one Prefetch/Reject Table slot. The stored fields match
-// the paper's Table 2 metadata (valid, tag, useful, perceptron decision,
-// PC, address, current signature, PC hash, delta, confidence, depth);
-// storage accounting for them lives in storage.go.
+// indexVec caches, per candidate, the weight-table index of each active
+// feature. Indices are pure functions of the FeatureInput, so they are
+// computed once per event (in Decide) and reused by every later lookup,
+// training, and observation touching the same candidate — the stored
+// vector replaces up to three full re-hashes of all features. uint16
+// suffices: New rejects weight tables larger than 1<<16 entries.
+type indexVec [MaxFeatures]uint16
+
+// recordEntry is one Prefetch/Reject Table slot. The hardware stores the
+// paper's Table 2 metadata (valid, tag, useful, perceptron decision, PC,
+// address, current signature, PC hash, delta, confidence, depth); this
+// model keeps the condensed form training actually consumes — the cached
+// feature-index vector. Storage accounting still follows the paper's bit
+// budget in storage.go.
 type recordEntry struct {
-	valid    bool
-	tag      uint16
-	useful   bool
-	issued   bool   // the perceptron decision: true = prefetched
-	seq      uint64 // issue sequence number, for overwrite-age checks
-	features FeatureInput
+	valid  bool
+	tag    uint16
+	useful bool
+	issued bool   // the perceptron decision: true = prefetched
+	seq    uint64 // issue sequence number, for overwrite-age checks
+	idx    indexVec
 }
 
 // Filter is the perceptron prefetch filter.
@@ -121,6 +143,15 @@ type Filter struct {
 
 	issueSeq uint64
 
+	// scratchIdx holds the index vector computed by the most recent
+	// Decide; RecordIssue/RecordReject for the same candidate reuse it
+	// instead of re-hashing every feature. Index vectors are pure
+	// functions of the input, so a stale hit is impossible: the cached
+	// vector is only used when scratchFor matches the input exactly.
+	scratchIdx   indexVec
+	scratchFor   FeatureInput
+	scratchValid bool
+
 	// OnTrainEvent, when non-nil, observes every training example: the
 	// weight each feature table currently holds for the example, and the
 	// ground-truth outcome (+1 the prefetch was useful, -1 it was not).
@@ -133,23 +164,25 @@ type Filter struct {
 	stats Stats
 }
 
-// New constructs a filter. A zero-value Config is replaced by
-// DefaultConfig thresholds.
+// New constructs a filter with the thresholds exactly as given; an
+// all-zero threshold point is a legal configuration (sweeps and
+// ablations may probe it). Use DefaultConfig for the tuned defaults.
 func New(cfg Config) *Filter {
-	if cfg.TauHi == 0 && cfg.TauLo == 0 && cfg.ThetaP == 0 && cfg.ThetaN == 0 {
-		def := DefaultConfig()
-		def.Features = cfg.Features
-		cfg = def
-	}
 	feats := cfg.Features
 	if feats == nil {
 		feats = DefaultFeatures()
+	}
+	if len(feats) > MaxFeatures {
+		panic(fmt.Sprintf("core: %d features exceeds MaxFeatures=%d", len(feats), MaxFeatures))
 	}
 	f := &Filter{cfg: cfg, features: feats}
 	f.weights = make([][]int8, len(feats))
 	for i, spec := range feats {
 		if spec.TableSize <= 0 {
 			panic(fmt.Sprintf("core: feature %q has non-positive table size", spec.Name))
+		}
+		if spec.TableSize > 1<<16 {
+			panic(fmt.Sprintf("core: feature %q table size %d exceeds the 1<<16 cached-index limit", spec.Name, spec.TableSize))
 		}
 		f.weights[i] = make([]int8, spec.TableSize)
 	}
@@ -204,17 +237,51 @@ func (f *Filter) indexFor(i int, in *FeatureInput) int {
 	return int(mix(raw) % uint64(len(f.weights[i])))
 }
 
+// computeScratch evaluates every feature's table index for the input
+// held in f.scratchFor, writing the vector into f.scratchIdx. All index
+// computation funnels through the filter-resident scratch pair: the
+// feature Index funcs are indirect calls, so handing them a pointer to a
+// stack value would force the whole 80-byte input to escape to the heap
+// on every event — pointing them at a field of the (already
+// heap-resident) Filter costs nothing.
+func (f *Filter) computeScratch() {
+	in := &f.scratchFor
+	for i := range f.features {
+		raw := f.features[i].Index(in)
+		f.scratchIdx[i] = uint16(mix(raw) % uint64(len(f.weights[i])))
+	}
+	f.scratchValid = true
+}
+
+// ensureScratch makes f.scratchIdx hold the index vector for in, reusing
+// the vector Decide just computed when the inputs match (the common
+// decide→record path). Index vectors are pure functions of the input, so
+// a stale hit is impossible.
+func (f *Filter) ensureScratch(in *FeatureInput) {
+	if f.scratchValid && f.scratchFor == *in {
+		return
+	}
+	f.scratchFor = *in
+	f.computeScratch()
+}
+
 // Sum computes the perceptron output for a candidate's features.
 func (f *Filter) Sum(in *FeatureInput) int {
+	f.ensureScratch(in)
+	return f.sumIndexed(&f.scratchIdx)
+}
+
+// sumIndexed sums the weights selected by a precomputed index vector.
+func (f *Filter) sumIndexed(idx *indexVec) int {
 	sum := 0
 	for i := range f.features {
-		sum += int(f.weights[i][f.indexFor(i, in)])
+		sum += int(f.weights[i][idx[i]])
 	}
 	return sum
 }
 
 // observe reports a training example to OnTrainEvent.
-func (f *Filter) observe(in *FeatureInput, outcome int) {
+func (f *Filter) observe(idx *indexVec, outcome int) {
 	if f.OnTrainEvent == nil {
 		return
 	}
@@ -223,7 +290,7 @@ func (f *Filter) observe(in *FeatureInput, outcome int) {
 	}
 	buf := f.trainBuf[:len(f.features)]
 	for i := range f.features {
-		buf[i] = f.weights[i][f.indexFor(i, in)]
+		buf[i] = f.weights[i][idx[i]]
 	}
 	f.OnTrainEvent(buf, outcome)
 }
@@ -231,16 +298,21 @@ func (f *Filter) observe(in *FeatureInput, outcome int) {
 // adjust applies one perceptron learning step in the given direction
 // (+1 strengthen / -1 weaken), saturating each 5-bit weight.
 func (f *Filter) adjust(in *FeatureInput, dir int) {
+	f.ensureScratch(in)
+	f.adjustIndexed(&f.scratchIdx, dir)
+}
+
+// adjustIndexed is adjust over a precomputed index vector.
+func (f *Filter) adjustIndexed(idx *indexVec, dir int) {
 	for i := range f.features {
-		idx := f.indexFor(i, in)
-		w := int(f.weights[i][idx]) + dir
+		w := int(f.weights[i][idx[i]]) + dir
 		if w > WeightMax {
 			w = WeightMax
 		}
 		if w < WeightMin {
 			w = WeightMin
 		}
-		f.weights[i][idx] = int8(w)
+		f.weights[i][idx[i]] = int8(w)
 	}
 }
 
@@ -253,19 +325,20 @@ func recordIndex(addr uint64) (idx int, tag uint16) {
 }
 
 // Decide scores one candidate against the two thresholds (paper Figure 5
-// step 1: inferencing). It does not record the candidate; callers follow
-// up with RecordIssue or RecordReject once the prefetch's fate is known,
-// so that candidates squashed elsewhere (duplicate blocks, full MSHRs)
-// do not thrash the training tables.
+// step 1: inferencing). It does not record the candidate or count it as
+// issued; callers follow up with RecordIssue, RecordReject, or
+// RecordSquashed once the prefetch's fate is known, so that candidates
+// squashed elsewhere (duplicate blocks, full MSHRs) neither thrash the
+// training tables nor inflate the issue counters.
 func (f *Filter) Decide(in *FeatureInput) Decision {
 	f.stats.Inferences++
-	sum := f.Sum(in)
+	f.scratchFor = *in
+	f.computeScratch()
+	sum := f.sumIndexed(&f.scratchIdx)
 	switch {
 	case sum >= f.cfg.TauHi:
-		f.stats.IssuedL2++
 		return FillL2
 	case sum >= f.cfg.TauLo:
-		f.stats.IssuedLLC++
 		return FillLLC
 	default:
 		f.stats.Dropped++
@@ -274,33 +347,51 @@ func (f *Filter) Decide(in *FeatureInput) Decision {
 }
 
 // RecordIssue logs an issued prefetch in the Prefetch Table (paper Figure
-// 5 step 2). The paper's negative signal is the eviction of an unused
-// prefetched block; at this simulator's scaled-down run lengths those
-// evictions can arrive after the table entry is gone, so an entry that
-// survived at least one full table generation (1,024 issues) without a
-// demand hit is treated as the same signal when overwritten. Entries that
-// churn faster are simply lost, so useful long-lead prefetches are not
-// punished.
-func (f *Filter) RecordIssue(in FeatureInput) {
+// 5 step 2) and counts it against the decision d actually carried out
+// (FillL2 or FillLLC) — issue accounting lives here, not in Decide, so
+// squashed prefetches are never counted as issued. The paper's negative
+// signal is the eviction of an unused prefetched block; at this
+// simulator's scaled-down run lengths those evictions can arrive after
+// the table entry is gone, so an entry that survived at least one full
+// table generation (1,024 issues) without a demand hit is treated as the
+// same signal when overwritten. Entries that churn faster are simply
+// lost, so useful long-lead prefetches are not punished.
+func (f *Filter) RecordIssue(in FeatureInput, d Decision) {
+	switch d {
+	case FillL2:
+		f.stats.IssuedL2++
+	case FillLLC:
+		f.stats.IssuedLLC++
+	}
 	f.issueSeq++
 	idx, tag := recordIndex(in.Addr)
 	if e := &f.prefetchTable[idx]; e.valid && e.issued && !e.useful &&
 		f.issueSeq-e.seq >= recordTableEntries {
 		f.stats.EvictUnused++
-		f.observe(&e.features, -1)
-		if f.Sum(&e.features) > f.cfg.ThetaN {
-			f.adjust(&e.features, -1)
+		f.observe(&e.idx, -1)
+		if f.sumIndexed(&e.idx) > f.cfg.ThetaN {
+			f.adjustIndexed(&e.idx, -1)
 			f.stats.TrainNegative++
 		}
 	}
-	f.prefetchTable[idx] = recordEntry{valid: true, tag: tag, issued: true, seq: f.issueSeq, features: in}
+	f.ensureScratch(&in)
+	f.prefetchTable[idx] = recordEntry{valid: true, tag: tag, issued: true, seq: f.issueSeq, idx: f.scratchIdx}
+}
+
+// RecordSquashed accounts a candidate the filter accepted but the cache
+// squashed before issue (full MSHRs or an in-flight duplicate). The
+// candidate is not inserted into the Prefetch Table — it never became a
+// prefetch — and counts toward Squashed rather than IssuedL2/IssuedLLC.
+func (f *Filter) RecordSquashed() {
+	f.stats.Squashed++
 }
 
 // RecordReject logs a filtered-out candidate in the Reject Table so a
 // later demand to the block can correct the false negative.
 func (f *Filter) RecordReject(in FeatureInput) {
 	idx, tag := recordIndex(in.Addr)
-	f.rejectTable[idx] = recordEntry{valid: true, tag: tag, features: in}
+	f.ensureScratch(&in)
+	f.rejectTable[idx] = recordEntry{valid: true, tag: tag, idx: f.scratchIdx}
 }
 
 // Filter is the one-shot convenience path: decide and record in one call.
@@ -309,7 +400,7 @@ func (f *Filter) Filter(in FeatureInput) Decision {
 	if d == Drop {
 		f.RecordReject(in)
 	} else {
-		f.RecordIssue(in)
+		f.RecordIssue(in, d)
 	}
 	return d
 }
@@ -327,18 +418,18 @@ func (f *Filter) OnDemand(addr uint64) {
 		if !e.useful {
 			e.useful = true
 			f.stats.UsefulIssued++
-			f.observe(&e.features, +1)
+			f.observe(&e.idx, +1)
 		}
-		if f.Sum(&e.features) < f.cfg.ThetaP {
-			f.adjust(&e.features, +1)
+		if f.sumIndexed(&e.idx) < f.cfg.ThetaP {
+			f.adjustIndexed(&e.idx, +1)
 			f.stats.TrainPositive++
 		}
 	}
 	if e := &f.rejectTable[idx]; e.valid && e.tag == tag {
 		f.stats.FalseNegatives++
-		f.observe(&e.features, +1)
-		if f.Sum(&e.features) < f.cfg.ThetaP {
-			f.adjust(&e.features, +1)
+		f.observe(&e.idx, +1)
+		if f.sumIndexed(&e.idx) < f.cfg.ThetaP {
+			f.adjustIndexed(&e.idx, +1)
 			f.stats.TrainPositive++
 		}
 		e.valid = false
@@ -356,9 +447,9 @@ func (f *Filter) OnEvict(addr uint64, used bool) {
 	}
 	if !used && !e.useful {
 		f.stats.EvictUnused++
-		f.observe(&e.features, -1)
-		if f.Sum(&e.features) > f.cfg.ThetaN {
-			f.adjust(&e.features, -1)
+		f.observe(&e.idx, -1)
+		if f.sumIndexed(&e.idx) > f.cfg.ThetaN {
+			f.adjustIndexed(&e.idx, -1)
 			f.stats.TrainNegative++
 		}
 	}

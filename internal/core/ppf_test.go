@@ -17,13 +17,23 @@ func testInput(addr uint64) FeatureInput {
 	}
 }
 
-func TestNewDefaults(t *testing.T) {
+// TestNewPreservesZeroThresholds is the regression test for the old
+// zero-value sentinel: New used to silently swap an all-zero threshold
+// Config for DefaultConfig, making the (0,0,0,0) grid point
+// unrepresentable in sweeps and ablations.
+func TestNewPreservesZeroThresholds(t *testing.T) {
 	f := New(Config{})
-	if f.Config().TauHi != DefaultConfig().TauHi {
-		t.Fatal("zero config should adopt default thresholds")
+	cfg := f.Config()
+	if cfg.TauHi != 0 || cfg.TauLo != 0 || cfg.ThetaP != 0 || cfg.ThetaN != 0 {
+		t.Fatalf("all-zero thresholds not preserved: %+v", cfg)
 	}
 	if len(f.FeatureNames()) != 9 {
 		t.Fatalf("default feature count = %d, want 9", len(f.FeatureNames()))
+	}
+	// An untrained filter at (0, 0) thresholds has sum 0 ≥ TauHi: FillL2.
+	in := testInput(0x11000)
+	if d := f.Decide(&in); d != FillL2 {
+		t.Fatalf("untrained zero-threshold decision = %v, want fill-l2", d)
 	}
 }
 
@@ -48,16 +58,55 @@ func TestDecisionBands(t *testing.T) {
 	if d := f.Decide(&in); d != Drop {
 		t.Fatalf("negative-trained decision = %v, want drop", d)
 	}
+	// Decide counts inferences and drops only; issue counters move when
+	// the prefetch actually issues (RecordIssue).
 	s := f.Stats()
-	if s.Inferences != 3 || s.IssuedLLC != 1 || s.IssuedL2 != 1 || s.Dropped != 1 {
+	if s.Inferences != 3 || s.Dropped != 1 || s.IssuedLLC != 0 || s.IssuedL2 != 0 {
 		t.Fatalf("stats %+v", s)
+	}
+}
+
+// TestIssueAccounting checks the decide/record split: only RecordIssue
+// moves the issued counters, RecordSquashed accounts accepted-but-
+// squashed candidates, and the counters partition the inferences.
+func TestIssueAccounting(t *testing.T) {
+	f := New(DefaultConfig())
+	a, b, c := testInput(0x10000), testInput(0x20000), testInput(0x30000)
+
+	d := f.Decide(&a) // untrained default: FillL2
+	if d != FillL2 {
+		t.Fatalf("decision %v", d)
+	}
+	f.RecordIssue(a, d)
+
+	if d := f.Decide(&b); d == Drop {
+		t.Fatalf("decision %v", d)
+	} else {
+		f.RecordIssue(b, FillLLC)
+	}
+
+	if d := f.Decide(&c); d == Drop {
+		t.Fatalf("decision %v", d)
+	}
+	f.RecordSquashed() // cache squashed it: must not count as issued
+
+	s := f.Stats()
+	if s.IssuedL2 != 1 || s.IssuedLLC != 1 || s.Squashed != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.Inferences != s.IssuedL2+s.IssuedLLC+s.Dropped+s.Squashed {
+		t.Fatalf("counters do not partition inferences: %+v", s)
+	}
+	// Squashes dilute the issue rate but never inflate it: 2 of 3.
+	if got := s.IssueRate(); got != 2.0/3.0 {
+		t.Fatalf("issue rate %v", got)
 	}
 }
 
 func TestPositiveTrainingOnDemandHit(t *testing.T) {
 	f := New(DefaultConfig())
 	in := testInput(0x20000)
-	f.RecordIssue(in)
+	f.RecordIssue(in, FillL2)
 	before := f.Sum(&in)
 	f.OnDemand(in.Addr) // demand touches the prefetched block
 	after := f.Sum(&in)
@@ -78,7 +127,7 @@ func TestPositiveTrainingOnDemandHit(t *testing.T) {
 func TestNegativeTrainingOnEviction(t *testing.T) {
 	f := New(DefaultConfig())
 	in := testInput(0x30000)
-	f.RecordIssue(in)
+	f.RecordIssue(in, FillL2)
 	before := f.Sum(&in)
 	f.OnEvict(in.Addr, false)
 	after := f.Sum(&in)
@@ -98,7 +147,7 @@ func TestNegativeTrainingOnEviction(t *testing.T) {
 func TestUsedEvictionDoesNotTrainNegative(t *testing.T) {
 	f := New(DefaultConfig())
 	in := testInput(0x40000)
-	f.RecordIssue(in)
+	f.RecordIssue(in, FillL2)
 	f.OnDemand(in.Addr) // mark useful
 	f.OnEvict(in.Addr, true)
 	if f.Stats().TrainNegative != 0 {
@@ -129,20 +178,20 @@ func TestFalseNegativeRecovery(t *testing.T) {
 func TestOverwriteUnusedTrainsNegativeOnlyWhenOld(t *testing.T) {
 	f := New(DefaultConfig())
 	a := testInput(0x60000)
-	f.RecordIssue(a)
+	f.RecordIssue(a, FillL2)
 	// A fast overwrite (same direct-mapped slot: block + 1024 blocks)
 	// must NOT train: the entry never had a fair chance to be used.
 	b := testInput(0x60000 + 1024*64)
-	f.RecordIssue(b)
+	f.RecordIssue(b, FillL2)
 	if f.Stats().TrainNegative != 0 {
 		t.Fatalf("fast overwrite trained negative: %+v", f.Stats())
 	}
 	// Age the entry by a full table generation of unrelated issues, then
 	// overwrite: now it counts as unused-for-a-generation → negative.
 	for i := 0; i < 1024; i++ {
-		f.RecordIssue(testInput(uint64(0x900000 + i*64)))
+		f.RecordIssue(testInput(uint64(0x900000 + i*64)), FillL2)
 	}
-	f.RecordIssue(testInput(0x60000 + 2048*64))
+	f.RecordIssue(testInput(0x60000 + 2048*64), FillL2)
 	if f.Stats().EvictUnused == 0 || f.Stats().TrainNegative == 0 {
 		t.Fatalf("aged unused entry did not train: %+v", f.Stats())
 	}
@@ -153,7 +202,7 @@ func TestTrainingSaturationThresholds(t *testing.T) {
 	in := testInput(0x70000)
 	// Repeated positive training must stop once the sum reaches ThetaP.
 	for i := 0; i < 50; i++ {
-		f.RecordIssue(in)
+		f.RecordIssue(in, FillL2)
 		f.OnDemand(in.Addr)
 	}
 	if got := f.Sum(&in); got < 10 || got > 10+9 {
@@ -288,10 +337,10 @@ func TestOnTrainEventObserved(t *testing.T) {
 		events = append(events, outcome)
 	}
 	in := testInput(0x90000)
-	f.RecordIssue(in)
+	f.RecordIssue(in, FillL2)
 	f.OnDemand(in.Addr) // +1
 	in2 := testInput(0xA0000)
-	f.RecordIssue(in2)
+	f.RecordIssue(in2, FillL2)
 	f.OnEvict(in2.Addr, false) // -1
 	if len(events) != 2 || events[0] != 1 || events[1] != -1 {
 		t.Fatalf("events %v", events)

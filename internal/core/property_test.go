@@ -42,10 +42,10 @@ func TestFilterPropertyInvariants(t *testing.T) {
 				if f.Decide(&in) == Drop {
 					f.RecordReject(in)
 				} else {
-					f.RecordIssue(in)
+					f.RecordIssue(in, FillL2)
 				}
 			case 3:
-				f.RecordIssue(in)
+				f.RecordIssue(in, FillL2)
 			case 4:
 				f.OnDemand(in.Addr)
 			case 5:
@@ -94,7 +94,7 @@ func TestFilterTrainingSaturatesAtThresholds(t *testing.T) {
 	in := randInput(rand.New(rand.NewSource(7)))
 
 	for i := 0; i < 100; i++ {
-		f.RecordIssue(in)
+		f.RecordIssue(in, FillL2)
 		f.OnDemand(in.Addr)
 	}
 	if s := f.Sum(&in); s < f.cfg.ThetaP || s > f.cfg.ThetaP+len(f.features) {
@@ -102,7 +102,7 @@ func TestFilterTrainingSaturatesAtThresholds(t *testing.T) {
 	}
 
 	for i := 0; i < 200; i++ {
-		f.RecordIssue(in)
+		f.RecordIssue(in, FillL2)
 		f.OnEvict(in.Addr, false)
 	}
 	if s := f.Sum(&in); s > f.cfg.ThetaN || s < f.cfg.ThetaN-len(f.features) {

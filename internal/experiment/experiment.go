@@ -44,9 +44,14 @@ func AllSchemes() []Scheme {
 }
 
 // NewSetup builds a per-core simulator setup for a scheme. Each call
-// returns fresh prefetcher/filter state.
+// returns fresh prefetcher/filter state. A zero-value workload leaves
+// Trace nil for the caller to supply (cmd/ppfsim does this when driving
+// a binary trace file or its own reader).
 func NewSetup(s Scheme, w workload.Workload, seed uint64) sim.CoreSetup {
-	setup := sim.CoreSetup{Trace: w.NewReader(seed)}
+	var setup sim.CoreSetup
+	if w.Name != "" {
+		setup.Trace = w.NewReader(seed)
+	}
 	switch s {
 	case SchemeNone:
 	case SchemeBOP:

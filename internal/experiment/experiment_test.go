@@ -31,6 +31,19 @@ func TestNewSetupSchemes(t *testing.T) {
 	}
 }
 
+// TestNewSetupZeroWorkload is the regression test for the ppfsim crash:
+// cmd/ppfsim builds setups with a zero workload and supplies its own
+// trace reader afterwards, which used to panic inside NewReader.
+func TestNewSetupZeroWorkload(t *testing.T) {
+	setup := NewSetup(SchemePPF, workload.Workload{}, 1)
+	if setup.Trace != nil {
+		t.Fatal("zero workload should leave Trace nil for the caller")
+	}
+	if setup.Prefetcher == nil || setup.Filter == nil {
+		t.Fatal("scheme wiring should not depend on the workload")
+	}
+}
+
 func TestNewSetupPanicsOnUnknown(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -63,11 +63,26 @@ func ThresholdSweep(x Exec, b Budget) ThresholdSweepResult {
 	for gi, pt := range grid {
 		pt.Geomean = variantGeomean(ipcs[gi*len(ws):(gi+1)*len(ws)], baseIPC)
 		res.Points = append(res.Points, pt)
-		if pt.Geomean > res.Best.Geomean {
-			res.Best = pt
+	}
+	res.Best = bestPoint(res.Points)
+	return res
+}
+
+// bestPoint returns the highest-geomean point, seeded from the first
+// point so that the reported best is always a member of the grid — even
+// when every point's geomean is non-positive, which used to leave the
+// zero-value (0, 0) as "best" and no row marked in the render.
+func bestPoint(pts []ThresholdPoint) ThresholdPoint {
+	if len(pts) == 0 {
+		return ThresholdPoint{}
+	}
+	best := pts[0]
+	for _, p := range pts[1:] {
+		if p.Geomean > best.Geomean {
+			best = p
 		}
 	}
-	return res
+	return best
 }
 
 // Render prints the sweep grid.

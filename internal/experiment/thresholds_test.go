@@ -1,0 +1,43 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBestPointAllNonPositive is the regression test for the Best
+// seeding bug: with every grid point at a non-positive geomean, the
+// sweep used to report the zero-value (0, 0) — a point not in the grid —
+// and Render marked no row as best.
+func TestBestPointAllNonPositive(t *testing.T) {
+	pts := []ThresholdPoint{
+		{TauHi: -12, TauLo: -20, Geomean: -0.50},
+		{TauHi: -4, TauLo: -18, Geomean: -0.10},
+		{TauHi: 4, TauLo: -4, Geomean: -0.25},
+	}
+	best := bestPoint(pts)
+	if best != pts[1] {
+		t.Fatalf("best = %+v, want the least-bad grid point %+v", best, pts[1])
+	}
+	r := ThresholdSweepResult{Points: pts, Best: best}
+	if rendered := r.Render(); !strings.Contains(rendered, "<== best") {
+		t.Fatalf("render marks no best row:\n%s", rendered)
+	}
+}
+
+func TestBestPointPicksFirstMaximum(t *testing.T) {
+	pts := []ThresholdPoint{
+		{TauHi: -12, TauLo: -20, Geomean: 1.02},
+		{TauHi: -4, TauLo: -18, Geomean: 1.07},
+		{TauHi: 4, TauLo: -4, Geomean: 1.07}, // tie: the earlier point wins
+	}
+	if best := bestPoint(pts); best != pts[1] {
+		t.Fatalf("best = %+v, want first maximal point %+v", best, pts[1])
+	}
+}
+
+func TestBestPointEmpty(t *testing.T) {
+	if best := bestPoint(nil); best != (ThresholdPoint{}) {
+		t.Fatalf("best of empty grid = %+v, want zero value", best)
+	}
+}

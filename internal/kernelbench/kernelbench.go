@@ -1,0 +1,116 @@
+// Package kernelbench defines the micro-benchmarks of the simulator's
+// per-access hot kernels: the PPF filter decide+train cycle, cache read
+// hit/miss servicing, and the SPP trigger path. The bodies live here so
+// the same code runs both under `go test -bench` (via the Benchmark*
+// wrappers in the repository root) and under cmd/bench, which executes
+// them with testing.Benchmark and emits BENCH_kernel.json — the perf
+// trajectory of the simulation kernel across PRs.
+package kernelbench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	ppf "repro/internal/core"
+	"repro/internal/prefetch"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// FilterDecideTrain measures one full PPF event: score a candidate,
+// record the issue, then train from the demand hit — the sequence the
+// simulator runs for every accepted prefetch that proves useful.
+func FilterDecideTrain(b *testing.B) {
+	f := ppf.New(ppf.DefaultConfig())
+	in := ppf.FeatureInput{
+		Addr: 0x1000000, PC: 0x400123,
+		PCHist: [3]uint64{0x400100, 0x400200, 0x400300},
+		Depth:  2, Signature: 0xABC, Confidence: 60, Delta: 1,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.Addr += 64
+		d := f.Decide(&in)
+		if d == ppf.Drop {
+			f.RecordReject(in)
+			continue
+		}
+		f.RecordIssue(in, d)
+		f.OnDemand(in.Addr)
+	}
+}
+
+// fixedLevel is a constant-latency memory backing the cache benchmarks.
+type fixedLevel struct{ latency uint64 }
+
+func (m fixedLevel) Read(_ uint64, at uint64) uint64 { return at + m.latency }
+func (m fixedLevel) Write(uint64, uint64)            {}
+
+func benchCache() *cache.Cache {
+	return cache.MustNew(cache.Config{
+		Name: "bench", SizeBytes: 512 << 10, Ways: 8, HitLatency: 10, MSHRs: 48,
+	}, fixedLevel{latency: 200})
+}
+
+// CacheReadHit measures the demand-read hit path: tag lookup, LRU touch,
+// and the in-flight-fill merge scan.
+func CacheReadHit(b *testing.B) {
+	c := benchCache()
+	const blocks = 512 // fits easily in the 8K-block cache
+	for i := 0; i < blocks; i++ {
+		c.Read(uint64(i)<<cache.BlockBits, 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Read(uint64(i%blocks)<<cache.BlockBits, uint64(i))
+	}
+}
+
+// CacheReadMiss measures the demand-read miss path: victim selection,
+// eviction bookkeeping, MSHR reserve/commit, and insertion.
+func CacheReadMiss(b *testing.B) {
+	c := benchCache()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh block every access: always a miss once the cache warms.
+		c.Read(uint64(i)<<cache.BlockBits, uint64(i)<<8)
+	}
+}
+
+// SPPTrigger measures the prefetcher trigger path: one L2 demand access
+// through SPP's signature/pattern tables with candidate emission.
+func SPPTrigger(b *testing.B) {
+	s := prefetch.NewSPP(prefetch.DefaultSPPConfig())
+	emit := func(prefetch.Candidate) bool { return true }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := uint64(i%4096) << 6
+		s.OnDemand(prefetch.Access{PC: 0x400, Addr: addr}, emit)
+	}
+}
+
+// Fig9CellRate runs one fixed Figure 9 cell — 603.bwaves_s under
+// SPP+PPF at the given budget — and returns the end-to-end simulation
+// rate in simulated instructions per wall second. This is the
+// figure-level number the micro-kernels must ultimately move.
+func Fig9CellRate(warmup, detail uint64) (instructions uint64, elapsed time.Duration) {
+	w := workload.MustByName("603.bwaves_s")
+	sys, err := sim.NewSystem(sim.DefaultConfig(1), []sim.CoreSetup{{
+		Trace:      w.NewReader(1),
+		Prefetcher: prefetch.NewSPP(prefetch.AggressiveSPPConfig()),
+		Filter:     ppf.New(ppf.DefaultConfig()),
+	}})
+	if err != nil {
+		panic(err)
+	}
+	start := time.Now()
+	res := sys.Run(warmup, detail)
+	elapsed = time.Since(start)
+	// Warmup instructions are simulated work too; count the whole run.
+	return warmup + res.PerCore[0].Instructions, elapsed
+}

@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"testing"
+
+	ppf "repro/internal/core"
+	"repro/internal/prefetch"
+	"repro/internal/workload"
+)
+
+// These tests pin the squashed-prefetch accounting: a candidate the
+// filter accepts can still be squashed by the cache (an in-flight
+// duplicate, or MSHR pressure at both the L2 and the LLC), and such
+// candidates must count as Squashed — never as issued. The invariant
+// checked end to end is that the filter's issued counters equal the
+// simulator's count of prefetches actually filled into a cache (which is
+// also the number of prefetch-table inserts: both are incremented iff
+// the fill happened).
+
+func checkIssueAccounting(t *testing.T, fs ppf.Stats, issued uint64) {
+	t.Helper()
+	if fs.Inferences == 0 {
+		t.Fatal("no candidates scored")
+	}
+	if got := fs.IssuedL2 + fs.IssuedLLC; got != issued {
+		t.Errorf("filter issued counters %d != prefetches issued %d", got, issued)
+	}
+	if sum := fs.IssuedL2 + fs.IssuedLLC + fs.Dropped + fs.Squashed; sum != fs.Inferences {
+		t.Errorf("counters do not partition inferences: %d+%d+%d+%d != %d",
+			fs.IssuedL2, fs.IssuedLLC, fs.Dropped, fs.Squashed, fs.Inferences)
+	}
+	if fs.IssueRate() > 1 {
+		t.Errorf("issue rate %.3f > 1", fs.IssueRate())
+	}
+}
+
+// TestSquashAccountingInFlightDuplicates uses the default machine, where
+// deep SPP speculation routinely re-suggests blocks whose fills are
+// still in flight; those duplicates are squashed by the cache.
+func TestSquashAccountingInFlightDuplicates(t *testing.T) {
+	w := workload.MustByName("603.bwaves_s")
+	filter := ppf.New(ppf.DefaultConfig())
+	sys, err := NewSystem(DefaultConfig(1), []CoreSetup{{
+		Trace:      w.NewReader(1),
+		Prefetcher: prefetch.NewSPP(prefetch.AggressiveSPPConfig()),
+		Filter:     filter,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run(30_000, 150_000)
+	fs := filter.Stats()
+	checkIssueAccounting(t, fs, res.PerCore[0].PrefetchesIssued)
+	if fs.Squashed == 0 {
+		t.Error("expected in-flight duplicate squashes on a streaming workload")
+	}
+}
+
+// TestSquashAccountingMSHRPressure starves the L2 and LLC MSHR files so
+// accepted prefetches are squashed for lack of fill-tracking slots.
+func TestSquashAccountingMSHRPressure(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.L2.MSHRs = 2  // prefetches need a quarter of the file free: always denied
+	cfg.LLC.MSHRs = 2 // the demotion path at the LLC is denied too
+	w := workload.MustByName("603.bwaves_s")
+	filter := ppf.New(ppf.DefaultConfig())
+	sys, err := NewSystem(cfg, []CoreSetup{{
+		Trace:      w.NewReader(1),
+		Prefetcher: prefetch.NewNextLine(8),
+		Filter:     filter,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run(10_000, 60_000)
+	fs := filter.Stats()
+	checkIssueAccounting(t, fs, res.PerCore[0].PrefetchesIssued)
+	if fs.Squashed == 0 {
+		t.Error("expected MSHR-pressure squashes with a starved MSHR file")
+	}
+}

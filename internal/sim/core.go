@@ -77,77 +77,91 @@ func (c *Core) L2() *cache.Cache { return c.l2 }
 // L1D returns the core's private L1 data cache.
 func (c *Core) L1D() *cache.Cache { return c.l1d }
 
-// wire installs the prefetch trigger and training hooks on the private L2.
+// wire installs the prefetch trigger and training hooks on the private
+// L2. The hooks are bound methods rather than closures: the per-access
+// hot path then calls through a direct method value with no captured
+// environment to chase.
 func (c *Core) wire() {
-	c.emit = func(cand prefetch.Candidate) bool {
-		c.candidates++
-		at := c.curCycle
-		fillL2 := cand.FillL2
-		if c.filter != nil {
-			// Duplicates never reach the filter: a suggestion for a
-			// block already covered carries no signal either way.
-			if c.l2.Contains(cand.Addr) {
-				return false
-			}
-			in := ppf.FeatureInput{
-				Addr:       cand.Addr,
-				PC:         c.curPC,
-				PCHist:     c.filter.PCHist(),
-				Depth:      cand.Meta.Depth,
-				Signature:  cand.Meta.Signature,
-				Confidence: cand.Meta.Confidence,
-				Delta:      cand.Meta.Delta,
-			}
-			switch c.filter.Decide(&in) {
-			case ppf.Drop:
-				c.filter.RecordReject(in)
-				return false
-			case ppf.FillL2:
-				fillL2 = true
-			case ppf.FillLLC:
-				fillL2 = false
-			}
-			_, ok := c.l2.Prefetch(cand.Addr, at, fillL2, c.id)
-			if ok {
-				c.filter.RecordIssue(in)
-				c.pfIssued++
-				c.pf.OnPrefetchFill(cand.Addr)
-			}
-			return ok
-		}
-		_, ok := c.l2.Prefetch(cand.Addr, at, fillL2, c.id)
+	c.emit = c.emitCandidate
+	c.l2.DemandHook = c.onL2Demand
+	c.l2.UsefulHook = c.onL2Useful
+	c.l2.EvictHook = c.onL2Evict
+}
+
+// emitCandidate is the prefetcher's emission callback: it runs the PPF
+// decision, issues the prefetch, and keeps the filter's issue accounting
+// in sync with the prefetch's actual fate.
+func (c *Core) emitCandidate(cand prefetch.Candidate) bool {
+	c.candidates++
+	at := c.curCycle
+	if c.filter == nil {
+		_, ok := c.l2.Prefetch(cand.Addr, at, cand.FillL2, c.id)
 		if ok {
 			c.pfIssued++
 			c.pf.OnPrefetchFill(cand.Addr)
 		}
 		return ok
 	}
-
-	c.l2.DemandHook = func(addr uint64, at uint64, hit bool) {
-		if !c.curIsData {
-			return
-		}
-		c.curCycle = at
-		if c.filter != nil {
-			// Train from this demand access before triggering new
-			// prefetches (paper Figure 5 steps 3–4 precede step 1).
-			c.filter.OnDemand(addr)
-		}
-		c.pf.OnDemand(prefetch.Access{PC: c.curPC, Addr: addr, Cycle: at, Hit: hit}, c.emit)
-		if c.filter != nil {
-			c.filter.OnLoadPC(c.curPC)
-		}
+	// Duplicates never reach the filter: a suggestion for a block
+	// already covered carries no signal either way.
+	if c.l2.Contains(cand.Addr) {
+		return false
 	}
-
-	c.l2.UsefulHook = func(addr uint64, _ int) {
-		c.pfUseful++
-		c.pf.OnPrefetchUseful(addr)
+	in := ppf.FeatureInput{
+		Addr:       cand.Addr,
+		PC:         c.curPC,
+		PCHist:     c.filter.PCHist(),
+		Depth:      cand.Meta.Depth,
+		Signature:  cand.Meta.Signature,
+		Confidence: cand.Meta.Confidence,
+		Delta:      cand.Meta.Delta,
 	}
+	d := c.filter.Decide(&in)
+	if d == ppf.Drop {
+		c.filter.RecordReject(in)
+		return false
+	}
+	_, ok := c.l2.Prefetch(cand.Addr, at, d == ppf.FillL2, c.id)
+	if !ok {
+		// The cache squashed the accepted prefetch (MSHR pressure or an
+		// in-flight duplicate): no prefetch was issued, so it must not
+		// enter the prefetch table or the issued counters.
+		c.filter.RecordSquashed()
+		return false
+	}
+	c.filter.RecordIssue(in, d)
+	c.pfIssued++
+	c.pf.OnPrefetchFill(cand.Addr)
+	return true
+}
 
-	c.l2.EvictHook = func(info cache.EvictInfo) {
-		if c.filter != nil && info.Prefetched {
-			c.filter.OnEvict(info.Addr, info.Used)
-		}
+// onL2Demand triggers PPF training and prefetching on L2 demand reads.
+func (c *Core) onL2Demand(addr uint64, at uint64, hit bool) {
+	if !c.curIsData {
+		return
+	}
+	c.curCycle = at
+	if c.filter != nil {
+		// Train from this demand access before triggering new
+		// prefetches (paper Figure 5 steps 3–4 precede step 1).
+		c.filter.OnDemand(addr)
+	}
+	c.pf.OnDemand(prefetch.Access{PC: c.curPC, Addr: addr, Cycle: at, Hit: hit}, c.emit)
+	if c.filter != nil {
+		c.filter.OnLoadPC(c.curPC)
+	}
+}
+
+// onL2Useful routes first-use feedback to the prefetcher.
+func (c *Core) onL2Useful(addr uint64, _ int) {
+	c.pfUseful++
+	c.pf.OnPrefetchUseful(addr)
+}
+
+// onL2Evict routes prefetched-block evictions to PPF's negative training.
+func (c *Core) onL2Evict(info cache.EvictInfo) {
+	if c.filter != nil && info.Prefetched {
+		c.filter.OnEvict(info.Addr, info.Used)
 	}
 }
 

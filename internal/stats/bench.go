@@ -1,0 +1,51 @@
+package stats
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// KernelResult is one micro-benchmark row of BENCH_kernel.json.
+type KernelResult struct {
+	// Name identifies the kernel (e.g. "filter_decide_train").
+	Name string `json:"name"`
+	// NsPerOp is wall nanoseconds per kernel operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are the per-operation heap costs; the
+	// hot kernels are expected to hold these at zero.
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// Iterations is the measured b.N, for judging noise.
+	Iterations int64 `json:"iterations"`
+}
+
+// SimRate is the figure-level throughput row of BENCH_kernel.json: one
+// fixed Figure 9 cell timed end to end.
+type SimRate struct {
+	Workload           string  `json:"workload"`
+	WarmupInstructions uint64  `json:"warmup_instructions"`
+	DetailInstructions uint64  `json:"detail_instructions"`
+	Instructions       uint64  `json:"instructions"`
+	Seconds            float64 `json:"seconds"`
+	InstructionsPerSec float64 `json:"instructions_per_sec"`
+}
+
+// KernelBench is the schema of BENCH_kernel.json, the repository's
+// kernel-performance trajectory. cmd/bench emits one of these per run;
+// successive PRs append comparable snapshots.
+type KernelBench struct {
+	GoVersion string         `json:"go_version"`
+	GOOS      string         `json:"goos"`
+	GOARCH    string         `json:"goarch"`
+	Kernels   []KernelResult `json:"kernels"`
+	Sim       *SimRate       `json:"sim,omitempty"`
+}
+
+// WriteFile marshals the snapshot as indented JSON to path.
+func (k KernelBench) WriteFile(path string) error {
+	blob, err := json.MarshalIndent(k, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
