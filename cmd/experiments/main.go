@@ -191,10 +191,10 @@ func main() {
 			x.Progress = os.Stderr
 			x.Timings = &tm
 		}
-		start := time.Now()
+		start := time.Now() //ppflint:allow determinism wall time is operator feedback, not report data
 		fmt.Printf("==== %s: %s ====\n", r.name, r.desc)
 		rendered, data := r.run(x, b)
-		wall := time.Since(start)
+		wall := time.Since(start) //ppflint:allow determinism wall time is operator feedback, not report data
 		fmt.Println(rendered)
 		fmt.Printf("(%s in %.1fs)\n\n", r.name, wall.Seconds())
 		if *progress && tm.Len() > 0 {

@@ -1,0 +1,118 @@
+// Command ppflint runs the simulator's invariant analyzers over the
+// module: determinism of report output, saturating weight updates,
+// hardware-budget geometry, counter wiring, and zero-value sentinels.
+// See internal/analysis for what each rule enforces and EXPERIMENTS.md
+// for the invariant catalogue.
+//
+// Usage:
+//
+//	go run ./cmd/ppflint ./...          # lint the whole module
+//	go run ./cmd/ppflint -fix ./...     # apply suggested fixes
+//	go run ./cmd/ppflint -list          # describe the analyzers
+//
+// Diagnostics print as file:line:col: message [analyzer], one per
+// line, suitable for editor error parsers. The exit status is 1 when
+// any diagnostic fires, 2 on load/type-check failure, 0 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	fix := flag.Bool("fix", false, "apply suggested fixes to the source files")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	suite, err := analysis.LoadModule(".", patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ppflint: %v\n", err)
+		os.Exit(2)
+	}
+	diags := suite.Run(analyzers)
+	for _, d := range diags {
+		fmt.Printf("%s: %s [%s]\n", suite.Posf(d.Pos), d.Message, d.Analyzer)
+	}
+	if *fix {
+		n, err := applyFixes(suite, diags)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ppflint: applying fixes: %v\n", err)
+			os.Exit(2)
+		}
+		if n > 0 {
+			fmt.Fprintf(os.Stderr, "ppflint: applied %d suggested fix(es); re-run to verify\n", n)
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// applyFixes rewrites source files with the diagnostics' suggested
+// edits, applying edits back-to-front per file so earlier offsets stay
+// valid.
+func applyFixes(suite *analysis.Suite, diags []analysis.Diagnostic) (int, error) {
+	type edit struct {
+		start, end int
+		text       []byte
+	}
+	perFile := map[string][]edit{}
+	applied := 0
+	for _, d := range diags {
+		for _, f := range d.SuggestedFixes {
+			for _, e := range f.Edits {
+				start := suite.Fset.Position(e.Pos)
+				end := suite.Fset.Position(e.End)
+				if start.Filename == "" || start.Filename != end.Filename {
+					continue
+				}
+				perFile[start.Filename] = append(perFile[start.Filename],
+					edit{start: start.Offset, end: end.Offset, text: e.NewText})
+			}
+			applied++
+			break // one fix per diagnostic
+		}
+	}
+	var files []string
+	for file := range perFile {
+		files = append(files, file)
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		edits := perFile[file]
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return applied, err
+		}
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
+		prev := len(data) + 1
+		for _, e := range edits {
+			if e.end > prev || e.end > len(data) || e.start > e.end {
+				continue // overlapping or out-of-range edit; skip
+			}
+			data = append(data[:e.start], append(e.text, data[e.end:]...)...)
+			prev = e.start
+		}
+		if err := os.WriteFile(file, data, 0o644); err != nil {
+			return applied, err
+		}
+	}
+	return applied, nil
+}

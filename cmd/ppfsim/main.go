@@ -30,6 +30,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "workload seed")
 	listWL := flag.Bool("listworkloads", false, "list workload names and exit")
 	compare := flag.Bool("compare", false, "run every scheme on the workload and print a comparison")
+	verbose := flag.Bool("v", false, "print the full per-cache counter breakdown")
 	flag.Parse()
 
 	if *listWL {
@@ -99,6 +100,10 @@ func main() {
 		fmt.Printf("  L1D: %.2f demand MPKI, %d misses\n", c.L1D.DemandMPKI(c.Instructions), c.L1D.DemandMisses)
 		fmt.Printf("  L2 : %.2f demand MPKI, %d misses, prefetch fills %d (accuracy %.1f%%)\n",
 			c.L2.DemandMPKI(c.Instructions), c.L2.DemandMisses, c.L2.PrefetchFills, 100*c.L2.Accuracy())
+		if *verbose {
+			fmt.Printf("  L1D detail: %v\n", c.L1D)
+			fmt.Printf("  L2  detail: %v\n", c.L2)
+		}
 		fmt.Printf("  branch MPKI %.2f\n", c.BranchMPKI)
 		if c.Candidates > 0 {
 			fmt.Printf("  prefetcher: %d candidates, %d issued, %d useful", c.Candidates, c.PrefetchesIssued, c.PrefetchesUseful)
@@ -113,11 +118,17 @@ func main() {
 				f.Inferences, f.IssuedL2, f.IssuedLLC, f.Dropped, f.Squashed, 100*f.IssueRate())
 			fmt.Printf("       training: %d positive, %d negative, %d false negatives recovered\n",
 				f.TrainPositive, f.TrainNegative, f.FalseNegatives)
+			fmt.Printf("       tables: %d useful prefetches confirmed, %d unused-prefetch evictions\n",
+				f.UsefulIssued, f.EvictUnused)
 		}
 	}
 	fmt.Printf("\nLLC: %d demand misses, %d prefetch fills\n", res.LLC.DemandMisses, res.LLC.PrefetchFills)
-	fmt.Printf("DRAM: %d demand reads, %d prefetch reads, %d promoted, %d writes, %d row misses\n",
-		res.DRAM.Reads, res.DRAM.PrefetchReads, res.DRAM.PromotedReads, res.DRAM.Writes, res.DRAM.RowMisses)
+	if *verbose {
+		fmt.Printf("LLC detail: %v\n", res.LLC)
+	}
+	fmt.Printf("DRAM: %d demand reads, %d prefetch reads, %d promoted, %d writes, %d row hits / %d row misses\n",
+		res.DRAM.Reads, res.DRAM.PrefetchReads, res.DRAM.PromotedReads, res.DRAM.Writes,
+		res.DRAM.RowHits, res.DRAM.RowMisses)
 }
 
 // runComparison runs every scheme on one workload and prints a table.

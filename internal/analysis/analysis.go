@@ -1,0 +1,246 @@
+// Package analysis is ppflint's self-contained static-analysis
+// framework. It mirrors the shape of golang.org/x/tools/go/analysis —
+// Analyzer, Pass-like Suite access, Diagnostics with optional suggested
+// fixes, analysistest-style fixture testing — but is built entirely on
+// the standard library so the linter works in hermetic environments
+// with no module downloads.
+//
+// The analyzers in this package turn the simulator's reviewer-enforced
+// invariants into machine-checked rules:
+//
+//   - determinism: report output must not depend on map iteration
+//     order, wall-clock time, or the global math/rand source.
+//   - saturation: perceptron weight tables may only change through
+//     marked saturating helpers (the paper's θ-bounded updates).
+//   - hwbudget: table geometry constants must stay powers of two and
+//     consistent with the storage accounting (paper Tables 2 and 3).
+//   - counterwiring: every hardware counter must be both incremented by
+//     the simulator and surfaced by a reporter or serializer.
+//   - sentinel: zero values must not stand in for real data (zero-value
+//     Config dispatch, zero-seeded argmax selections).
+//
+// Diagnostics can be suppressed with a trailing or preceding
+// `//ppflint:allow <analyzer> [reason]` comment, or for a whole file
+// with the same comment above the package clause.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker. Run receives the whole
+// Suite so cross-package rules (counterwiring) use the same signature
+// as single-package ones.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and allow comments.
+	Name string
+	// Doc is a one-paragraph description printed by `ppflint -list`.
+	Doc string
+	// Run inspects the suite and reports findings.
+	Run func(s *Suite, report func(Diagnostic))
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+	// SuggestedFixes, when non-empty, are mechanical rewrites applied
+	// by `ppflint -fix`.
+	SuggestedFixes []SuggestedFix
+}
+
+// A SuggestedFix is a set of text edits that resolves a diagnostic.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
+}
+
+// A TextEdit replaces [Pos, End) with NewText.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText []byte
+}
+
+// A Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the import path. Fixture packages use their path below
+	// testdata/src; real packages use their module path.
+	Path  string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// allow maps file name -> allow table parsed from ppflint comments.
+	allow map[string]*allowTable
+}
+
+// A Suite is the unit of analysis: a set of packages sharing one
+// FileSet and type universe.
+type Suite struct {
+	Fset     *token.FileSet
+	Packages []*Package
+}
+
+// PathHas reports whether the package's import path contains the given
+// slash-separated segment sequence (e.g. "internal/experiment"). It
+// matches whole segments, so "internal/exp" does not match
+// "internal/experiment".
+func (p *Package) PathHas(sub string) bool {
+	segs := strings.Split(p.Path, "/")
+	want := strings.Split(sub, "/")
+	for i := 0; i+len(want) <= len(segs); i++ {
+		match := true
+		for j := range want {
+			if segs[i+j] != want[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the analyzers over the suite and returns surviving
+// (non-suppressed) diagnostics sorted by position.
+func (s *Suite) Run(analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, a := range analyzers {
+		a.Run(s, func(d Diagnostic) {
+			d.Analyzer = a.Name
+			if !s.suppressed(d) {
+				out = append(out, d)
+			}
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos != out[j].Pos {
+			return out[i].Pos < out[j].Pos
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}
+
+// suppressed reports whether an allow comment covers the diagnostic.
+func (s *Suite) suppressed(d Diagnostic) bool {
+	pos := s.Fset.Position(d.Pos)
+	for _, p := range s.Packages {
+		t, ok := p.allow[pos.Filename]
+		if !ok {
+			continue
+		}
+		return t.allows(d.Analyzer, pos.Line)
+	}
+	return false
+}
+
+// Posf renders a position for diagnostics output.
+func (s *Suite) Posf(pos token.Pos) string {
+	p := s.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d:%d", p.Filename, p.Line, p.Column)
+}
+
+// allowTable records, per file, which analyzers are allowed on which
+// lines (or on every line, for file-level allows).
+type allowTable struct {
+	file  map[string]bool // analyzer -> allowed everywhere in file
+	lines map[int]map[string]bool
+}
+
+func (t *allowTable) allows(analyzer string, line int) bool {
+	if t.file[analyzer] || t.file["all"] {
+		return true
+	}
+	// A line allow covers its own line and the line directly below it,
+	// so both trailing comments and own-line comments work.
+	for _, l := range []int{line, line - 1} {
+		if m := t.lines[l]; m != nil && (m[analyzer] || m["all"]) {
+			return true
+		}
+	}
+	return false
+}
+
+// buildAllowTables parses //ppflint:allow comments for every file in
+// the package. A comment positioned before the package clause applies
+// to the whole file.
+func (p *Package) buildAllowTables(fset *token.FileSet) {
+	p.allow = map[string]*allowTable{}
+	for _, f := range p.Files {
+		t := &allowTable{file: map[string]bool{}, lines: map[int]map[string]bool{}}
+		p.allow[fset.Position(f.Pos()).Filename] = t
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, ok := parseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				if c.Pos() < f.Package {
+					t.file[name] = true
+					continue
+				}
+				line := fset.Position(c.Pos()).Line
+				if t.lines[line] == nil {
+					t.lines[line] = map[string]bool{}
+				}
+				t.lines[line][name] = true
+			}
+		}
+	}
+}
+
+// parseAllow extracts the analyzer name from a `//ppflint:allow name
+// [reason...]` comment.
+func parseAllow(text string) (string, bool) {
+	// The directive form is rigid: no space before "allow", exactly one
+	// token for the analyzer name, whitespace-separated from the prefix
+	// (so //ppflint:allowfoo is not a directive).
+	const prefix = "//ppflint:allow"
+	if !strings.HasPrefix(text, prefix) {
+		return "", false
+	}
+	rest := strings.TrimPrefix(text, prefix)
+	if rest == "" || (rest[0] != ' ' && rest[0] != '\t') {
+		return "", false
+	}
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return "", false
+	}
+	fields := strings.Fields(rest)
+	return fields[0], true
+}
+
+// hasMarker reports whether a declaration's doc comment contains the
+// given //ppflint: marker (e.g. "//ppflint:saturating").
+func hasMarker(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(c.Text, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// All is the full ppflint analyzer suite, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Determinism,
+		Saturation,
+		HWBudget,
+		CounterWiring,
+		Sentinel,
+	}
+}

@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// Each analyzer is pinned by a fixture tree under testdata/src/<name>
+// containing both seeded violations (matched against `// want` comments)
+// and allowlisted/clean negatives that must stay silent.
+
+func TestDeterminismFixture(t *testing.T)   { RunFixture(t, Determinism) }
+func TestSaturationFixture(t *testing.T)    { RunFixture(t, Saturation) }
+func TestHWBudgetFixture(t *testing.T)      { RunFixture(t, HWBudget) }
+func TestCounterWiringFixture(t *testing.T) { RunFixture(t, CounterWiring) }
+func TestSentinelFixture(t *testing.T)      { RunFixture(t, Sentinel) }
+
+// TestPpflintRepo runs the full suite over the real module, pinning the
+// invariant `go run ./cmd/ppflint ./...` enforces in CI: the tree is
+// clean. Reintroducing any of the bug shapes the analyzers encode —
+// dead counters, unsorted map iteration in a report path, raw weight
+// stores, drifted table geometry, zero-value Config dispatch — fails
+// this test, and with it tier-1.
+func TestPpflintRepo(t *testing.T) {
+	suite, err := LoadModule("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags := suite.Run(All())
+	for _, d := range diags {
+		t.Errorf("%s: %s [%s]", suite.Posf(d.Pos), d.Message, d.Analyzer)
+	}
+}
+
+// TestAnalyzerMetadata keeps names and docs usable for the -list flag
+// and the allow-comment syntax (names are the annotation key).
+func TestAnalyzerMetadata(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v is missing metadata", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if strings.ToLower(a.Name) != a.Name || strings.ContainsAny(a.Name, " \t") {
+			t.Errorf("analyzer name %q must be a lowercase single token (it keys //ppflint:allow)", a.Name)
+		}
+	}
+	for _, want := range []string{"determinism", "saturation", "hwbudget", "counterwiring", "sentinel"} {
+		if !seen[want] {
+			t.Errorf("expected analyzer %q to be registered", want)
+		}
+	}
+}
+
+// TestParseAllow pins the escape-hatch comment grammar.
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text string
+		name string
+		ok   bool
+	}{
+		{"//ppflint:allow determinism wall time is operator feedback", "determinism", true},
+		{"//ppflint:allow saturation", "saturation", true},
+		{"// ppflint:allow determinism", "", false}, // space breaks the directive form
+		{"//ppflint:allowdeterminism", "", false},
+		{"// ordinary comment", "", false},
+	}
+	for _, c := range cases {
+		name, ok := parseAllow(c.text)
+		if ok != c.ok || name != c.name {
+			t.Errorf("parseAllow(%q) = %q, %v; want %q, %v", c.text, name, ok, c.name, c.ok)
+		}
+	}
+}

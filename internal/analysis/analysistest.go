@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// RunFixture is the package's analysistest equivalent: it loads the
+// GOPATH-like source tree under testdata/src/<analyzer name>, runs the
+// analyzer suite-style, and compares the diagnostics against `// want
+// "regexp"` comments in the fixture files. Every diagnostic must be
+// wanted and every want must fire, so fixtures pin both the positive
+// and the allowlisted-negative behavior of each rule.
+func RunFixture(t *testing.T, a *Analyzer) {
+	t.Helper()
+	root := filepath.Join("testdata", "src", a.Name)
+	suite, err := LoadTree(root, ".")
+	if err != nil {
+		t.Fatalf("loading fixture tree %s: %v", root, err)
+	}
+	diags := suite.Run([]*Analyzer{a})
+
+	wants, err := collectWants(root)
+	if err != nil {
+		t.Fatalf("parsing want comments: %v", err)
+	}
+
+	for _, d := range diags {
+		pos := suite.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		if !wants.match(key, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", suite.Posf(d.Pos), d.Message)
+		}
+	}
+	wants.reportUnmatched(t)
+}
+
+// wantSet maps file:line keys to pending expectation regexps.
+type wantSet struct {
+	pending map[string][]*regexp.Regexp
+}
+
+func (w *wantSet) match(key, message string) bool {
+	res := w.pending[key]
+	for i, re := range res {
+		if re.MatchString(message) {
+			w.pending[key] = append(res[:i], res[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (w *wantSet) reportUnmatched(t *testing.T) {
+	t.Helper()
+	for key, res := range w.pending {
+		for _, re := range res {
+			t.Errorf("%s: expected diagnostic matching %q did not fire", key, re)
+		}
+	}
+}
+
+var wantStringRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// collectWants scans fixture files for `// want "re" ["re" ...]` comments.
+func collectWants(root string) (*wantSet, error) {
+	w := &wantSet{pending: map[string][]*regexp.Regexp{}}
+	err := filepath.Walk(root, func(path string, fi os.FileInfo, err error) error {
+		if err != nil || fi.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			_, after, found := strings.Cut(line, "// want ")
+			if !found {
+				continue
+			}
+			key := fmt.Sprintf("%s:%d", path, i+1)
+			for _, q := range wantStringRE.FindAllString(after, -1) {
+				pat, err := strconv.Unquote(q)
+				if err != nil {
+					return fmt.Errorf("%s: bad want string %s: %v", key, q, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return fmt.Errorf("%s: bad want regexp %q: %v", key, pat, err)
+				}
+				w.pending[key] = append(w.pending[key], re)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return w, nil
+}

@@ -1,0 +1,254 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// CounterWiring enforces the accounting contract behind every figure
+// the simulator reports: a hardware counter is only trustworthy if the
+// simulator increments it AND a reporter or serializer surfaces it.
+// PR 2 fixed silent violations of exactly this rule (squashed
+// prefetches counted as issued; counters printed but never advanced),
+// so the rule is now mechanical:
+//
+//   - A counter struct is any struct named "Stats" declared in the
+//     simulator packages (internal/core, internal/cache, internal/dram,
+//     internal/sim, internal/branch) whose fields are all unsigned
+//     integers, or any struct whose doc comment carries a
+//     `//ppflint:counters` marker.
+//   - Every field must be written (=, op=, ++) by simulator code.
+//   - Every field must be read somewhere in non-test code — a counter
+//     visible only to tests is dead weight in the hardware budget.
+//
+// Whole-struct operations (`s = Stats{}` resets, struct copies) count
+// as neither: a reset does not make a counter live.
+var CounterWiring = &Analyzer{
+	Name: "counterwiring",
+	Doc: "every Stats counter field must be incremented by the simulator and " +
+		"surfaced by a reporter or serializer",
+	Run: runCounterWiring,
+}
+
+// simulatorPackages may declare counter structs and are where counter
+// writes must live.
+var simulatorPackages = []string{
+	"internal/core", "internal/cache", "internal/dram", "internal/sim", "internal/branch",
+}
+
+func inSimulatorScope(p *Package) bool {
+	for _, seg := range simulatorPackages {
+		if p.PathHas(seg) {
+			return true
+		}
+	}
+	return false
+}
+
+// counterField tracks one field's wiring.
+type counterField struct {
+	structName string
+	name       string
+	pos        token.Pos
+	written    bool
+	read       bool
+}
+
+func runCounterWiring(s *Suite, report func(Diagnostic)) {
+	// Counter wiring is a whole-program property: the writes live in the
+	// simulator packages and the reads live in reporters outside them.
+	// When the load pattern covers only simulator packages (e.g.
+	// `ppflint ./internal/core`), every counter would look unread, so
+	// the analyzer only fires on suites that include reporter-side code.
+	wholeProgram := false
+	for _, p := range s.Packages {
+		if !inSimulatorScope(p) {
+			wholeProgram = true
+			break
+		}
+	}
+	if !wholeProgram {
+		return
+	}
+
+	// Pass 1: collect counter structs and their fields.
+	fields := map[types.Object]*counterField{}
+	for _, p := range s.Packages {
+		if !inSimulatorScope(p) {
+			continue
+		}
+		collectCounterStructs(p, fields)
+	}
+	if len(fields) == 0 {
+		return
+	}
+
+	// Pass 2: classify every selector touching a counter field.
+	for _, p := range s.Packages {
+		writer := inSimulatorScope(p)
+		for _, f := range p.Files {
+			classifyUses(p, f, fields, writer)
+		}
+	}
+
+	// Pass 3: report unwired fields at their declarations, in source
+	// order (the practice this analyzer preaches).
+	var ordered []*counterField
+	for _, cf := range fields {
+		ordered = append(ordered, cf)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].pos < ordered[j].pos })
+	for _, cf := range ordered {
+		if !cf.written {
+			report(Diagnostic{Pos: cf.pos, Message: fmt.Sprintf(
+				"counter %s.%s is never incremented by the simulator: a reporter "+
+					"would print a frozen zero (write it in internal/{core,cache,dram,sim})",
+				cf.structName, cf.name)})
+		}
+		if !cf.read {
+			report(Diagnostic{Pos: cf.pos, Message: fmt.Sprintf(
+				"counter %s.%s is never surfaced: no reporter or serializer reads it "+
+					"outside tests, so the accounting it represents is invisible",
+				cf.structName, cf.name)})
+		}
+	}
+}
+
+// collectCounterStructs finds counter structs in one package.
+func collectCounterStructs(p *Package, fields map[types.Object]*counterField) {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok || len(st.Fields.List) == 0 {
+					continue
+				}
+				marked := hasMarker(gd.Doc, "//ppflint:counters") || hasMarker(ts.Doc, "//ppflint:counters")
+				if !marked && (ts.Name.Name != "Stats" || !allUnsignedFields(p, st)) {
+					continue
+				}
+				for _, fl := range st.Fields.List {
+					for _, name := range fl.Names {
+						obj := p.Info.Defs[name]
+						if obj == nil {
+							continue
+						}
+						fields[obj] = &counterField{
+							structName: p.Types.Name() + "." + ts.Name.Name,
+							name:       name.Name,
+							pos:        name.Pos(),
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// allUnsignedFields reports whether every field is an unsigned integer
+// — the signature of a pure event-counter struct.
+func allUnsignedFields(p *Package, st *ast.StructType) bool {
+	for _, fl := range st.Fields.List {
+		t := p.Info.TypeOf(fl.Type)
+		if t == nil {
+			return false
+		}
+		b, ok := t.Underlying().(*types.Basic)
+		if !ok || b.Info()&types.IsUnsigned == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// classifyUses walks one file marking counter-field reads and writes.
+// Parent tracking distinguishes the selector on the left of an
+// assignment (write) from every other mention (read).
+func classifyUses(p *Package, f *ast.File, fields map[types.Object]*counterField, writer bool) {
+	lookup := func(e ast.Expr) *counterField {
+		sel, ok := e.(*ast.SelectorExpr)
+		if !ok {
+			return nil
+		}
+		return fields[p.Info.ObjectOf(sel.Sel)]
+	}
+	var walk func(n ast.Node) bool
+	var markReads func(n ast.Node)
+	markReads = func(n ast.Node) {
+		if n == nil {
+			return
+		}
+		ast.Inspect(n, func(x ast.Node) bool {
+			// A function literal may itself write counters; re-enter
+			// the classifying walk instead of read-marking its body.
+			if fl, ok := x.(*ast.FuncLit); ok {
+				ast.Inspect(fl.Body, walk)
+				return false
+			}
+			if sel, ok := x.(*ast.SelectorExpr); ok {
+				if cf := fields[p.Info.ObjectOf(sel.Sel)]; cf != nil {
+					cf.read = true
+				}
+			}
+			return true
+		})
+	}
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if cf := lookup(lhs); cf != nil {
+					if writer {
+						cf.written = true
+					}
+					// The base expression of the selector may still
+					// read other state.
+					if sel, ok := lhs.(*ast.SelectorExpr); ok {
+						markReads(sel.X)
+					}
+					continue
+				}
+				markReads(lhs)
+			}
+			for _, rhs := range n.Rhs {
+				markReads(rhs)
+			}
+			return false
+		case *ast.IncDecStmt:
+			if cf := lookup(n.X); cf != nil {
+				if writer {
+					cf.written = true
+				}
+				return false
+			}
+		case *ast.KeyValueExpr:
+			// Stats{Field: v} construction in simulator code is a write.
+			if id, ok := n.Key.(*ast.Ident); ok {
+				if cf := fields[p.Info.ObjectOf(id)]; cf != nil {
+					if writer {
+						cf.written = true
+					}
+					markReads(n.Value)
+					return false
+				}
+			}
+		case *ast.SelectorExpr:
+			if cf := fields[p.Info.ObjectOf(n.Sel)]; cf != nil {
+				cf.read = true
+			}
+		}
+		return true
+	}
+	ast.Inspect(f, walk)
+}

@@ -1,0 +1,249 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Determinism enforces PR 1's byte-identical-reports guarantee: the
+// experiment pipeline must produce the same bytes at every -j worker
+// count and on every run. Three sources of nondeterminism are flagged:
+//
+//  1. Map iteration feeding ordered output. Iterating a map while
+//     appending to a slice (without sorting afterwards in the same
+//     function), writing to a printer/builder, accumulating floats
+//     (float addition is not associative), or overwriting a variable
+//     declared outside the loop is order-dependent and therefore
+//     run-dependent.
+//  2. Wall-clock reads (time.Now, time.Since) outside the allowlisted
+//     timing code in internal/runner and internal/kernelbench.
+//  3. The global math/rand source. All simulator randomness must come
+//     from the seeded splitmix streams in internal/trace and
+//     internal/runner so runs are reproducible from their seed.
+//
+// Genuinely order-independent sites carry a
+// `//ppflint:allow determinism <why>` annotation.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "flags map-iteration order, wall-clock reads, and global math/rand " +
+		"in paths that feed experiment reports",
+	Run: runDeterminism,
+}
+
+// timingAllowlist lists package path segments whose wall-clock reads
+// are legitimate: worker-pool scheduling/ETA and benchmark timing.
+var timingAllowlist = []string{"internal/runner", "internal/kernelbench"}
+
+func runDeterminism(s *Suite, report func(Diagnostic)) {
+	for _, p := range s.Packages {
+		timingOK := false
+		for _, seg := range timingAllowlist {
+			if p.PathHas(seg) {
+				timingOK = true
+			}
+		}
+		for _, f := range p.Files {
+			for _, imp := range f.Imports {
+				path := strings.Trim(imp.Path.Value, `"`)
+				if path == "math/rand" || path == "math/rand/v2" {
+					report(Diagnostic{Pos: imp.Pos(), Message: fmt.Sprintf(
+						"import of %s: simulator randomness must come from seeded "+
+							"splitmix streams (internal/trace, internal/runner), not the global source", path)})
+				}
+			}
+		}
+		for _, fd := range funcDecls(p) {
+			checkDeterminismFunc(p, fd, timingOK, report)
+		}
+	}
+}
+
+func checkDeterminismFunc(p *Package, fd *ast.FuncDecl, timingOK bool, report func(Diagnostic)) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if !timingOK && (pkgCall(p.Info, n, "time", "Now") || pkgCall(p.Info, n, "time", "Since")) {
+				report(Diagnostic{Pos: n.Pos(), Message: "wall-clock read in a result path: " +
+					"reports must be byte-identical across runs; move timing into " +
+					"internal/runner or internal/kernelbench, or annotate with //ppflint:allow determinism"})
+			}
+		case *ast.RangeStmt:
+			if rangedMap(p.Info, n) {
+				checkMapRange(p, fd, n, report)
+			}
+		}
+		return true
+	})
+}
+
+// rangedMap reports whether the range statement iterates a map.
+func rangedMap(info *types.Info, rng *ast.RangeStmt) bool {
+	tv, ok := info.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, ok = tv.Type.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRange flags order-dependent operations inside a map-range body.
+func checkMapRange(p *Package, fd *ast.FuncDecl, rng *ast.RangeStmt, report func(Diagnostic)) {
+	keyObj := rangeVarObj(p.Info, rng.Key)
+	valObj := rangeVarObj(p.Info, rng.Value)
+	mentionsLoopVar := func(n ast.Node) bool {
+		return mentionsObject(p.Info, n, keyObj) || mentionsObject(p.Info, n, valObj)
+	}
+	mapDesc := types.ExprString(rng.X)
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltin(p.Info, n, "append") {
+				// Appending to a slice that outlives the loop bakes the
+				// random iteration order into its element order; a
+				// loop-local slice cannot leak it.
+				if id, ok := n.Args[0].(*ast.Ident); ok && !declaredOutside(p.Info, id, rng) {
+					return true
+				}
+				if !sortedAfter(p, fd, rng) {
+					report(Diagnostic{Pos: n.Pos(), Message: fmt.Sprintf(
+						"append inside iteration over map %s with no later sort in this "+
+							"function: element order follows the randomized map order", mapDesc)})
+				}
+				return true
+			}
+			if name, bad := orderedSink(n); bad {
+				report(Diagnostic{Pos: n.Pos(), Message: fmt.Sprintf(
+					"%s inside iteration over map %s emits elements in randomized map order; "+
+						"sort the keys first", name, mapDesc)})
+			}
+		case *ast.AssignStmt:
+			checkMapRangeAssign(p, rng, n, mentionsLoopVar, mapDesc, report)
+		}
+		return true
+	})
+}
+
+// orderedSink reports calls that emit data in call order: printers,
+// writers, and stream encoders.
+func orderedSink(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	switch {
+	case strings.HasPrefix(name, "Fprint"), strings.HasPrefix(name, "Print"),
+		strings.HasPrefix(name, "Write"), name == "Encode":
+		return name, true
+	}
+	return "", false
+}
+
+// checkMapRangeAssign flags assignments that make the loop's outcome
+// depend on iteration order: overwriting an outer variable with a value
+// derived from the loop variables (arbitrary pick), unkeyed scatter
+// into an outer slice, and float accumulation.
+func checkMapRangeAssign(p *Package, rng *ast.RangeStmt, as *ast.AssignStmt,
+	mentionsLoopVar func(ast.Node) bool, mapDesc string, report func(Diagnostic)) {
+
+	// Float accumulation: addition is not associative, so even
+	// reductions that look commutative drift with order.
+	if as.Tok.String() == "+=" || as.Tok.String() == "-=" || as.Tok.String() == "*=" {
+		if t := p.Info.TypeOf(as.Lhs[0]); t != nil {
+			if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+				report(Diagnostic{Pos: as.Pos(), Message: fmt.Sprintf(
+					"floating-point accumulation inside iteration over map %s: float "+
+						"addition is not associative, so the sum depends on map order; "+
+						"accumulate over sorted keys", mapDesc)})
+				return
+			}
+		}
+	}
+	if as.Tok.String() != "=" {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		rhs := as.Rhs[0]
+		if len(as.Rhs) == len(as.Lhs) {
+			rhs = as.Rhs[i]
+		}
+		// x = append(x, ...) is handled by the append rule.
+		if call, ok := rhs.(*ast.CallExpr); ok && isBuiltin(p.Info, call, "append") {
+			continue
+		}
+		if !mentionsLoopVar(rhs) {
+			continue
+		}
+		switch l := lhs.(type) {
+		case *ast.Ident:
+			if declaredOutside(p.Info, l, rng) {
+				report(Diagnostic{Pos: as.Pos(), Message: fmt.Sprintf(
+					"assignment to %s picks a value that depends on the iteration order "+
+						"of map %s; iterate sorted keys", l.Name, mapDesc)})
+			}
+		case *ast.IndexExpr:
+			// Keyed writes (index derived from the loop variables, or a
+			// map target) are order-independent; unkeyed scatter is not.
+			if _, isMap := p.Info.TypeOf(l.X).Underlying().(*types.Map); isMap || mentionsLoopVar(l.Index) {
+				continue
+			}
+			report(Diagnostic{Pos: as.Pos(), Message: fmt.Sprintf(
+				"write to %s at an order-dependent position inside iteration over "+
+					"map %s", types.ExprString(l), mapDesc)})
+		}
+	}
+}
+
+// rangeVarObj resolves a range key/value expression to its object when
+// the range statement declares it.
+func rangeVarObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return info.ObjectOf(id)
+}
+
+// declaredOutside reports whether the identifier's object is declared
+// outside the range statement.
+func declaredOutside(info *types.Info, id *ast.Ident, rng *ast.RangeStmt) bool {
+	obj := info.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+}
+
+// sortedAfter reports whether the enclosing function calls a sort.* or
+// slices.Sort* function after the range statement — the canonical
+// collect-then-sort pattern that restores determinism.
+func sortedAfter(p *Package, fd *ast.FuncDecl, rng *ast.RangeStmt) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := p.Info.Uses[id].(*types.PkgName); ok {
+				switch pn.Imported().Path() {
+				case "sort":
+					found = true
+				case "slices":
+					if strings.HasPrefix(sel.Sel.Name, "Sort") {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

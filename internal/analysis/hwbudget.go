@@ -1,0 +1,210 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// HWBudget keeps the modeled hardware geometry honest against the
+// paper's Tables 2 and 3 and against the storage accounting in
+// internal/core/storage.go. Five rules:
+//
+//  1. Array lengths in type declarations must be named constants, so
+//     the storage accounting can reference the same symbol and cannot
+//     silently drift from the real array dimension.
+//  2. Table-size constants (…Entries, table…) must be powers of two —
+//     the index math uses masks, and a non-power-of-two table either
+//     wastes budgeted entries or aliases out of range.
+//  3. A …Entries constant paired with a …IndexBits/…Bits constant must
+//     satisfy entries == 1 << bits.
+//  4. Constant index masks must have the 2^n - 1 all-ones form.
+//  5. When a package declares weightBits alongside WeightMin/WeightMax,
+//     the bounds must be exactly the two's-complement rails of that bit
+//     width — the accounting multiplies table sizes by weightBits, so a
+//     mismatch misstates the hardware budget.
+var HWBudget = &Analyzer{
+	Name: "hwbudget",
+	Doc: "table geometry must be named power-of-two constants consistent with " +
+		"the storage accounting (index bits, masks, weight bit width)",
+	Run: runHWBudget,
+}
+
+var hwbudgetScope = []string{"internal/core", "internal/branch"}
+
+var sizeConstName = regexp.MustCompile(`(?i)(entries|tablesize)$|^table`)
+
+func runHWBudget(s *Suite, report func(Diagnostic)) {
+	for _, p := range s.Packages {
+		inScope := false
+		for _, seg := range hwbudgetScope {
+			if p.PathHas(seg) {
+				inScope = true
+			}
+		}
+		if !inScope {
+			continue
+		}
+		checkArrayLens(p, report)
+		consts := packageIntConsts(p)
+		checkSizeConsts(p, consts, report)
+		checkEntriesBitsPairs(p, consts, report)
+		checkWeightWidth(p, consts, report)
+		checkMasks(p, report)
+	}
+}
+
+// intConst is one package-level integer constant.
+type intConst struct {
+	val int64
+	pos token.Pos
+}
+
+func packageIntConsts(p *Package) map[string]intConst {
+	out := map[string]intConst{}
+	scope := p.Types.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || c.Val().Kind() != constant.Int {
+			continue
+		}
+		if v, exact := constant.Int64Val(c.Val()); exact {
+			out[name] = intConst{val: v, pos: c.Pos()}
+		}
+	}
+	return out
+}
+
+// checkArrayLens flags magic-number array lengths in type declarations.
+func checkArrayLens(p *Package, report func(Diagnostic)) {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			ast.Inspect(gd, func(n ast.Node) bool {
+				at, ok := n.(*ast.ArrayType)
+				if !ok {
+					return true
+				}
+				if lit, ok := at.Len.(*ast.BasicLit); ok {
+					report(Diagnostic{Pos: lit.Pos(), Message: fmt.Sprintf(
+						"array length %s is a magic number; declare it as a named "+
+							"constant so the storage accounting can reference the same value",
+						lit.Value)})
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkSizeConsts enforces power-of-two table sizes.
+func checkSizeConsts(p *Package, consts map[string]intConst, report func(Diagnostic)) {
+	for name, c := range consts {
+		// …Bits constants are widths, not sizes (tableBits = 10 is the
+		// index width of a 1024-entry table, not a 10-entry table).
+		if strings.HasSuffix(name, "Bits") || strings.HasSuffix(name, "bits") {
+			continue
+		}
+		if sizeConstName.MatchString(name) && !isPow2(c.val) {
+			report(Diagnostic{Pos: c.pos, Message: fmt.Sprintf(
+				"table size %s = %d is not a power of two; masked indexing would "+
+					"alias entries and the budgeted capacity would be unreachable",
+				name, c.val)})
+		}
+	}
+}
+
+// checkEntriesBitsPairs ties each …Entries constant to its index-width
+// constant: recordTableEntries must equal 1 << recordIndexBits.
+func checkEntriesBitsPairs(p *Package, consts map[string]intConst, report func(Diagnostic)) {
+	for name, c := range consts {
+		prefix := ""
+		switch {
+		case strings.HasSuffix(name, "TableEntries"):
+			prefix = strings.TrimSuffix(name, "TableEntries")
+		case strings.HasSuffix(name, "Entries"):
+			prefix = strings.TrimSuffix(name, "Entries")
+		default:
+			continue
+		}
+		for _, bitsName := range []string{prefix + "IndexBits", prefix + "Bits"} {
+			b, ok := consts[bitsName]
+			if !ok {
+				continue
+			}
+			if b.val < 63 && c.val != 1<<uint(b.val) {
+				report(Diagnostic{Pos: c.pos, Message: fmt.Sprintf(
+					"%s = %d but %s = %d implies %d entries; the table geometry and "+
+						"its index width have drifted apart",
+					name, c.val, bitsName, b.val, int64(1)<<uint(b.val))})
+			}
+			break
+		}
+	}
+}
+
+// checkWeightWidth ties the accounting's weight bit width to the
+// clamp bounds used by training.
+func checkWeightWidth(p *Package, consts map[string]intConst, report func(Diagnostic)) {
+	bits, ok := lookupFold(consts, "weightbits")
+	if !ok {
+		return
+	}
+	rail := int64(1) << uint(bits.val-1)
+	if max, ok := lookupFold(consts, "weightmax"); ok && max.val != rail-1 {
+		report(Diagnostic{Pos: max.pos, Message: fmt.Sprintf(
+			"WeightMax = %d does not match the %d-bit weight budget in the storage "+
+				"accounting (expected %d)", max.val, bits.val, rail-1)})
+	}
+	if min, ok := lookupFold(consts, "weightmin"); ok && min.val != -rail {
+		report(Diagnostic{Pos: min.pos, Message: fmt.Sprintf(
+			"WeightMin = %d does not match the %d-bit weight budget in the storage "+
+				"accounting (expected %d)", min.val, bits.val, -rail)})
+	}
+}
+
+func lookupFold(consts map[string]intConst, lower string) (intConst, bool) {
+	for name, c := range consts {
+		if strings.EqualFold(name, lower) {
+			return c, true
+		}
+	}
+	return intConst{}, false
+}
+
+// checkMasks flags bitwise-AND index masks whose constant operand is
+// not of the all-ones 2^n - 1 form.
+func checkMasks(p *Package, report func(Diagnostic)) {
+	for _, fd := range funcDecls(p) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || be.Op != token.AND {
+				return true
+			}
+			// Fully constant expressions are folded elsewhere; a mask
+			// needs exactly one constant side.
+			xv, xc := constInt64(p.Info, be.X)
+			yv, yc := constInt64(p.Info, be.Y)
+			if xc == yc {
+				return true
+			}
+			v := xv
+			if yc {
+				v = yv
+			}
+			if !isLowMask(v) {
+				report(Diagnostic{Pos: be.Pos(), Message: fmt.Sprintf(
+					"index mask %s has constant value %d, which is not of the form "+
+						"2^n-1; masks must cover a full power-of-two table", types.ExprString(be), v)})
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,260 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The loader type-checks packages without golang.org/x/tools: module
+// (and fixture) packages are parsed and checked from source, while
+// their out-of-module dependencies — the standard library — are
+// imported from compiler export data located with `go list -export`.
+// This keeps ppflint hermetic: it needs only the go toolchain.
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Module     *struct{ Main bool }
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -deps -export -json args...` in dir and decodes
+// the JSON stream. Output is in dependency order.
+func goList(dir string, args []string) ([]*listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list", "-deps", "-export", "-json"}, args...)...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves import paths to compiler export data files.
+type exportImporter struct {
+	gc      types.Importer
+	modules map[string]*types.Package // source-checked module packages
+}
+
+func newExportImporter(fset *token.FileSet, exportFiles map[string]string) *exportImporter {
+	ei := &exportImporter{modules: map[string]*types.Package{}}
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exportFiles[path]
+		if !ok || f == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	ei.gc = importer.ForCompiler(fset, "gc", lookup)
+	return ei
+}
+
+func (ei *exportImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := ei.modules[path]; ok {
+		return p, nil
+	}
+	return ei.gc.Import(path)
+}
+
+// checkPackage parses files and type-checks one package from source.
+func checkPackage(fset *token.FileSet, imp types.Importer, path string, files []string) (*Package, error) {
+	pkg := &Package{Path: path}
+	for _, fn := range files {
+		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	pkg.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	tp, err := conf.Check(path, fset, pkg.Files, pkg.Info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	pkg.Types = tp
+	pkg.buildAllowTables(fset)
+	return pkg, nil
+}
+
+// LoadModule loads the main-module packages matched (directly or as
+// dependencies) by the go list patterns, run from dir. Test files are
+// excluded: the invariants govern shipped code, and a counter read only
+// by a test is not "surfaced".
+func LoadModule(dir string, patterns []string) (*Suite, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	exportFiles := map[string]string{}
+	var mains []*listedPackage
+	for _, lp := range listed {
+		if lp.Error != nil {
+			return nil, fmt.Errorf("%s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Module != nil && lp.Module.Main {
+			mains = append(mains, lp)
+			continue
+		}
+		exportFiles[lp.ImportPath] = lp.Export
+	}
+	imp := newExportImporter(fset, exportFiles)
+	suite := &Suite{Fset: fset}
+	for _, lp := range mains { // already in dependency order
+		var files []string
+		for _, f := range lp.GoFiles {
+			files = append(files, filepath.Join(lp.Dir, f))
+		}
+		pkg, err := checkPackage(fset, imp, lp.ImportPath, files)
+		if err != nil {
+			return nil, err
+		}
+		imp.modules[lp.ImportPath] = pkg.Types
+		suite.Packages = append(suite.Packages, pkg)
+	}
+	return suite, nil
+}
+
+// LoadTree loads every package found under root (a GOPATH-like src
+// tree, as used by the analyzer fixtures). The package import path is
+// its directory path relative to root. Standard-library imports are
+// resolved via export data; goListDir provides the module context for
+// that lookup.
+func LoadTree(root, goListDir string) (*Suite, error) {
+	pkgFiles := map[string][]string{}
+	err := filepath.Walk(root, func(path string, fi os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if fi.IsDir() || !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		ip := filepath.ToSlash(rel)
+		pkgFiles[ip] = append(pkgFiles[ip], path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Parse once to discover external (non-fixture) imports.
+	fset := token.NewFileSet()
+	external := map[string]bool{}
+	parsed := map[string][]*ast.File{}
+	for ip, files := range pkgFiles {
+		sort.Strings(files)
+		pkgFiles[ip] = files
+		for _, fn := range files {
+			f, err := parser.ParseFile(fset, fn, nil, parser.ImportsOnly)
+			if err != nil {
+				return nil, err
+			}
+			parsed[ip] = append(parsed[ip], f)
+			for _, spec := range f.Imports {
+				dep := strings.Trim(spec.Path.Value, `"`)
+				if _, local := pkgFiles[dep]; !local && dep != "unsafe" {
+					external[dep] = true
+				}
+			}
+		}
+	}
+	exportFiles := map[string]string{}
+	if len(external) > 0 {
+		var paths []string
+		for p := range external {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		listed, err := goList(goListDir, paths)
+		if err != nil {
+			return nil, err
+		}
+		for _, lp := range listed {
+			exportFiles[lp.ImportPath] = lp.Export
+		}
+	}
+
+	// Check in dependency order over fixture-local imports.
+	ei := newExportImporter(fset, exportFiles)
+	suite := &Suite{Fset: fset}
+	done := map[string]bool{}
+	var load func(ip string) error
+	load = func(ip string) error {
+		if done[ip] {
+			return nil
+		}
+		done[ip] = true
+		for _, f := range parsed[ip] {
+			for _, spec := range f.Imports {
+				dep := strings.Trim(spec.Path.Value, `"`)
+				if _, local := pkgFiles[dep]; local {
+					if err := load(dep); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		pkg, err := checkPackage(fset, ei, ip, pkgFiles[ip])
+		if err != nil {
+			return err
+		}
+		ei.modules[ip] = pkg.Types
+		suite.Packages = append(suite.Packages, pkg)
+		return nil
+	}
+	var ips []string
+	for ip := range pkgFiles {
+		ips = append(ips, ip)
+	}
+	sort.Strings(ips)
+	for _, ip := range ips {
+		if err := load(ip); err != nil {
+			return nil, err
+		}
+	}
+	return suite, nil
+}

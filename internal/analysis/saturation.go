@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+)
+
+// Saturation enforces the paper's bounded-weight training rule: a
+// perceptron weight is a saturating counter (5-bit in PPF's Table 3,
+// 7-bit in the hashed-perceptron branch predictor), so every mutation
+// of a weight-table element must go through a clamp helper that pins
+// the result inside [WeightMin, WeightMax]. A direct `+=`, `-=`, `++`
+// or `--` on a table element silently wraps int8 at the rails and
+// corrupts training; a direct `=` store bypasses the clamp entirely.
+//
+// Clamp helpers are marked with a `//ppflint:saturating` doc-comment
+// line (core.satAdd, branch.saturate). A plain store is legal only
+// when its right-hand side is a direct call to a marked helper.
+var Saturation = &Analyzer{
+	Name: "saturation",
+	Doc: "weight-table elements may only be written through //ppflint:saturating " +
+		"clamp helpers, never by direct arithmetic",
+	Run: runSaturation,
+}
+
+// saturationScope lists the packages holding perceptron state.
+var saturationScope = []string{"internal/core", "internal/branch"}
+
+// weightTableName matches struct fields that hold trainable weight
+// state: weight tables, per-table arrays, and bias columns.
+var weightTableName = regexp.MustCompile(`(?i)weight|table|bias`)
+
+func runSaturation(s *Suite, report func(Diagnostic)) {
+	for _, p := range s.Packages {
+		inScope := false
+		for _, seg := range saturationScope {
+			if p.PathHas(seg) {
+				inScope = true
+			}
+		}
+		if !inScope {
+			continue
+		}
+		helpers := saturatingHelpers(p)
+		for _, fd := range funcDecls(p) {
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.IncDecStmt:
+					if isWeightElem(p.Info, n.X) {
+						report(weightIncDecDiag(p, n, helpers))
+					}
+				case *ast.AssignStmt:
+					checkWeightAssign(p, n, helpers, report)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// saturatingHelpers collects the package's marked clamp helpers.
+func saturatingHelpers(p *Package) map[types.Object]string {
+	out := map[types.Object]string{}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || !hasMarker(fd.Doc, "//ppflint:saturating") {
+				continue
+			}
+			if obj := p.Info.Defs[fd.Name]; obj != nil {
+				out[obj] = fd.Name.Name
+			}
+		}
+	}
+	return out
+}
+
+// isWeightElem reports whether e is an element of a weight table: an
+// index expression of int8 element type whose base resolves to a field
+// or variable with a weight-table name.
+func isWeightElem(info *types.Info, e ast.Expr) bool {
+	idx, ok := e.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok || b.Kind() != types.Int8 {
+		return false
+	}
+	base := idx.X
+	for {
+		inner, ok := base.(*ast.IndexExpr)
+		if !ok {
+			break
+		}
+		base = inner.X
+	}
+	switch base := base.(type) {
+	case *ast.SelectorExpr:
+		return weightTableName.MatchString(base.Sel.Name)
+	case *ast.Ident:
+		// Only package-level tables count; a local []int8 scratch copy
+		// is not hardware state.
+		v, ok := info.ObjectOf(base).(*types.Var)
+		if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+			return false
+		}
+		return weightTableName.MatchString(base.Name)
+	}
+	return false
+}
+
+// checkWeightAssign validates one assignment statement against the rule.
+func checkWeightAssign(p *Package, as *ast.AssignStmt, helpers map[types.Object]string, report func(Diagnostic)) {
+	for i, lhs := range as.Lhs {
+		if !isWeightElem(p.Info, lhs) {
+			continue
+		}
+		switch as.Tok {
+		case token.ASSIGN:
+			rhs := as.Rhs[0]
+			if len(as.Rhs) == len(as.Lhs) {
+				rhs = as.Rhs[i]
+			}
+			if call, ok := rhs.(*ast.CallExpr); ok {
+				if id, ok := callee(call); ok {
+					if _, marked := helpers[p.Info.ObjectOf(id)]; marked {
+						continue
+					}
+				}
+			}
+			report(Diagnostic{Pos: as.Pos(), Message: fmt.Sprintf(
+				"store to weight-table element %s bypasses the saturating clamp; "+
+					"assign the result of a //ppflint:saturating helper instead",
+				types.ExprString(lhs))})
+		default:
+			d := Diagnostic{Pos: as.Pos(), Message: fmt.Sprintf(
+				"direct %s on weight-table element %s wraps at the int8 rails instead "+
+					"of saturating at the θ bounds; use the //ppflint:saturating clamp helper",
+				as.Tok, types.ExprString(lhs))}
+			if as.Tok == token.ADD_ASSIGN || as.Tok == token.SUB_ASSIGN {
+				rhs := as.Rhs[0]
+				if len(as.Rhs) == len(as.Lhs) {
+					rhs = as.Rhs[i]
+				}
+				d.SuggestedFixes = satAddFix(p, as, lhs, rhs, as.Tok, helpers)
+			}
+			report(d)
+		}
+	}
+}
+
+// weightIncDecDiag builds the diagnostic (and fix) for w[i]++ / w[i]--.
+func weightIncDecDiag(p *Package, n *ast.IncDecStmt, helpers map[types.Object]string) Diagnostic {
+	d := Diagnostic{Pos: n.Pos(), Message: fmt.Sprintf(
+		"direct %s on weight-table element %s wraps at the int8 rails instead of "+
+			"saturating at the θ bounds; use the //ppflint:saturating clamp helper",
+		n.Tok, types.ExprString(n.X))}
+	tok := token.ADD_ASSIGN
+	if n.Tok == token.DEC {
+		tok = token.SUB_ASSIGN
+	}
+	d.SuggestedFixes = satAddFix(p, n, n.X, nil, tok, helpers)
+	return d
+}
+
+// satAddFix rewrites `w op= d` into `w = helper(w, ±d)` when the
+// package has a two-argument saturating helper to call.
+func satAddFix(p *Package, stmt ast.Node, lhs, rhs ast.Expr, tok token.Token, helpers map[types.Object]string) []SuggestedFix {
+	var candidates []string
+	for obj, n := range helpers {
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		sig := fn.Type().(*types.Signature)
+		if sig.Recv() == nil && sig.Params().Len() == 2 {
+			candidates = append(candidates, n)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	sort.Strings(candidates)
+	name := candidates[0]
+	l := types.ExprString(lhs)
+	delta := "1"
+	if rhs != nil {
+		delta = types.ExprString(rhs)
+	}
+	if tok == token.SUB_ASSIGN {
+		delta = "-(" + delta + ")"
+	}
+	return []SuggestedFix{{
+		Message: fmt.Sprintf("route the update through %s", name),
+		Edits: []TextEdit{{
+			Pos:     stmt.Pos(),
+			End:     stmt.End(),
+			NewText: []byte(fmt.Sprintf("%s = %s(%s, %s)", l, name, l, delta)),
+		}},
+	}}
+}
+
+// callee unwraps a call's function expression to its identifier.
+func callee(call *ast.CallExpr) (*ast.Ident, bool) {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f, true
+	case *ast.SelectorExpr:
+		return f.Sel, true
+	}
+	return nil, false
+}

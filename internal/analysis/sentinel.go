@@ -1,0 +1,241 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Sentinel flags zero values standing in for real data — the shape of
+// two accounting bugs PR 2 fixed by hand:
+//
+//  1. Zero-value Config dispatch. `core.New` used to treat an
+//     all-zero-threshold Config as a request for DefaultConfig, which
+//     made the legal (0,0,0,0) grid point unprobeable by sweeps. Both
+//     forms are flagged: comparing a *Config-typed value against its
+//     zero composite literal, and conjunctions of three or more
+//     `cfg.Field == 0` tests on the same Config value.
+//  2. Zero-seeded argmax. `ThresholdSweep` used to fold its Best over
+//     a zero-valued accumulator, so an all-non-positive grid reported
+//     the out-of-grid point (0, 0) and marked no best row. A selection
+//     loop whose accumulator starts at the zero value instead of the
+//     first element is flagged.
+var Sentinel = &Analyzer{
+	Name: "sentinel",
+	Doc: "flags zero values used as sentinels: zero-value Config dispatch and " +
+		"argmax selections seeded from the zero value",
+	Run: runSentinel,
+}
+
+func runSentinel(s *Suite, report func(Diagnostic)) {
+	for _, p := range s.Packages {
+		for _, fd := range funcDecls(p) {
+			checkZeroConfigCompare(p, fd, report)
+			checkZeroFieldConjunction(p, fd, report)
+			checkZeroSeededArgmax(p, fd, report)
+		}
+	}
+}
+
+// isConfigType reports whether t names a configuration struct.
+func isConfigType(t types.Type) bool {
+	name := namedStructName(t)
+	return strings.Contains(name, "Config")
+}
+
+// checkZeroConfigCompare flags `cfg == Config{}` style comparisons.
+func checkZeroConfigCompare(p *Package, fd *ast.FuncDecl, report func(Diagnostic)) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		for _, pair := range [][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+			val, lit := pair[0], pair[1]
+			if !isConfigType(p.Info.TypeOf(val)) {
+				continue
+			}
+			if cl, ok := ast.Unparen(lit).(*ast.CompositeLit); ok && len(cl.Elts) == 0 {
+				report(Diagnostic{Pos: be.Pos(), Message: fmt.Sprintf(
+					"comparing %s against its zero value to dispatch defaults makes the "+
+						"all-zero configuration unrepresentable; require explicit defaults "+
+						"(e.g. DefaultConfig()) instead", types.ExprString(val))})
+				return true
+			}
+		}
+		return true
+	})
+}
+
+// checkZeroFieldConjunction flags `cfg.A == 0 && cfg.B == 0 && cfg.C == 0`
+// conjunctions over one Config value — the field-by-field spelling of
+// the same sentinel.
+func checkZeroFieldConjunction(p *Package, fd *ast.FuncDecl, report func(Diagnostic)) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || be.Op != token.LAND {
+			return true
+		}
+		// Only consider a maximal conjunction: skip if the parent is
+		// also &&, which will be visited on its own.
+		counts := map[string]int{}
+		countZeroFieldTests(p, be, counts)
+		for base, c := range counts {
+			if c >= 3 {
+				report(Diagnostic{Pos: be.Pos(), Message: fmt.Sprintf(
+					"testing %d fields of %s against zero selects a zero-value sentinel; "+
+						"the all-zero configuration is legal and must stay probeable", c, base)})
+				return false
+			}
+		}
+		return false
+	})
+}
+
+// countZeroFieldTests accumulates `base.Field == 0` leaves of an &&
+// tree, keyed by the printed base expression of Config type.
+func countZeroFieldTests(p *Package, e ast.Expr, counts map[string]int) {
+	be, ok := ast.Unparen(e).(*ast.BinaryExpr)
+	if !ok {
+		return
+	}
+	if be.Op == token.LAND {
+		countZeroFieldTests(p, be.X, counts)
+		countZeroFieldTests(p, be.Y, counts)
+		return
+	}
+	if be.Op != token.EQL {
+		return
+	}
+	for _, pair := range [][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+		sel, ok := ast.Unparen(pair[0]).(*ast.SelectorExpr)
+		if !ok || !isConfigType(p.Info.TypeOf(sel.X)) {
+			continue
+		}
+		if v, isConst := constInt64(p.Info, pair[1]); isConst && v == 0 {
+			counts[types.ExprString(sel.X)]++
+			return
+		}
+	}
+}
+
+// checkZeroSeededArgmax finds `var best T` followed (with no
+// intervening write to best) by a range loop doing
+// `if x.F > best.F { best = x }`.
+func checkZeroSeededArgmax(p *Package, fd *ast.FuncDecl, report func(Diagnostic)) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for i, stmt := range block.List {
+			obj, declPos := zeroStructDecl(p, stmt)
+			if obj == nil {
+				continue
+			}
+		scan:
+			for _, later := range block.List[i+1:] {
+				switch later := later.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range later.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok && p.Info.ObjectOf(id) == obj {
+							break scan // re-seeded before the loop; fine
+						}
+					}
+				case *ast.RangeStmt:
+					if argmaxOverZero(p, later, obj) {
+						report(Diagnostic{Pos: declPos, Message: fmt.Sprintf(
+							"selection accumulator %s is seeded from the zero value; seed it "+
+								"from the first element so the reported best is always a member "+
+								"of the data (a zero-value winner may not exist in the grid)",
+							obj.Name())})
+						break scan
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// zeroStructDecl matches `var x T` (struct T, no initializer) and
+// `x := T{}`, returning the declared object.
+func zeroStructDecl(p *Package, stmt ast.Stmt) (types.Object, token.Pos) {
+	switch stmt := stmt.(type) {
+	case *ast.DeclStmt:
+		gd, ok := stmt.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR || len(gd.Specs) != 1 {
+			return nil, token.NoPos
+		}
+		vs, ok := gd.Specs[0].(*ast.ValueSpec)
+		if !ok || len(vs.Values) != 0 || len(vs.Names) != 1 {
+			return nil, token.NoPos
+		}
+		obj := p.Info.Defs[vs.Names[0]]
+		if obj == nil || namedStructName(obj.Type()) == "" {
+			return nil, token.NoPos
+		}
+		return obj, vs.Pos()
+	case *ast.AssignStmt:
+		if stmt.Tok != token.DEFINE || len(stmt.Lhs) != 1 || len(stmt.Rhs) != 1 {
+			return nil, token.NoPos
+		}
+		cl, ok := stmt.Rhs[0].(*ast.CompositeLit)
+		if !ok || len(cl.Elts) != 0 {
+			return nil, token.NoPos
+		}
+		id, ok := stmt.Lhs[0].(*ast.Ident)
+		if !ok {
+			return nil, token.NoPos
+		}
+		obj := p.Info.Defs[id]
+		if obj == nil || namedStructName(obj.Type()) == "" {
+			return nil, token.NoPos
+		}
+		return obj, stmt.Pos()
+	}
+	return nil, token.NoPos
+}
+
+// argmaxOverZero reports whether the range loop selects into obj by
+// comparing a field of the element against the same field of obj.
+func argmaxOverZero(p *Package, rng *ast.RangeStmt, obj types.Object) bool {
+	elemObj := rangeVarObj(p.Info, rng.Value)
+	if elemObj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		cond, ok := ifs.Cond.(*ast.BinaryExpr)
+		if !ok || (cond.Op != token.GTR && cond.Op != token.LSS) {
+			return true
+		}
+		if !(mentionsObject(p.Info, cond.X, elemObj) && mentionsObject(p.Info, cond.Y, obj) ||
+			mentionsObject(p.Info, cond.X, obj) && mentionsObject(p.Info, cond.Y, elemObj)) {
+			return true
+		}
+		for _, stmt := range ifs.Body.List {
+			as, ok := stmt.(*ast.AssignStmt)
+			if !ok {
+				continue
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || p.Info.ObjectOf(id) != obj || i >= len(as.Rhs) {
+					continue
+				}
+				if mentionsObject(p.Info, as.Rhs[i], elemObj) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

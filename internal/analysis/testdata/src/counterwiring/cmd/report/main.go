@@ -1,0 +1,14 @@
+// Command report is the fixture's reporter: the fields it prints are
+// "surfaced"; everything else in core.Stats is dead weight.
+package main
+
+import (
+	"fmt"
+
+	"internal/core"
+)
+
+func main() {
+	var s core.Stats
+	fmt.Printf("hits %d issued %d frozen %d\n", s.Hits, s.Issued, s.FrozenZero)
+}

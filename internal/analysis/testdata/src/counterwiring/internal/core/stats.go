@@ -1,0 +1,33 @@
+// Package core is the counterwiring-analyzer fixture: a Stats counter
+// struct whose fields are wired to the simulator and reporter in every
+// combination the analyzer distinguishes.
+package core
+
+// Stats counts filter events. All-unsigned + named Stats = counter
+// struct; every field must be both incremented here and surfaced by a
+// reporter.
+type Stats struct {
+	Hits       uint64
+	Issued     uint64
+	FrozenZero uint64 // want "never incremented"
+	DeadWeight uint64 // want "never surfaced"
+	Staged     uint64 //ppflint:allow counterwiring reserved for the multi-core follow-up
+}
+
+type filter struct {
+	stats Stats
+}
+
+// Access advances the live counters; FrozenZero is reported but never
+// written, DeadWeight is written but invisible.
+func (f *filter) Access(hit bool) {
+	if hit {
+		f.stats.Hits++
+	}
+	f.stats.Issued += 2
+	f.stats.DeadWeight++
+}
+
+// Snapshot hands the struct to reporters; whole-struct copies do not
+// count as reads of individual fields.
+func (f *filter) Snapshot() Stats { return f.stats }

@@ -1,0 +1,13 @@
+package experiment
+
+import (
+	"math/rand" // want "seeded splitmix streams"
+)
+
+// ShuffleMixes is the forbidden pattern: the global math/rand source
+// makes mix composition depend on interleaving across goroutines.
+func ShuffleMixes(names []string) {
+	rand.Shuffle(len(names), func(i, j int) {
+		names[i], names[j] = names[j], names[i]
+	})
+}

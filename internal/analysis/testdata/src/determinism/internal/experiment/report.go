@@ -1,0 +1,97 @@
+// Package experiment is a determinism-analyzer fixture modeled on the
+// real result paths: histogram maps collected into rendered reports.
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// RenderUnsorted reproduces the bug class the analyzer exists for: the
+// delta histogram is emitted in map order, so two runs (or two -j
+// worker counts) render different bytes.
+func RenderUnsorted(deltas map[int64]uint64) string {
+	var sb strings.Builder
+	for d, c := range deltas {
+		fmt.Fprintf(&sb, "%+d:%d ", d, c) // want "randomized map order"
+	}
+	return sb.String()
+}
+
+// CollectUnsorted appends map entries with no later sort: the slice
+// order is the randomized iteration order.
+func CollectUnsorted(deltas map[int64]uint64) []int64 {
+	var out []int64
+	for d := range deltas {
+		out = append(out, d) // want "no later sort"
+	}
+	return out
+}
+
+// CollectSorted is the canonical safe pattern — collect, then sort in
+// the same function — and must not be flagged.
+func CollectSorted(deltas map[int64]uint64) []int64 {
+	var out []int64
+	for d := range deltas {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SumCounts accumulates integers, which is order-independent and legal.
+func SumCounts(deltas map[int64]uint64) uint64 {
+	var total uint64
+	for _, c := range deltas {
+		total += c
+	}
+	return total
+}
+
+// GeomeanDrift accumulates floats in map order; float addition is not
+// associative, so the result depends on iteration order.
+func GeomeanDrift(speedups map[string]float64) float64 {
+	var sum float64
+	for _, s := range speedups {
+		sum += s // want "not associative"
+	}
+	return sum / float64(len(speedups))
+}
+
+// PickLast overwrites an outer variable from inside map iteration: the
+// surviving value is whichever key the runtime visited last.
+func PickLast(best map[string]float64) string {
+	var winner string
+	for name, v := range best {
+		if v > 0 {
+			winner = name // want "depends on the iteration order"
+		}
+	}
+	return winner
+}
+
+// KeyedScatter writes through the loop key, which is order-independent.
+func KeyedScatter(in map[int]float64, out []float64) {
+	for i, v := range in {
+		out[i] = v
+	}
+}
+
+// AllowedPick documents an intentionally order-dependent site with the
+// escape hatch; the annotation must suppress the diagnostic.
+func AllowedPick(m map[string]bool) string {
+	var any string
+	for k := range m {
+		any = k //ppflint:allow determinism any representative key will do
+	}
+	return any
+}
+
+// Elapsed reads the wall clock in a result path, which makes reports
+// differ between runs.
+func Elapsed(startUnix int64) string {
+	now := time.Now() // want "wall-clock read"
+	return fmt.Sprintf("%d", now.Unix()-startUnix)
+}

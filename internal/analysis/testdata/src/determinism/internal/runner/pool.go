@@ -1,0 +1,13 @@
+// Package runner is the allowlisted-negative fixture: wall-clock reads
+// are legitimate here (scheduling/ETA feedback, never report bytes), so
+// the determinism analyzer must stay silent.
+package runner
+
+import "time"
+
+// JobWall times one job for progress output.
+func JobWall(run func()) time.Duration {
+	start := time.Now()
+	run()
+	return time.Since(start)
+}

@@ -1,0 +1,47 @@
+// Package core is the hwbudget-analyzer fixture: table geometry
+// constants that drift from the storage accounting in every way the
+// analyzer checks.
+package core
+
+const (
+	// Consistent geometry: must not be flagged.
+	recordIndexBits    = 4
+	recordTableEntries = 1 << recordIndexBits
+
+	// A table size that is not a power of two.
+	rejectTableEntries = 100 // want "not a power of two"
+
+	// Entries constant inconsistent with its declared index width.
+	pageIndexBits = 5
+	pageEntries   = 16 // want "drifted apart"
+
+	// Width constants are not sizes; tableBits = 10 must not be flagged.
+	tableBits = 10
+
+	// Weight rails inconsistent with the accounted bit width.
+	weightBits = 5
+	WeightMax  = 31  // want "does not match the 5-bit weight budget"
+	WeightMin  = -16 // 5-bit lower rail: correct, not flagged
+)
+
+type tables struct {
+	record [recordTableEntries]int8
+	page   [32]int8 // want "magic number"
+}
+
+// index masks the hash down to the table.
+func (t *tables) index(h uint64) int {
+	return int(h) & (recordTableEntries - 1)
+}
+
+// badIndex masks with a constant that is not of the 2^n-1 form, so part
+// of the budgeted table is unreachable.
+func (t *tables) badIndex(h uint64) int {
+	return int(h) & 0xFE // want "not of the form"
+}
+
+// allowedMask shows the escape hatch for a deliberate non-contiguous
+// mask (e.g. extracting a tag field, not indexing a table).
+func (t *tables) allowedMask(h uint64) uint64 {
+	return h & 0xF0 //ppflint:allow hwbudget tag extraction, not a table index
+}

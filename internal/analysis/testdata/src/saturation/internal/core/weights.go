@@ -1,0 +1,63 @@
+// Package core is the saturation-analyzer fixture: a miniature
+// perceptron filter with 5-bit saturating weight tables.
+package core
+
+const (
+	weightMax = 15 // 5-bit saturating counters
+	weightMin = -16
+	entries   = 8
+)
+
+type filter struct {
+	weights [2][entries]int8
+	bias    [entries]int8
+}
+
+// clamp pins a trained weight inside the 5-bit rails.
+//
+//ppflint:saturating
+func clamp(w int8, delta int) int8 {
+	v := int(w) + delta
+	if v > weightMax {
+		return weightMax
+	}
+	if v < weightMin {
+		return weightMin
+	}
+	return int8(v)
+}
+
+// trainWrong demonstrates every forbidden mutation form.
+func (f *filter) trainWrong(i int, dir int8) {
+	f.weights[0][i] += dir    // want "wraps at the int8 rails"
+	f.weights[1][i] -= dir    // want "wraps at the int8 rails"
+	f.bias[i]++               // want "wraps at the int8 rails"
+	f.bias[i]--               // want "wraps at the int8 rails"
+	f.weights[0][i] = dir * 2 // want "bypasses the saturating clamp"
+}
+
+// trainRight routes every store through the marked clamp helper.
+func (f *filter) trainRight(i int, dir int) {
+	f.weights[0][i] = clamp(f.weights[0][i], dir)
+	f.bias[i] = clamp(f.bias[i], dir)
+}
+
+// scratchOK mutates a loop-local copy, which is not hardware state.
+func (f *filter) scratchOK() int {
+	var local [entries]int8
+	copy(local[:], f.bias[:])
+	s := 0
+	for i := range local {
+		local[i]++ // local scratch, not a table element
+		s += int(local[i])
+	}
+	return s
+}
+
+// allowedRaw shows the escape hatch: a deliberate raw store (e.g. a
+// snapshot restore) annotated with the reason.
+func (f *filter) allowedRaw(snapshot [entries]int8) {
+	for i := range snapshot {
+		f.bias[i] = snapshot[i] //ppflint:allow saturation restoring a checkpoint already inside the rails
+	}
+}

@@ -1,0 +1,95 @@
+// Package experiment is the sentinel-analyzer fixture: the two
+// zero-value-sentinel bug shapes PR 2 fixed by hand, plus their
+// corrected forms.
+package experiment
+
+// Config mirrors the filter's threshold configuration.
+type Config struct {
+	TauHi  int
+	TauLo  int
+	ThetaP int
+	ThetaN int
+}
+
+// DefaultConfig is the explicit way to ask for defaults.
+func DefaultConfig() Config { return Config{TauHi: 40, TauLo: -35, ThetaP: 30, ThetaN: -32} }
+
+// NewWrongCompare dispatches defaults off the zero value, making the
+// legal all-zero threshold point unrepresentable.
+func NewWrongCompare(cfg Config) Config {
+	if cfg == (Config{}) { // want "zero value to dispatch defaults"
+		return DefaultConfig()
+	}
+	return cfg
+}
+
+// NewWrongConjunction is the field-by-field spelling of the same bug.
+func NewWrongConjunction(cfg Config) Config {
+	if cfg.TauHi == 0 && cfg.TauLo == 0 && cfg.ThetaP == 0 && cfg.ThetaN == 0 { // want "zero-value sentinel"
+		return DefaultConfig()
+	}
+	return cfg
+}
+
+// TwoFieldGuard tests only two fields, which stays below the
+// conjunction threshold and must not be flagged.
+func TwoFieldGuard(cfg Config) bool {
+	return cfg.TauHi == 0 && cfg.TauLo == 0
+}
+
+// ThresholdPoint is one sweep cell.
+type ThresholdPoint struct {
+	TauHi   int
+	TauLo   int
+	Speedup float64
+}
+
+// bestWrong folds the argmax over a zero-valued accumulator: an
+// all-non-positive grid reports the out-of-grid point (0, 0).
+func bestWrong(pts []ThresholdPoint) ThresholdPoint {
+	var best ThresholdPoint // want "seeded from the zero value"
+	for _, pt := range pts {
+		if pt.Speedup > best.Speedup {
+			best = pt
+		}
+	}
+	return best
+}
+
+// bestWrongLit is the composite-literal spelling of the same seed.
+func bestWrongLit(pts []ThresholdPoint) ThresholdPoint {
+	best := ThresholdPoint{} // want "seeded from the zero value"
+	for _, pt := range pts {
+		if pt.Speedup > best.Speedup {
+			best = pt
+		}
+	}
+	return best
+}
+
+// bestRight seeds from the first element, so the winner is always a
+// member of the grid.
+func bestRight(pts []ThresholdPoint) ThresholdPoint {
+	if len(pts) == 0 {
+		return ThresholdPoint{}
+	}
+	best := pts[0]
+	for _, pt := range pts[1:] {
+		if pt.Speedup > best.Speedup {
+			best = pt
+		}
+	}
+	return best
+}
+
+// minWall picks a true zero-anchored minimum — time-like quantities
+// where zero is a legal baseline — with the escape hatch documenting it.
+func minWall(pts []ThresholdPoint) ThresholdPoint {
+	var worst ThresholdPoint //ppflint:allow sentinel zero speedup is a real lower bound here
+	for _, pt := range pts {
+		if pt.Speedup < worst.Speedup {
+			worst = pt
+		}
+	}
+	return worst
+}

@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// pkgCall reports whether call invokes pkgPath.name (e.g. time.Now),
+// resolving the package through the type info so aliased imports are
+// handled.
+func pkgCall(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == pkgPath
+}
+
+// isBuiltin reports whether call invokes the named builtin (append, ...).
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// mentionsObject reports whether any identifier under n resolves to obj.
+func mentionsObject(info *types.Info, n ast.Node, obj types.Object) bool {
+	if n == nil || obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if id, ok := x.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// constInt64 extracts an exact int64 from a constant expression's value,
+// if the expression is constant.
+func constInt64(info *types.Info, e ast.Expr) (int64, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}
+
+// namedStructName returns the type name if t (after unwrapping
+// pointers) is a named struct type, else "".
+func namedStructName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	if _, ok := n.Underlying().(*types.Struct); !ok {
+		return ""
+	}
+	return n.Obj().Name()
+}
+
+// isPow2 reports whether v is a positive power of two.
+func isPow2(v int64) bool { return v > 0 && v&(v-1) == 0 }
+
+// isLowMask reports whether v is of the form 2^n - 1 (an index mask).
+func isLowMask(v int64) bool { return v >= 0 && v&(v+1) == 0 }
+
+// funcDecls iterates over the function declarations of a package.
+func funcDecls(p *Package) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}

@@ -99,6 +99,11 @@ func (p *Predictor) Update(pc uint64, taken bool) bool {
 	return correct
 }
 
+// saturate clamps a trained weight at the 7-bit rails. Weight-table
+// stores must route through this helper (enforced by ppflint's
+// saturation analyzer).
+//
+//ppflint:saturating
 func saturate(w int) int8 {
 	if w > weightMax {
 		return weightMax

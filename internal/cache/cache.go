@@ -118,6 +118,24 @@ func (s Stats) Accuracy() float64 {
 	return float64(s.PrefetchUseful) / float64(s.PrefetchFills)
 }
 
+// String renders the complete counter set as a two-line report; ppfsim
+// prints it per cache level under -v. Every Stats field is surfaced
+// here (directly or through an Avg* helper) — the counterwiring
+// analyzer rejects counters the simulator increments but no reporter
+// ever shows.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"demand %d (%d hit / %d miss, avg miss %.1f cyc) | writes %d (%d hit / %d miss) | "+
+			"pf-reads %d (%d hit here)\n"+
+			"    pf fills %d (%d useful, %d late, %d unused, %d dup-dropped) | "+
+			"evictions %d (%d writebacks) | MSHR merges %d (avg wait %.1f cyc), full-stalls %d",
+		s.DemandAccesses, s.DemandHits, s.DemandMisses, s.AvgMissLatency(),
+		s.WriteAccesses, s.WriteHits, s.WriteMisses,
+		s.PrefetchReads, s.PrefetchReadHit,
+		s.PrefetchFills, s.PrefetchUseful, s.PrefetchLate, s.PrefetchUnused, s.PrefetchDropped,
+		s.Evictions, s.Writebacks, s.MSHRMerges, s.AvgMergeWait(), s.MSHRFullStalls)
+}
+
 // Config describes one cache's geometry and latency.
 type Config struct {
 	Name       string

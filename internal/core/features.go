@@ -8,6 +8,12 @@
 // perceptron weights online.
 package core
 
+// pcHistDepth is the depth of the load-PC history feeding the PCPath
+// feature: three tracker registers in the paper's Table 3. The storage
+// accounting multiplies this same constant, so the modeled register
+// file and its budget cannot drift apart.
+const pcHistDepth = 3
+
 // FeatureInput carries everything a feature index function may consume:
 // the candidate address, the triggering demand access context, the last
 // three load PCs, and the metadata exported by the underlying prefetcher
@@ -19,7 +25,7 @@ type FeatureInput struct {
 	// prefetch chain.
 	PC uint64
 	// PCHist holds the three most recent load PCs before the trigger.
-	PCHist [3]uint64
+	PCHist [pcHistDepth]uint64
 	// Depth is the lookahead depth of the candidate (1 = direct).
 	Depth int
 	// Signature is the SPP signature current when the candidate was

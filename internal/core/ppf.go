@@ -139,7 +139,7 @@ type Filter struct {
 	prefetchTable [recordTableEntries]recordEntry
 	rejectTable   [recordTableEntries]recordEntry
 
-	pcHist [3]uint64
+	pcHist [pcHistDepth]uint64
 
 	issueSeq uint64
 
@@ -229,7 +229,7 @@ func (f *Filter) OnLoadPC(pc uint64) {
 
 // PCHist exposes the current load-PC history (used when constructing
 // FeatureInput for candidates).
-func (f *Filter) PCHist() [3]uint64 { return f.pcHist }
+func (f *Filter) PCHist() [pcHistDepth]uint64 { return f.pcHist }
 
 // indexFor folds feature i's raw value for in onto its weight table.
 func (f *Filter) indexFor(i int, in *FeatureInput) int {
@@ -305,15 +305,24 @@ func (f *Filter) adjust(in *FeatureInput, dir int) {
 // adjustIndexed is adjust over a precomputed index vector.
 func (f *Filter) adjustIndexed(idx *indexVec, dir int) {
 	for i := range f.features {
-		w := int(f.weights[i][idx[i]]) + dir
-		if w > WeightMax {
-			w = WeightMax
-		}
-		if w < WeightMin {
-			w = WeightMin
-		}
-		f.weights[i][idx[i]] = int8(w)
+		f.weights[i][idx[i]] = satAdd(f.weights[i][idx[i]], dir)
 	}
+}
+
+// satAdd adds delta to a weight, saturating at the 5-bit rails instead
+// of wrapping (paper §3.1 "Training"). Every weight-table store must
+// go through this helper — the saturation analyzer enforces it.
+//
+//ppflint:saturating
+func satAdd(w int8, delta int) int8 {
+	v := int(w) + delta
+	if v > WeightMax {
+		return WeightMax
+	}
+	if v < WeightMin {
+		return WeightMin
+	}
+	return int8(v)
 }
 
 // recordIndex computes the direct-mapped slot and tag for a block address.

@@ -189,9 +189,9 @@ func TestOverwriteUnusedTrainsNegativeOnlyWhenOld(t *testing.T) {
 	// Age the entry by a full table generation of unrelated issues, then
 	// overwrite: now it counts as unused-for-a-generation → negative.
 	for i := 0; i < 1024; i++ {
-		f.RecordIssue(testInput(uint64(0x900000 + i*64)), FillL2)
+		f.RecordIssue(testInput(uint64(0x900000+i*64)), FillL2)
 	}
-	f.RecordIssue(testInput(0x60000 + 2048*64), FillL2)
+	f.RecordIssue(testInput(0x60000+2048*64), FillL2)
 	if f.Stats().EvictUnused == 0 || f.Stats().TrainNegative == 0 {
 		t.Fatalf("aged unused entry did not train: %+v", f.Stats())
 	}

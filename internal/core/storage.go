@@ -30,9 +30,11 @@ const RejectTableEntryBits = PrefetchTableEntryBits - bitsUseful
 // weightBits is the width of one perceptron weight.
 const weightBits = 5
 
-// PCTrackerBits is the cost of the three global PC-history registers
-// (12 bits each in the paper's Table 3) feeding the PCPath feature.
-const PCTrackerBits = 3 * 12
+// PCTrackerBits is the cost of the global PC-history registers (12 bits
+// each in the paper's Table 3) feeding the PCPath feature. The register
+// count is the same pcHistDepth constant that sizes Filter.pcHist, so
+// the accounting tracks the modeled hardware by construction.
+const PCTrackerBits = pcHistDepth * bitsPC
 
 // StorageBreakdown itemises the PPF hardware budget.
 type StorageBreakdown struct {
