@@ -50,11 +50,14 @@ race:
 determinism:
 	$(GO) test -race -run Deterministic -count=1 ./internal/experiment/
 
-# bench measures the per-access hot kernels and one fixed Figure 9 cell,
-# writing BENCH_kernel.json (schema documented in EXPERIMENTS.md). This
-# is the simulation kernel's perf trajectory across PRs.
+# bench measures the per-access hot kernels and the end-to-end sim
+# rates (per scheme, event-horizon vs legacy loop, plus the memoized
+# effective rate), writing BENCH_kernel.json and BENCH_sim.json
+# (schemas documented in EXPERIMENTS.md). These are the simulation
+# kernel's perf trajectory across PRs; -count 3 medians out machine
+# noise.
 bench:
-	$(GO) run ./cmd/bench -out BENCH_kernel.json
+	$(GO) run ./cmd/bench -count 3 -out BENCH_kernel.json -simout BENCH_sim.json
 
 # bench-smoke compiles and runs every micro-benchmark once — a CI guard
 # that the benchmarks themselves keep working, without timing anything.

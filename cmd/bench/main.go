@@ -1,18 +1,25 @@
-// Command bench measures the simulator's hot kernels and writes the
-// snapshot to BENCH_kernel.json, the repository's kernel-performance
-// trajectory (schema: internal/stats.KernelBench).
+// Command bench measures the simulator's hot kernels and end-to-end
+// simulation rates, writing two snapshots: BENCH_kernel.json (the
+// micro-kernel trajectory, schema internal/stats.KernelBench) and
+// BENCH_sim.json (per-scheme sim rates under the event-horizon and
+// legacy run loops, schema internal/stats.SimBench).
 //
 // Usage:
 //
-//	bench                      # full run, writes BENCH_kernel.json
-//	bench -out file.json       # alternate output path
-//	bench -quick               # shorter sim cell for CI smoke runs
-//	bench -skip-sim            # micro-kernels only
+//	bench                          # full run, writes both snapshots
+//	bench -out f.json -simout g.json
+//	bench -quick                   # shorter sim cells for CI smoke runs
+//	bench -skip-sim                # micro-kernels only
+//	bench -kernels cache_read_hit,spp_trigger
+//	bench -count 5                 # median of 5 repetitions per row
+//	bench -failonalloc             # exit 1 if any kernel allocates
 //
 // Each micro-kernel runs under testing.Benchmark (the standard ~1s
-// auto-scaling harness); the sim row times one fixed Figure 9 cell
-// (603.bwaves_s, SPP+PPF) end to end and reports simulated
-// instructions per wall second.
+// auto-scaling harness); the sim rows time fixed Figure 9 cells end to
+// end and report simulated instructions per wall second. With -count N
+// every row is measured N times and the median reported, so noisy CI
+// machines don't produce spurious BENCH deltas; the chosen count is
+// recorded in both snapshots.
 package main
 
 import (
@@ -20,17 +27,38 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
+	"strings"
 	"testing"
 
 	"repro/internal/kernelbench"
 	"repro/internal/stats"
 )
 
+// medianBy returns the row whose key is the median of n measurements
+// (lower middle for even n, so the reported row is always a real
+// measurement, not an interpolation).
+func medianBy[T any](n int, measure func() T, key func(T) float64) T {
+	rows := make([]T, n)
+	for i := range rows {
+		rows[i] = measure()
+	}
+	sort.Slice(rows, func(i, j int) bool { return key(rows[i]) < key(rows[j]) })
+	return rows[(n-1)/2]
+}
+
 func main() {
-	out := flag.String("out", "BENCH_kernel.json", "output path for the JSON snapshot")
+	out := flag.String("out", "BENCH_kernel.json", "output path for the kernel JSON snapshot")
+	simOut := flag.String("simout", "BENCH_sim.json", "output path for the sim-rate JSON snapshot")
 	quick := flag.Bool("quick", false, "use a short sim budget (CI smoke)")
-	skipSim := flag.Bool("skip-sim", false, "skip the figure-level sim-rate row")
+	skipSim := flag.Bool("skip-sim", false, "skip the figure-level sim-rate rows")
+	kernelsCSV := flag.String("kernels", "", "comma-separated kernel names to run (default: all)")
+	count := flag.Int("count", 1, "repetitions per row; the median is reported")
+	failOnAlloc := flag.Bool("failonalloc", false, "exit nonzero if any kernel reports allocs/op > 0")
 	flag.Parse()
+	if *count < 1 {
+		*count = 1
+	}
 
 	kernels := []struct {
 		name string
@@ -41,24 +69,64 @@ func main() {
 		{"cache_read_miss", kernelbench.CacheReadMiss},
 		{"spp_trigger", kernelbench.SPPTrigger},
 	}
+	if *kernelsCSV != "" {
+		want := map[string]bool{}
+		for _, n := range strings.Split(*kernelsCSV, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+		var selected []struct {
+			name string
+			fn   func(*testing.B)
+		}
+		for _, k := range kernels {
+			if want[k.name] {
+				selected = append(selected, k)
+				delete(want, k.name)
+			}
+		}
+		if len(want) > 0 {
+			var unknown []string
+			for n := range want {
+				unknown = append(unknown, n)
+			}
+			sort.Strings(unknown)
+			var known []string
+			for _, k := range kernels {
+				known = append(known, k.name)
+			}
+			fmt.Fprintf(os.Stderr, "unknown kernel(s) %s; known: %s\n",
+				strings.Join(unknown, ", "), strings.Join(known, ", "))
+			os.Exit(2)
+		}
+		kernels = selected
+	}
 
 	snap := stats.KernelBench{
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
+		Count:     *count,
 	}
+	allocRegression := false
 	for _, k := range kernels {
-		r := testing.Benchmark(k.fn)
-		row := stats.KernelResult{
-			Name:        k.name,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			AllocsPerOp: r.AllocsPerOp(),
-			Iterations:  int64(r.N),
-		}
+		row := medianBy(*count, func() stats.KernelResult {
+			r := testing.Benchmark(k.fn)
+			return stats.KernelResult{
+				Name:        k.name,
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+				Iterations:  int64(r.N),
+			}
+		}, func(r stats.KernelResult) float64 { return r.NsPerOp })
 		snap.Kernels = append(snap.Kernels, row)
 		fmt.Printf("%-24s %12.1f ns/op %8d B/op %6d allocs/op  (n=%d)\n",
 			k.name, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp, row.Iterations)
+		if row.AllocsPerOp > 0 {
+			allocRegression = true
+			fmt.Fprintf(os.Stderr, "ALLOC REGRESSION: %s reports %d allocs/op (expected 0)\n",
+				k.name, row.AllocsPerOp)
+		}
 	}
 
 	if !*skipSim {
@@ -66,23 +134,61 @@ func main() {
 		if *quick {
 			warmup, detail = 30_000, 120_000
 		}
-		insts, elapsed := kernelbench.Fig9CellRate(warmup, detail)
-		sec := elapsed.Seconds()
-		snap.Sim = &stats.SimRate{
-			Workload:           "603.bwaves_s",
-			WarmupInstructions: warmup,
-			DetailInstructions: detail,
-			Instructions:       insts,
-			Seconds:            sec,
-			InstructionsPerSec: float64(insts) / sec,
+		simSnap := stats.SimBench{
+			GoVersion: runtime.Version(),
+			GOOS:      runtime.GOOS,
+			GOARCH:    runtime.GOARCH,
+			Count:     *count,
 		}
-		fmt.Printf("%-24s %12.0f sim-instructions/sec (%d instructions in %.2fs)\n",
-			"fig9_cell", snap.Sim.InstructionsPerSec, insts, sec)
+		for _, cell := range kernelbench.DefaultSimCells() {
+			cell := cell
+			row := medianBy(*count, func() stats.SimRateRow {
+				insts, elapsed := cell.Run(warmup, detail)
+				sec := elapsed.Seconds()
+				return stats.SimRateRow{
+					Name:               cell.Name,
+					Scheme:             cell.Scheme,
+					Workload:           cell.Workload,
+					LegacyLoop:         cell.LegacyLoop,
+					MemoRuns:           cell.MemoRuns,
+					WarmupInstructions: warmup,
+					DetailInstructions: detail,
+					Instructions:       insts,
+					Seconds:            sec,
+					InstructionsPerSec: float64(insts) / sec,
+				}
+			}, func(r stats.SimRateRow) float64 { return r.InstructionsPerSec })
+			simSnap.Rows = append(simSnap.Rows, row)
+			fmt.Printf("%-24s %12.0f sim-instructions/sec (%d instructions in %.2fs)\n",
+				row.Name, row.InstructionsPerSec, row.Instructions, row.Seconds)
+			// The ppf-skip row doubles as the KernelBench trajectory's sim
+			// entry, comparable with earlier snapshots.
+			if row.Name == "fig9_ppf_skip" {
+				snap.Sim = &stats.SimRate{
+					Workload:           row.Workload,
+					WarmupInstructions: warmup,
+					DetailInstructions: detail,
+					Instructions:       row.Instructions,
+					Seconds:            row.Seconds,
+					InstructionsPerSec: row.InstructionsPerSec,
+				}
+			}
+		}
+		if err := simSnap.WriteFile(*simOut); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *simOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *simOut)
 	}
 
-	if err := snap.WriteFile(*out); err != nil {
-		fmt.Fprintf(os.Stderr, "writing %s: %v\n", *out, err)
+	if len(snap.Kernels) > 0 || !*skipSim {
+		if err := snap.WriteFile(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	if *failOnAlloc && allocRegression {
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s\n", *out)
 }

@@ -96,6 +96,7 @@ func main() {
 	warmup := flag.Uint64("warmup", 0, "override warmup instructions")
 	detail := flag.Uint64("detail", 0, "override detailed instructions")
 	jobs := flag.Int("j", 0, "max parallel simulation jobs (0 = GOMAXPROCS); any value yields identical tables")
+	nocache := flag.Bool("nocache", false, "disable the cross-experiment run cache (same tables, more wall-clock)")
 	progress := flag.Bool("progress", false, "stream sweep progress/ETA and per-job timing to stderr")
 	jsonDir := flag.String("json", "", "also write each result as JSON into this directory")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the selected experiments to this file")
@@ -184,8 +185,17 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	// One run cache shared across every selected experiment: identical
+	// (config, scheme, workload, seed, budget) cells — e.g. the fig9/fig10
+	// matrix, or the no-prefetch baselines the ablation, generality and
+	// threshold studies have in common — simulate once per invocation.
+	// Tables are byte-identical with or without it (-nocache to compare).
+	var cache *experiment.RunCache
+	if !*nocache {
+		cache = experiment.NewRunCache()
+	}
 	for _, r := range selected {
-		x := experiment.Exec{Workers: *jobs}
+		x := experiment.Exec{Workers: *jobs, Cache: cache}
 		var tm stats.Timings
 		if *progress {
 			x.Progress = os.Stderr
@@ -213,5 +223,8 @@ func main() {
 				fmt.Fprintf(os.Stderr, "write %s: %v\n", path, err)
 			}
 		}
+	}
+	if cache != nil {
+		fmt.Println(cache.ReportLine())
 	}
 }

@@ -103,6 +103,13 @@ func main() {
 		if *verbose {
 			fmt.Printf("  L1D detail: %v\n", c.L1D)
 			fmt.Printf("  L2  detail: %v\n", c.L2)
+			robPct, fePct := 0.0, 0.0
+			if c.Cycles > 0 {
+				robPct = 100 * float64(c.ROBStallCycles) / float64(c.Cycles)
+				fePct = 100 * float64(c.FetchStallCycles) / float64(c.Cycles)
+			}
+			fmt.Printf("  stalls: ROB-full %d cycles (%.1f%%), front-end %d cycles (%.1f%%)\n",
+				c.ROBStallCycles, robPct, c.FetchStallCycles, fePct)
 		}
 		fmt.Printf("  branch MPKI %.2f\n", c.BranchMPKI)
 		if c.Candidates > 0 {

@@ -97,7 +97,7 @@ func Ablation(x Exec, b Budget) AblationResult {
 	ipcs := runJobs(x, "ablation", len(variants)*len(ws), func(i int) float64 {
 		v, w := variants[i/len(ws)], ws[i%len(ws)]
 		if v.mk == nil {
-			return mustRunSingle(sim.DefaultConfig(1), SchemeSPP, w, 1, b).PerCore[0].IPC
+			return x.runSingle(sim.DefaultConfig(1), SchemeSPP, w, 1, b).PerCore[0].IPC
 		}
 		sys, err := sim.NewSystem(sim.DefaultConfig(1), []sim.CoreSetup{ablationSetup(w, 1, v.mk)})
 		if err != nil {

@@ -25,6 +25,13 @@ type Exec struct {
 	Progress io.Writer
 	// Timings, when non-nil, collects per-job wall time.
 	Timings *stats.Timings
+	// Cache, when non-nil, memoizes single-machine simulation cells so
+	// identical (config, scheme, workload, seed, budget) runs simulate
+	// once per process. Sharing one RunCache across experiments dedups
+	// the baselines they have in common; see RunCache for the
+	// correctness argument. Nil keeps the historical always-simulate
+	// behaviour (cached and uncached output is byte-identical).
+	Cache *RunCache
 }
 
 // Serial is the single-worker execution policy (the pre-runner default).
@@ -53,7 +60,7 @@ func runJobs[T any](x Exec, label string, n int, fn func(i int) T) []T {
 // denominator of each speedup) as one parallel phase.
 func baselineIPCs(x Exec, cfg sim.Config, ws []workload.Workload, seed uint64, b Budget) []float64 {
 	return runJobs(x, "baseline", len(ws), func(i int) float64 {
-		return mustRunSingle(cfg, SchemeNone, ws[i], seed, b).PerCore[0].IPC
+		return x.runSingle(cfg, SchemeNone, ws[i], seed, b).PerCore[0].IPC
 	})
 }
 

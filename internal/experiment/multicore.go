@@ -73,7 +73,7 @@ func Multicore(x Exec, cores, nMixes int, pool []workload.Workload, b Budget) Mu
 		}
 	}
 	isoIPC := runJobs(x, "multicore-iso", len(isoJobs), func(i int) float64 {
-		return mustRunSingle(isoCfg, SchemeNone, isoJobs[i].w, isoJobs[i].seed, b).PerCore[0].IPC
+		return x.runSingle(isoCfg, SchemeNone, isoJobs[i].w, isoJobs[i].seed, b).PerCore[0].IPC
 	})
 	isolated := func(m, c int) float64 {
 		return isoIPC[isoIndex[fmt.Sprintf("%s/%d", mixes[m][c].Name, mixSeed(m, c))]]

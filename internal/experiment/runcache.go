@@ -1,0 +1,93 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// RunCache memoizes single-core simulation cells across experiments. The
+// suite re-simulates many identical (config, scheme, workload, seed,
+// budget) cells — Figure 10 reruns every Figure 9 cell for its coverage
+// numbers, and the ablation, generality and threshold studies all share
+// the same no-prefetch baselines — so one cache shared across a
+// cmd/experiments invocation collapses each unique cell to a single
+// simulation. Results are immutable once computed: callers receive
+// defensive copies, so no experiment can corrupt another's numbers
+// through a shared slice or Stats pointer.
+//
+// Correctness rests on two properties. First, the key is a canonical,
+// content-complete rendering of every input that determines a run's
+// outcome (sim.Config.CanonicalKey covers the machine; scheme, workload
+// identity, seed and budget cover the rest — workload streams are pure
+// functions of name and seed). Second, simulations are deterministic, so
+// replaying a cached result is indistinguishable from re-simulating.
+// The skip/memo goldens in cache_test.go assert rendered experiment
+// output is byte-identical with and without the cache.
+type RunCache struct {
+	memo *runner.Memo[sim.Result]
+}
+
+// NewRunCache returns an empty cache, ready to share across Execs.
+func NewRunCache() *RunCache {
+	return &RunCache{memo: runner.NewMemo[sim.Result]()}
+}
+
+// Stats reports cumulative cache hits and misses.
+func (rc *RunCache) Stats() (hits, misses uint64) { return rc.memo.Stats() }
+
+// ReportLine renders the post-run summary cmd/experiments prints.
+func (rc *RunCache) ReportLine() string {
+	return "run cache: " + rc.memo.ReportLine()
+}
+
+// Keys returns the cached cell keys in sorted order (for tests and
+// debugging; sorted so output is deterministic).
+func (rc *RunCache) Keys() []string { return rc.memo.Keys() }
+
+// cellKey canonically identifies one single-machine simulation cell.
+// Workloads are identified by suite and name: the generator stream is a
+// pure function of (name, seed), so two Workload values with the same
+// identity produce identical traces.
+func cellKey(cfg sim.Config, s Scheme, w workload.Workload, seed uint64, b Budget) string {
+	return fmt.Sprintf("%s|%s|%s/%s|seed=%d|budget=%d/%d",
+		cfg.CanonicalKey(), s, w.Suite, w.Name, seed, b.Warmup, b.Detail)
+}
+
+// cloneResult deep-copies the parts of a sim.Result that alias mutable
+// storage, so cached results can be handed to multiple experiments.
+func cloneResult(r sim.Result) sim.Result {
+	out := r
+	out.PerCore = append([]sim.CoreResult(nil), r.PerCore...)
+	for i := range out.PerCore {
+		if f := out.PerCore[i].Filter; f != nil {
+			fc := *f // ppf.Stats is a flat counter struct
+			out.PerCore[i].Filter = &fc
+		}
+	}
+	return out
+}
+
+// runSingle is the cached path every sweep's single-machine cells route
+// through: with a cache attached the cell simulates at most once per
+// process; without one (the zero-value Exec) it behaves exactly like
+// mustRunSingle.
+func (x Exec) runSingle(cfg sim.Config, s Scheme, w workload.Workload, seed uint64, b Budget) sim.Result {
+	if x.Cache == nil {
+		return mustRunSingle(cfg, s, w, seed, b)
+	}
+	r, _ := x.Cache.memo.Do(cellKey(cfg, s, w, seed, b), func() sim.Result {
+		return mustRunSingle(cfg, s, w, seed, b)
+	})
+	return cloneResult(r)
+}
+
+// RunSingle is the exported cached entry point: identical to the
+// package-level RunSingle when no cache is attached, and a memoized
+// replay when one is. cmd/bench uses it to measure the effective
+// throughput duplicated experiment cells see.
+func (x Exec) RunSingle(cfg sim.Config, s Scheme, w workload.Workload, seed uint64, b Budget) sim.Result {
+	return x.runSingle(cfg, s, w, seed, b)
+}

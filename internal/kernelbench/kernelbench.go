@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/cache"
 	ppf "repro/internal/core"
+	"repro/internal/experiment"
 	"repro/internal/prefetch"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -94,23 +95,75 @@ func SPPTrigger(b *testing.B) {
 	}
 }
 
-// Fig9CellRate runs one fixed Figure 9 cell — 603.bwaves_s under
-// SPP+PPF at the given budget — and returns the end-to-end simulation
-// rate in simulated instructions per wall second. This is the
-// figure-level number the micro-kernels must ultimately move.
-func Fig9CellRate(warmup, detail uint64) (instructions uint64, elapsed time.Duration) {
-	w := workload.MustByName("603.bwaves_s")
-	sys, err := sim.NewSystem(sim.DefaultConfig(1), []sim.CoreSetup{{
-		Trace:      w.NewReader(1),
-		Prefetcher: prefetch.NewSPP(prefetch.AggressiveSPPConfig()),
-		Filter:     ppf.New(ppf.DefaultConfig()),
-	}})
+// SimCell describes one end-to-end sim-rate measurement: a fixed
+// single-core workload under a named scheme, optionally forced onto the
+// legacy +1 cycle loop, optionally requested repeatedly through a run
+// cache. These are the rows of BENCH_sim.json.
+type SimCell struct {
+	// Name labels the row in BENCH_sim.json.
+	Name string
+	// Scheme is an experiment scheme name ("none", "spp", "ppf").
+	Scheme string
+	// Workload names the simulated benchmark.
+	Workload string
+	// LegacyLoop forces the pre-event-horizon one-cycle-at-a-time loop,
+	// so paired rows isolate the cycle-skipping speedup.
+	LegacyLoop bool
+	// MemoRuns > 1 requests the cell that many times through a fresh run
+	// cache: one real simulation plus MemoRuns-1 cached replays. The
+	// returned instruction count includes the replayed work, so the rate
+	// is the effective throughput a duplicated suite cell sees.
+	MemoRuns int
+}
+
+// DefaultSimCells returns the standard BENCH_sim.json row set: the
+// Figure 9 PPF cell plus SPP and no-prefetch variants, each with the
+// event-horizon and legacy loops, and the memoized effective rate for
+// the duplicated-cell case (Figure 10 re-requests every Figure 9 cell).
+func DefaultSimCells() []SimCell {
+	const wl = "603.bwaves_s"
+	return []SimCell{
+		{Name: "fig9_ppf_skip", Scheme: "ppf", Workload: wl},
+		{Name: "fig9_ppf_legacy", Scheme: "ppf", Workload: wl, LegacyLoop: true},
+		{Name: "fig9_spp_skip", Scheme: "spp", Workload: wl},
+		{Name: "fig9_spp_legacy", Scheme: "spp", Workload: wl, LegacyLoop: true},
+		{Name: "fig9_none_skip", Scheme: "none", Workload: wl},
+		{Name: "fig9_none_legacy", Scheme: "none", Workload: wl, LegacyLoop: true},
+		{Name: "fig9_ppf_memoized_x2", Scheme: "ppf", Workload: wl, MemoRuns: 2},
+	}
+}
+
+// Run executes the cell at the given budget and returns the simulated
+// instruction count (including warmup — it is simulated work too, and
+// including cached replays for MemoRuns > 1) and the elapsed wall time.
+func (c SimCell) Run(warmup, detail uint64) (instructions uint64, elapsed time.Duration) {
+	w := workload.MustByName(c.Workload)
+	scheme := experiment.Scheme(c.Scheme)
+	if c.MemoRuns > 1 {
+		x := experiment.Exec{Workers: 1, Cache: experiment.NewRunCache()}
+		b := experiment.Budget{Warmup: warmup, Detail: detail}
+		start := time.Now()
+		for i := 0; i < c.MemoRuns; i++ {
+			res := x.RunSingle(sim.DefaultConfig(1), scheme, w, 1, b)
+			instructions += warmup + res.PerCore[0].Instructions
+		}
+		return instructions, time.Since(start)
+	}
+	sys, err := sim.NewSystem(sim.DefaultConfig(1), []sim.CoreSetup{experiment.NewSetup(scheme, w, 1)})
 	if err != nil {
 		panic(err)
 	}
+	sys.SetLegacyLoop(c.LegacyLoop)
 	start := time.Now()
 	res := sys.Run(warmup, detail)
-	elapsed = time.Since(start)
-	// Warmup instructions are simulated work too; count the whole run.
-	return warmup + res.PerCore[0].Instructions, elapsed
+	return warmup + res.PerCore[0].Instructions, time.Since(start)
+}
+
+// Fig9CellRate runs one fixed Figure 9 cell — 603.bwaves_s under
+// SPP+PPF at the given budget — and returns the end-to-end simulation
+// rate in simulated instructions per wall second. This is the
+// figure-level number the micro-kernels must ultimately move; it is the
+// "fig9_ppf_skip" row of DefaultSimCells.
+func Fig9CellRate(warmup, detail uint64) (instructions uint64, elapsed time.Duration) {
+	return SimCell{Name: "fig9_cell", Scheme: "ppf", Workload: "603.bwaves_s"}.Run(warmup, detail)
 }

@@ -84,6 +84,16 @@ func LowBandwidthConfig() Config {
 	return c
 }
 
+// CanonicalKey renders the configuration as a canonical,
+// content-complete string, suitable as a cache key: two configurations
+// with equal keys build behaviourally identical machines. Every Config
+// field (including the nested cache and DRAM configs) is a plain value
+// type, so the Go-syntax rendering covers the entire configuration with
+// no pointer identities or map ordering to perturb it.
+func (c Config) CanonicalKey() string {
+	return fmt.Sprintf("%#v", c)
+}
+
 // Validate checks the configuration for consistency.
 func (c Config) Validate() error {
 	if c.Cores <= 0 {

@@ -48,7 +48,8 @@ type Core struct {
 	curCycle  uint64
 
 	retired      uint64
-	robStalls    uint64
+	robStalls    uint64 // cycles fetch was blocked on a full ROB
+	fetchStalls  uint64 // cycles the front end sat out an I-miss/mispredict penalty
 	candidates   uint64 // candidates produced by the prefetcher
 	pfIssued     uint64 // prefetches actually filled into a cache
 	pfUseful     uint64 // prefetches hit by demand before eviction
@@ -183,6 +184,7 @@ func (c *Core) Tick(cycle uint64) {
 		return
 	}
 	if cycle < c.fetchStallUntil {
+		c.fetchStalls++
 		return
 	}
 
@@ -258,6 +260,76 @@ func (c *Core) Tick(cycle uint64) {
 	}
 }
 
+// noEvent is NextEvent's "this core will never act again" sentinel: the
+// trace is exhausted and the ROB has drained, so no future cycle changes
+// its state.
+const noEvent = ^uint64(0)
+
+// NextEvent reports the earliest cycle after now at which Tick can make
+// progress — retire an instruction, fetch, or dispatch — assuming no
+// other core acts first. Between now and that cycle every Tick is a
+// provable no-op (modulo the stall counters, which skipTo reconstructs),
+// so System.runUntil may advance the clock straight to the minimum
+// NextEvent across cores. The candidate events are:
+//
+//   - ROB-head completion: with completed instructions pending, retirement
+//     happens at the first cycle >= rob[robHead]. This also covers loads
+//     waiting on the memory hierarchy and pointer-chase dependency
+//     resolution — a dependent load's completion time is its ROB entry.
+//   - fetchStallUntil: the front end resumes after an instruction-cache
+//     miss or mispredict penalty, provided the ROB has room.
+//   - now+1 when fetch is unimpeded: the core is making progress every
+//     cycle and nothing can be skipped.
+//
+// A core whose trace is exhausted and whose ROB has drained returns
+// noEvent.
+func (c *Core) NextEvent(now uint64) uint64 {
+	next := uint64(noEvent)
+	if c.robCount > 0 {
+		if h := c.rob[c.robHead]; h > now+1 {
+			next = h
+		} else {
+			// The ROB head has already completed (or completes next
+			// cycle): retirement makes progress immediately.
+			return now + 1
+		}
+	}
+	if !c.traceDone && c.robCount < len(c.rob) {
+		if f := c.fetchStallUntil; f > now+1 {
+			if f < next {
+				next = f
+			}
+		} else {
+			return now + 1 // fetch is unimpeded
+		}
+	}
+	return next
+}
+
+// skipTo accounts for the cycles in (from, to) that runUntil is about to
+// skip: each would have been a no-op Tick, but the legacy +1 loop still
+// charged them to a stall counter. Reconstructing those charges keeps the
+// skipping loop's statistics bit-identical to the legacy loop's: a
+// skipped cycle below fetchStallUntil is a front-end stall, and a
+// skipped cycle at/after it can only have been survived by a full ROB
+// (otherwise NextEvent would have stopped the skip there to fetch).
+func (c *Core) skipTo(from, to uint64) {
+	if c.traceDone || to <= from+1 {
+		return
+	}
+	lo, hi := from+1, to // skipped cycles form [lo, hi)
+	if f := c.fetchStallUntil; f > lo {
+		if f > hi {
+			f = hi
+		}
+		c.fetchStalls += f - lo
+		lo = f
+	}
+	if lo < hi && c.robCount == len(c.rob) {
+		c.robStalls += hi - lo
+	}
+}
+
 // resetStats clears all warmup statistics on the core and its private
 // structures, keeping learned predictor/prefetcher/filter state.
 func (c *Core) resetStats(cycle uint64) {
@@ -272,6 +344,7 @@ func (c *Core) resetStats(cycle uint64) {
 	c.pfIssued = 0
 	c.pfUseful = 0
 	c.robStalls = 0
+	c.fetchStalls = 0
 	c.retiredStart = c.retired
 	c.startCycle = cycle
 	c.finishedRun = false

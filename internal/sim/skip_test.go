@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	ppf "repro/internal/core"
+	"repro/internal/prefetch"
+	"repro/internal/workload"
+)
+
+// skipScheme builds one fresh per-core setup for the named scheme.
+// Prefetcher and filter state is stateful, so the legacy and skipping
+// systems under comparison must each get their own instances.
+func skipScheme(t *testing.T, scheme string, w workload.Workload, seed uint64) CoreSetup {
+	t.Helper()
+	setup := CoreSetup{Trace: w.NewReader(seed)}
+	switch scheme {
+	case "none":
+	case "spp":
+		setup.Prefetcher = prefetch.NewSPP(prefetch.DefaultSPPConfig())
+	case "ppf":
+		setup.Prefetcher = prefetch.NewSPP(prefetch.AggressiveSPPConfig())
+		setup.Filter = ppf.New(ppf.DefaultConfig())
+	default:
+		t.Fatalf("unknown scheme %q", scheme)
+	}
+	return setup
+}
+
+// buildPair constructs two identical systems over the same (workloads,
+// scheme, seed) cell: one forced onto the legacy +1 loop, one on the
+// event-horizon skipping loop.
+func buildPair(t *testing.T, scheme string, names []string, seed uint64) (legacy, skip *System) {
+	t.Helper()
+	cfg := DefaultConfig(len(names))
+	mk := func() *System {
+		setups := make([]CoreSetup, len(names))
+		for i, n := range names {
+			setups[i] = skipScheme(t, scheme, workload.MustByName(n), seed+uint64(i))
+		}
+		sys, err := NewSystem(cfg, setups)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	legacy, skip = mk(), mk()
+	legacy.SetLegacyLoop(true)
+	return legacy, skip
+}
+
+// TestSkipEquivalence is the cycle-skipping golden: across core counts,
+// schemes and seeds, the event-horizon loop must produce a sim.Result
+// byte-identical to the legacy one-cycle-at-a-time loop — including the
+// stall-cycle counters it reconstructs for skipped cycles.
+func TestSkipEquivalence(t *testing.T) {
+	// Mixed-character workloads so multicore cores finish at different
+	// cycles: mcf (pointer chasing, DRAM-bound) finishes long after
+	// leela (cache-resident), exercising the "finished cores keep
+	// contending" path in both loops.
+	mixes := map[int][]string{
+		1: {"605.mcf_s"},
+		4: {"605.mcf_s", "603.bwaves_s", "641.leela_s", "620.omnetpp_s"},
+		8: {"605.mcf_s", "603.bwaves_s", "641.leela_s", "620.omnetpp_s",
+			"649.fotonik3d_s", "619.lbm_s", "648.exchange2_s", "623.xalancbmk_s"},
+	}
+	for _, cores := range []int{1, 4, 8} {
+		for _, scheme := range []string{"none", "spp", "ppf"} {
+			for _, seed := range []uint64{1, 2, 3} {
+				name := fmt.Sprintf("%dcore/%s/seed%d", cores, scheme, seed)
+				t.Run(name, func(t *testing.T) {
+					warmup, detail := uint64(5_000), uint64(40_000)
+					if cores == 8 {
+						detail = 20_000
+					}
+					legacy, skip := buildPair(t, scheme, mixes[cores], seed)
+					rl := legacy.Run(warmup, detail)
+					rs := skip.Run(warmup, detail)
+					if !reflect.DeepEqual(rl, rs) {
+						t.Fatalf("legacy and skipping loops diverged\nlegacy: %+v\nskip:   %+v", rl, rs)
+					}
+					if skip.ticks > legacy.ticks {
+						t.Fatalf("skipping loop executed more tick rounds (%d) than legacy (%d)",
+							skip.ticks, legacy.ticks)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSkipActuallySkips pins the optimization itself: on a DRAM-bound
+// single-core run the event-horizon loop must execute materially fewer
+// tick rounds than cycles elapsed, otherwise the fast path has silently
+// degenerated to the +1 loop.
+func TestSkipActuallySkips(t *testing.T) {
+	legacy, skip := buildPair(t, "none", []string{"605.mcf_s"}, 1)
+	rl := legacy.Run(5_000, 40_000)
+	rs := skip.Run(5_000, 40_000)
+	if rl.Cycles != rs.Cycles {
+		t.Fatalf("cycle counts diverged: legacy %d vs skip %d", rl.Cycles, rs.Cycles)
+	}
+	if legacy.ticks != legacy.cycle {
+		t.Fatalf("legacy loop should tick every cycle: %d ticks over %d cycles",
+			legacy.ticks, legacy.cycle)
+	}
+	if skip.ticks*2 > legacy.ticks {
+		t.Fatalf("expected to skip >50%% of cycles on a DRAM-bound run, ticked %d of %d",
+			skip.ticks, legacy.ticks)
+	}
+}
+
+// TestFinishedCoresKeepContending verifies the multicore path where a
+// fast core crosses its target early: it must keep issuing memory
+// traffic (at unskipped cycles) until the slow core finishes, in both
+// loops identically.
+func TestFinishedCoresKeepContending(t *testing.T) {
+	legacy, skip := buildPair(t, "spp", []string{"648.exchange2_s", "605.mcf_s", "641.leela_s", "603.bwaves_s"}, 7)
+	rl := legacy.Run(2_000, 25_000)
+	rs := skip.Run(2_000, 25_000)
+	if !reflect.DeepEqual(rl, rs) {
+		t.Fatalf("finished-core contention diverged\nlegacy: %+v\nskip:   %+v", rl, rs)
+	}
+	// The fast cache-resident cores must have recorded earlier finish
+	// cycles than the DRAM-bound one — i.e. the contention window exists.
+	var minFinish, maxFinish uint64 = ^uint64(0), 0
+	for _, c := range skip.cores {
+		if c.finishCycle < minFinish {
+			minFinish = c.finishCycle
+		}
+		if c.finishCycle > maxFinish {
+			maxFinish = c.finishCycle
+		}
+	}
+	if minFinish == maxFinish {
+		t.Fatal("test workloads finished simultaneously; contention window not exercised")
+	}
+}

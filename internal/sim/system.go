@@ -37,6 +37,12 @@ type CoreResult struct {
 	PrefetchesIssued uint64
 	// PrefetchesUseful counts issued prefetches hit by demand (L2-level).
 	PrefetchesUseful uint64
+	// ROBStallCycles counts cycles the front end was blocked on a full
+	// ROB — typically waiting out a DRAM-latency load at the ROB head.
+	ROBStallCycles uint64
+	// FetchStallCycles counts cycles the front end sat out an
+	// instruction-cache miss or branch-mispredict penalty.
+	FetchStallCycles uint64
 	// Filter holds the PPF statistics when a filter was attached.
 	Filter *ppf.Stats
 	// AvgLookaheadDepth is SPP's mean emission depth (0 for others).
@@ -60,6 +66,25 @@ type System struct {
 	llc   *cache.Cache
 	mem   *dram.DRAM
 	cycle uint64
+	// legacyLoop forces the historical one-cycle-at-a-time runUntil loop
+	// instead of event-horizon skipping. Test/benchmark hook only: the
+	// skip-equivalence goldens run both loops and assert bit-identical
+	// results, and cmd/bench measures the speedup.
+	legacyLoop bool
+	// ticks counts executed tick rounds, for observing how many dead
+	// cycles the event-horizon loop skipped (ticks == cycles advanced in
+	// legacy mode; ticks <= cycles advanced with skipping).
+	ticks uint64
+}
+
+// SetLegacyLoop selects the pre-event-horizon +1 cycle loop (on = true)
+// and returns the previous setting. It exists so tests and benchmarks
+// can prove the skipping loop bit-identical; simulations must not toggle
+// it mid-run.
+func (s *System) SetLegacyLoop(on bool) bool {
+	prev := s.legacyLoop
+	s.legacyLoop = on
+	return prev
 }
 
 // NewSystem builds a machine from cfg with one CoreSetup per core.
@@ -155,6 +180,16 @@ func (s *System) DRAM() *dram.DRAM { return s.mem }
 // target keep executing so they continue to contend for shared resources,
 // per the paper's multi-core methodology; their finish cycle is recorded
 // the moment they cross the target.
+//
+// The clock advances by event horizon rather than by +1: every core
+// reports the earliest future cycle at which it can make progress
+// (Core.NextEvent), and the machine jumps straight to the minimum. The
+// cycles in between are provable no-ops for every core — including cores
+// past their target that keep contending for the shared LLC and DRAM —
+// so every Tick that executes does so at exactly the cycle, and in
+// exactly the core order, the legacy +1 loop would have used. Results
+// are bit-identical (the skip-equivalence goldens in skip_test.go prove
+// it); only wall-clock time changes.
 func (s *System) runUntil(target func(c *Core) uint64) {
 	for {
 		allDone := true
@@ -172,11 +207,41 @@ func (s *System) runUntil(target func(c *Core) uint64) {
 		if allDone {
 			return
 		}
-		s.cycle++
+		next := s.cycle + 1
+		if !s.legacyLoop {
+			if ne := s.nextEvent(); ne > next {
+				for _, c := range s.cores {
+					c.skipTo(s.cycle, ne)
+				}
+				next = ne
+			}
+		}
+		s.cycle = next
+		s.ticks++
 		for _, c := range s.cores {
 			c.Tick(s.cycle)
 		}
 	}
+}
+
+// nextEvent is the machine-wide event horizon: the minimum NextEvent
+// across every core that can still act. Finished-but-draining cores and
+// finished cores still fetching past their target participate — their
+// memory traffic contends with unfinished cores, so skipping over one of
+// their active cycles would change shared-cache state. At least one
+// unfinished core exists when this is called, and an unfinished core
+// always has a finite next event, so the result is a real cycle.
+func (s *System) nextEvent() uint64 {
+	next := uint64(noEvent)
+	for _, c := range s.cores {
+		if ne := c.NextEvent(s.cycle); ne < next {
+			next = ne
+		}
+	}
+	if next == noEvent {
+		return s.cycle + 1
+	}
+	return next
 }
 
 // Run executes warmup instructions per core (statistics discarded), then a
@@ -217,6 +282,8 @@ func (s *System) Run(warmup, detail uint64) Result {
 			Candidates:       c.candidates,
 			PrefetchesIssued: c.pfIssued,
 			PrefetchesUseful: c.pfUseful,
+			ROBStallCycles:   c.robStalls,
+			FetchStallCycles: c.fetchStalls,
 		}
 		if cycles > 0 {
 			cr.IPC = float64(insts) / float64(cycles)

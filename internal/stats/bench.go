@@ -34,16 +34,62 @@ type SimRate struct {
 // kernel-performance trajectory. cmd/bench emits one of these per run;
 // successive PRs append comparable snapshots.
 type KernelBench struct {
-	GoVersion string         `json:"go_version"`
-	GOOS      string         `json:"goos"`
-	GOARCH    string         `json:"goarch"`
-	Kernels   []KernelResult `json:"kernels"`
-	Sim       *SimRate       `json:"sim,omitempty"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// Count is the number of repetitions each row is the median of
+	// (cmd/bench -count); 1 means a single measurement.
+	Count   int            `json:"count"`
+	Kernels []KernelResult `json:"kernels"`
+	Sim     *SimRate       `json:"sim,omitempty"`
+}
+
+// SimRateRow is one end-to-end measurement of BENCH_sim.json: a fixed
+// single-core cell timed wall-clock under a named scheme and run-loop
+// variant.
+type SimRateRow struct {
+	// Name labels the row (e.g. "fig9_ppf_skip").
+	Name string `json:"name"`
+	// Scheme is the prefetching configuration ("none", "spp", "ppf").
+	Scheme string `json:"scheme"`
+	// Workload is the simulated benchmark.
+	Workload string `json:"workload"`
+	// LegacyLoop is true when the row forced the pre-event-horizon
+	// one-cycle-at-a-time loop; comparing a scheme's legacy and skip rows
+	// isolates the cycle-skipping speedup.
+	LegacyLoop bool `json:"legacy_loop"`
+	// MemoRuns, when > 1, means the cell was requested that many times
+	// through a fresh run cache (one simulation + MemoRuns-1 replays);
+	// Instructions then counts the replayed work too, so the row reports
+	// the *effective* throughput duplicated suite cells see.
+	MemoRuns           int     `json:"memo_runs,omitempty"`
+	WarmupInstructions uint64  `json:"warmup_instructions"`
+	DetailInstructions uint64  `json:"detail_instructions"`
+	Instructions       uint64  `json:"instructions"`
+	Seconds            float64 `json:"seconds"`
+	InstructionsPerSec float64 `json:"instructions_per_sec"`
+}
+
+// SimBench is the schema of BENCH_sim.json: the end-to-end sim-rate
+// trajectory, per scheme and run-loop variant (cycle skipping vs the
+// legacy loop, plus the memoized effective rate).
+type SimBench struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// Count is the number of repetitions each row is the median of.
+	Count int          `json:"count"`
+	Rows  []SimRateRow `json:"rows"`
 }
 
 // WriteFile marshals the snapshot as indented JSON to path.
-func (k KernelBench) WriteFile(path string) error {
-	blob, err := json.MarshalIndent(k, "", "  ")
+func (k KernelBench) WriteFile(path string) error { return writeJSON(path, k) }
+
+// WriteFile marshals the snapshot as indented JSON to path.
+func (s SimBench) WriteFile(path string) error { return writeJSON(path, s) }
+
+func writeJSON(path string, v any) error {
+	blob, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return err
 	}
