@@ -74,3 +74,4 @@ experiments:
 
 clean:
 	$(GO) clean ./...
+	rm -rf .simcache

@@ -143,19 +143,24 @@ func main() {
 		for _, cell := range kernelbench.DefaultSimCells() {
 			cell := cell
 			row := medianBy(*count, func() stats.SimRateRow {
-				insts, elapsed := cell.Run(warmup, detail)
-				sec := elapsed.Seconds()
+				m := cell.RunDetailed(warmup, detail)
+				sec := m.Elapsed.Seconds()
 				return stats.SimRateRow{
-					Name:               cell.Name,
-					Scheme:             cell.Scheme,
-					Workload:           cell.Workload,
-					LegacyLoop:         cell.LegacyLoop,
-					MemoRuns:           cell.MemoRuns,
-					WarmupInstructions: warmup,
-					DetailInstructions: detail,
-					Instructions:       insts,
-					Seconds:            sec,
-					InstructionsPerSec: float64(insts) / sec,
+					Name:                cell.Name,
+					Scheme:              cell.Scheme,
+					Workload:            cell.Workload,
+					LegacyLoop:          cell.LegacyLoop,
+					MemoRuns:            cell.MemoRuns,
+					StoreMode:           cell.StoreMode,
+					StoreResultHits:     m.StoreResultHits,
+					StoreResultMisses:   m.StoreResultMisses,
+					StoreSnapshotHits:   m.StoreSnapshotHits,
+					StoreSnapshotMisses: m.StoreSnapshotMisses,
+					WarmupInstructions:  warmup,
+					DetailInstructions:  detail,
+					Instructions:        m.Instructions,
+					Seconds:             sec,
+					InstructionsPerSec:  float64(m.Instructions) / sec,
 				}
 			}, func(r stats.SimRateRow) float64 { return r.InstructionsPerSec })
 			simSnap.Rows = append(simSnap.Rows, row)

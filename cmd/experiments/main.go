@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/simstore"
 	"repro/internal/stats"
 )
 
@@ -96,7 +97,8 @@ func main() {
 	warmup := flag.Uint64("warmup", 0, "override warmup instructions")
 	detail := flag.Uint64("detail", 0, "override detailed instructions")
 	jobs := flag.Int("j", 0, "max parallel simulation jobs (0 = GOMAXPROCS); any value yields identical tables")
-	nocache := flag.Bool("nocache", false, "disable the cross-experiment run cache (same tables, more wall-clock)")
+	nocache := flag.Bool("nocache", false, "disable the run cache and the disk store (same tables, more wall-clock)")
+	cachedir := flag.String("cachedir", ".simcache", "persistent sim-store directory ('' = in-memory cache only)")
 	progress := flag.Bool("progress", false, "stream sweep progress/ETA and per-job timing to stderr")
 	jsonDir := flag.String("json", "", "also write each result as JSON into this directory")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the selected experiments to this file")
@@ -189,10 +191,22 @@ func main() {
 	// (config, scheme, workload, seed, budget) cells — e.g. the fig9/fig10
 	// matrix, or the no-prefetch baselines the ablation, generality and
 	// threshold studies have in common — simulate once per invocation.
-	// Tables are byte-identical with or without it (-nocache to compare).
+	// With -cachedir (the default), the cache is additionally backed by a
+	// persistent content-addressed store, so cells survive across
+	// invocations: stored results replay for free and cells sharing a
+	// warmup prefix resume from post-warmup machine snapshots. Tables are
+	// byte-identical with or without either layer (-nocache to compare).
 	var cache *experiment.RunCache
 	if !*nocache {
 		cache = experiment.NewRunCache()
+		if *cachedir != "" {
+			store, err := simstore.Open(*cachedir)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "opening sim store %s: %v (continuing without it)\n", *cachedir, err)
+			} else {
+				cache.AttachStore(store)
+			}
+		}
 	}
 	for _, r := range selected {
 		x := experiment.Exec{Workers: *jobs, Cache: cache}
@@ -226,5 +240,7 @@ func main() {
 	}
 	if cache != nil {
 		fmt.Println(cache.ReportLine())
+	} else {
+		fmt.Println("run cache: disabled (-nocache)")
 	}
 }

@@ -18,6 +18,9 @@
 //     the simulator and surfaced by a reporter or serializer.
 //   - sentinel: zero values must not stand in for real data (zero-value
 //     Config dispatch, zero-seeded argmax selections).
+//   - snapshot: snapshot walks must visit every field of their receiver
+//     struct, so machine state cannot silently go stale across
+//     snapshot/restore when a field is added later.
 //
 // Diagnostics can be suppressed with a trailing or preceding
 // `//ppflint:allow <analyzer> [reason]` comment, or for a whole file
@@ -242,5 +245,6 @@ func All() []*Analyzer {
 		HWBudget,
 		CounterWiring,
 		Sentinel,
+		Snapshot,
 	}
 }

@@ -14,6 +14,7 @@ func TestSaturationFixture(t *testing.T)    { RunFixture(t, Saturation) }
 func TestHWBudgetFixture(t *testing.T)      { RunFixture(t, HWBudget) }
 func TestCounterWiringFixture(t *testing.T) { RunFixture(t, CounterWiring) }
 func TestSentinelFixture(t *testing.T)      { RunFixture(t, Sentinel) }
+func TestSnapshotFixture(t *testing.T)      { RunFixture(t, Snapshot) }
 
 // TestPpflintRepo runs the full suite over the real module, pinning the
 // invariant `go run ./cmd/ppflint ./...` enforces in CI: the tree is
@@ -48,7 +49,7 @@ func TestAnalyzerMetadata(t *testing.T) {
 			t.Errorf("analyzer name %q must be a lowercase single token (it keys //ppflint:allow)", a.Name)
 		}
 	}
-	for _, want := range []string{"determinism", "saturation", "hwbudget", "counterwiring", "sentinel"} {
+	for _, want := range []string{"determinism", "saturation", "hwbudget", "counterwiring", "sentinel", "snapshot"} {
 		if !seen[want] {
 			t.Errorf("expected analyzer %q to be registered", want)
 		}

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// Snapshot enforces total field coverage in snapshot walks. A method
+// named SnapshotWalk or snapshotWalk whose single parameter is a
+// *Walker registers its receiver struct for snapshot serialization
+// (internal/snap): one walk function drives both the encode and decode
+// directions, so encode/decode symmetry holds by construction — but
+// only for fields the walk mentions. A field added to the struct later
+// and never walked silently reverts to its zero value on restore, the
+// exact "stale state after resume" bug class the persistent sim store
+// must exclude. The rule: every field of the receiver struct must
+// appear as a selector on the receiver somewhere in the method body,
+// either walked through the Walker or explicitly parked in
+// Walker.Static (which documents config/derived/wiring fields that the
+// restoring machine reconstructs).
+var Snapshot = &Analyzer{
+	Name: "snapshot",
+	Doc: "snapshot walks must visit every receiver field: each field of a " +
+		"struct with a SnapshotWalk/snapshotWalk(*Walker) method must be " +
+		"serialized through the walker or explicitly listed in Static, so " +
+		"fields added later cannot silently come back stale from a snapshot",
+	Run: runSnapshot,
+}
+
+func runSnapshot(s *Suite, report func(Diagnostic)) {
+	for _, p := range s.Packages {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				checkSnapshotWalk(p, fn, report)
+			}
+		}
+	}
+}
+
+// checkSnapshotWalk verifies one candidate method, ignoring functions
+// that are not snapshot walks (wrong name, wrong parameter type, or a
+// non-struct receiver).
+func checkSnapshotWalk(p *Package, fn *ast.FuncDecl, report func(Diagnostic)) {
+	if fn.Name.Name != "SnapshotWalk" && fn.Name.Name != "snapshotWalk" {
+		return
+	}
+	if fn.Recv == nil || fn.Body == nil {
+		return
+	}
+	obj, ok := p.Info.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	sig := obj.Type().(*types.Signature)
+	if sig.Params().Len() != 1 {
+		return
+	}
+	pt, ok := sig.Params().At(0).Type().(*types.Pointer)
+	if !ok {
+		return
+	}
+	named, ok := pt.Elem().(*types.Named)
+	if !ok || named.Obj().Name() != "Walker" {
+		return
+	}
+	recv := sig.Recv()
+	rt := recv.Type()
+	if ptr, ok := rt.(*types.Pointer); ok {
+		rt = ptr.Elem()
+	}
+	recvNamed, ok := rt.(*types.Named)
+	if !ok {
+		return
+	}
+	st, ok := recvNamed.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+
+	// The receiver variable, when named: body selectors rooted at it
+	// mark their field as visited.
+	var recvObj types.Object
+	if names := fn.Recv.List[0].Names; len(names) == 1 {
+		recvObj = p.Info.Defs[names[0]]
+	}
+	visited := map[string]bool{}
+	if recvObj != nil {
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if p.Info.Uses[id] == recvObj {
+				visited[sel.Sel.Name] = true
+			}
+			return true
+		})
+	}
+
+	var missing []string
+	for i := 0; i < st.NumFields(); i++ {
+		if name := st.Field(i).Name(); !visited[name] {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		report(Diagnostic{
+			Pos: fn.Pos(),
+			Message: "snapshot walk for " + recvNamed.Obj().Name() +
+				" does not visit field " + name +
+				" (walk it through the Walker or list it in Static)",
+		})
+	}
+}

@@ -1,0 +1,104 @@
+// Package snapshot seeds field-coverage violations for the snapshot
+// analyzer: structs with SnapshotWalk/snapshotWalk(*Walker) methods
+// must serialize or explicitly park every field.
+package snapshot
+
+// Walker mirrors internal/snap.Walker; the analyzer matches the
+// parameter type by name so fixtures stay hermetic.
+type Walker struct{}
+
+func (w *Walker) Uint64(v *uint64) {}
+func (w *Walker) Bool(v *bool)     {}
+func (w *Walker) Static(...any)    {}
+
+// complete walks one field, parks one in Static: clean.
+type complete struct {
+	count uint64
+	cfg   int
+}
+
+func (c *complete) snapshotWalk(w *Walker) {
+	w.Uint64(&c.count)
+	w.Static(c.cfg)
+}
+
+// missingField forgets its newest field: the bug class the rule exists
+// for — a restore would silently zero b.
+type missingField struct {
+	a uint64
+	b bool
+}
+
+func (m *missingField) snapshotWalk(w *Walker) { // want "snapshot walk for missingField does not visit field b"
+	w.Uint64(&m.a)
+}
+
+// exportedWalk pins the exported-method spelling and multiple misses
+// (one diagnostic per missing field).
+type exportedWalk struct {
+	A uint64
+	B uint64
+	C uint64
+}
+
+func (e *exportedWalk) SnapshotWalk(w *Walker) { // want "does not visit field B" "does not visit field C"
+	w.Uint64(&e.A)
+}
+
+// looped accesses fields through range loops and index expressions;
+// any selector on the receiver counts as a visit.
+type looped struct {
+	rows []uint64
+	tick uint64
+}
+
+func (l *looped) snapshotWalk(w *Walker) {
+	for i := range l.rows {
+		w.Uint64(&l.rows[i])
+	}
+	w.Uint64(&l.tick)
+}
+
+// delegated visits a field by calling its own walk method: still a
+// selector on the receiver, still a visit.
+type inner struct {
+	x uint64
+}
+
+func (in *inner) snapshotWalk(w *Walker) {
+	w.Uint64(&in.x)
+}
+
+type delegated struct {
+	nested inner
+}
+
+func (d *delegated) snapshotWalk(w *Walker) {
+	d.nested.snapshotWalk(w)
+}
+
+// notWalker has the right method name but the wrong parameter type; it
+// is not a snapshot walk and its missing fields must not be reported.
+type notWalker struct{}
+
+type otherParam struct {
+	ignored uint64
+}
+
+func (o *otherParam) snapshotWalk(n *notWalker) {}
+
+// empty has no fields; an empty walk is clean.
+type empty struct{}
+
+func (empty) SnapshotWalk(*Walker) {}
+
+// allowed demonstrates the escape hatch for a deliberate skip.
+type allowed struct {
+	a uint64
+	b uint64
+}
+
+//ppflint:allow snapshot b is reconstructed by the caller
+func (al *allowed) snapshotWalk(w *Walker) {
+	w.Uint64(&al.a)
+}

@@ -1,0 +1,15 @@
+package branch
+
+import "repro/internal/snap"
+
+// SnapshotWalk serializes the predictor: every weight table, the bias
+// table, the global history register, and the accuracy counters.
+func (p *Predictor) SnapshotWalk(w *snap.Walker) {
+	for i := range p.tables {
+		w.Int8s(p.tables[i][:])
+	}
+	w.Int8s(p.bias[:])
+	w.Uint64(&p.history)
+	w.Uint64(&p.predictions)
+	w.Uint64(&p.mispredicts)
+}

@@ -1,0 +1,47 @@
+package cache
+
+import "repro/internal/snap"
+
+// SnapshotWalk serializes the cache's mutable state — line arrays,
+// MSHRs, the LRU clock and statistics — through one walk shared by the
+// encode and decode directions (see internal/snap). Geometry and
+// wiring are not serialized: the restoring machine is built from the
+// same Config (pinned by the snapshot's cache key), so cfg, sets, ways
+// and setMask are already correct, and next/hooks point at the fresh
+// machine's own structures.
+func (c *Cache) SnapshotWalk(w *snap.Walker) {
+	w.Uint64s(c.tags)
+	w.Uint64s(c.lastUse)
+	w.Uint8s(c.flags)
+	w.Int16s(c.owner)
+	w.Uint64(&c.useTick)
+	w.Uint64s(c.mshrBlock)
+	w.Uint64s(c.mshrDone)
+	w.Bools(c.mshrLow)
+	c.stats.SnapshotWalk(w)
+	w.Static(c.cfg, c.sets, c.ways, c.setMask, c.next,
+		c.EvictHook, c.UsefulHook, c.DemandHook)
+}
+
+// SnapshotWalk round-trips every cache counter.
+func (s *Stats) SnapshotWalk(w *snap.Walker) {
+	w.Uint64(&s.DemandAccesses)
+	w.Uint64(&s.DemandHits)
+	w.Uint64(&s.DemandMisses)
+	w.Uint64(&s.WriteAccesses)
+	w.Uint64(&s.WriteHits)
+	w.Uint64(&s.WriteMisses)
+	w.Uint64(&s.PrefetchFills)
+	w.Uint64(&s.PrefetchUseful)
+	w.Uint64(&s.PrefetchLate)
+	w.Uint64(&s.PrefetchUnused)
+	w.Uint64(&s.Evictions)
+	w.Uint64(&s.Writebacks)
+	w.Uint64(&s.MSHRMerges)
+	w.Uint64(&s.MSHRFullStalls)
+	w.Uint64(&s.PrefetchDropped)
+	w.Uint64(&s.PrefetchReads)
+	w.Uint64(&s.PrefetchReadHit)
+	w.Uint64(&s.MissLatencySum)
+	w.Uint64(&s.MergeWaitSum)
+}

@@ -1,0 +1,52 @@
+package core
+
+import "repro/internal/snap"
+
+// SnapshotWalk serializes the filter's learned and architectural
+// state: all perceptron weight tables, the prefetch and reject record
+// tables, the PC history, the issue sequence and statistics. The
+// scratch memo (scratchIdx/scratchFor/scratchValid) is a pure
+// per-candidate cache — Decide recomputes it whenever the input does
+// not match exactly — so restoring without it cannot change any
+// decision. OnTrainEvent and its buffer are observer wiring the
+// restoring caller re-attaches if it wants the training stream.
+func (f *Filter) SnapshotWalk(w *snap.Walker) {
+	for i := range f.weights {
+		w.Int8s(f.weights[i])
+	}
+	for i := range f.prefetchTable {
+		f.prefetchTable[i].snapshotWalk(w)
+	}
+	for i := range f.rejectTable {
+		f.rejectTable[i].snapshotWalk(w)
+	}
+	w.Uint64s(f.pcHist[:])
+	w.Uint64(&f.issueSeq)
+	f.stats.SnapshotWalk(w)
+	w.Static(f.cfg, f.features,
+		f.scratchIdx, f.scratchFor, f.scratchValid,
+		f.OnTrainEvent, f.trainBuf)
+}
+
+func (e *recordEntry) snapshotWalk(w *snap.Walker) {
+	w.Bool(&e.valid)
+	w.Uint16(&e.tag)
+	w.Bool(&e.useful)
+	w.Bool(&e.issued)
+	w.Uint64(&e.seq)
+	w.Uint16s(e.idx[:])
+}
+
+// SnapshotWalk round-trips every filter counter.
+func (s *Stats) SnapshotWalk(w *snap.Walker) {
+	w.Uint64(&s.Inferences)
+	w.Uint64(&s.IssuedL2)
+	w.Uint64(&s.IssuedLLC)
+	w.Uint64(&s.Dropped)
+	w.Uint64(&s.Squashed)
+	w.Uint64(&s.TrainPositive)
+	w.Uint64(&s.TrainNegative)
+	w.Uint64(&s.FalseNegatives)
+	w.Uint64(&s.UsefulIssued)
+	w.Uint64(&s.EvictUnused)
+}

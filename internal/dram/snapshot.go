@@ -1,0 +1,42 @@
+package dram
+
+import "repro/internal/snap"
+
+// SnapshotWalk serializes the controller's mutable state: per-channel
+// bus cursors, per-bank open rows, and statistics. Channel and bank
+// counts are derived from the Config the restoring machine was built
+// with, so only the contents are walked.
+func (d *DRAM) SnapshotWalk(w *snap.Walker) {
+	for i := range d.channels {
+		d.channels[i].snapshotWalk(w)
+	}
+	d.stats.SnapshotWalk(w)
+	w.Static(d.cfg)
+}
+
+func (ch *channel) snapshotWalk(w *snap.Walker) {
+	w.Uint64(&ch.qDemand)
+	w.Uint64(&ch.qRead)
+	w.Uint64(&ch.qAll)
+	for i := range ch.banks {
+		ch.banks[i].snapshotWalk(w)
+	}
+}
+
+func (b *bank) snapshotWalk(w *snap.Walker) {
+	w.Uint64(&b.openRow)
+	w.Bool(&b.hasOpen)
+	w.Uint64(&b.readyAt)
+}
+
+// SnapshotWalk round-trips every DRAM counter.
+func (s *Stats) SnapshotWalk(w *snap.Walker) {
+	w.Uint64(&s.Reads)
+	w.Uint64(&s.PrefetchReads)
+	w.Uint64(&s.PromotedReads)
+	w.Uint64(&s.Writes)
+	w.Uint64(&s.RowHits)
+	w.Uint64(&s.RowMisses)
+	w.Uint64(&s.BusBusyFor)
+	w.Uint64(&s.LastRequest)
+}

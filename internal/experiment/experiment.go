@@ -90,10 +90,17 @@ func DefaultBudget() Budget { return Budget{Warmup: 200_000, Detail: 1_000_000} 
 // QuickBudget is a shorter budget for tests and -quick runs.
 func QuickBudget() Budget { return Budget{Warmup: 50_000, Detail: 200_000} }
 
+// buildSingle constructs the fresh 1-core machine for a cell. The run
+// cache's snapshot-resume path uses it to build identical systems for
+// the cold and restored runs.
+func buildSingle(cfg sim.Config, s Scheme, w workload.Workload, seed uint64) (*sim.System, error) {
+	cfg.Cores = 1
+	return sim.NewSystem(cfg, []sim.CoreSetup{NewSetup(s, w, seed)})
+}
+
 // RunSingle simulates one workload on a 1-core machine under a scheme.
 func RunSingle(cfg sim.Config, s Scheme, w workload.Workload, seed uint64, b Budget) (sim.Result, error) {
-	cfg.Cores = 1
-	sys, err := sim.NewSystem(cfg, []sim.CoreSetup{NewSetup(s, w, seed)})
+	sys, err := buildSingle(cfg, s, w, seed)
 	if err != nil {
 		return sim.Result{}, err
 	}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/runner"
 	"repro/internal/sim"
+	"repro/internal/simstore"
 	"repro/internal/workload"
 )
 
@@ -18,16 +19,29 @@ import (
 // defensive copies, so no experiment can corrupt another's numbers
 // through a shared slice or Stats pointer.
 //
+// With a disk store attached (AttachStore), the cache additionally
+// persists across invocations in two layers. Layer 1 stores encoded
+// sim.Results under the full cell key, so re-requesting a cell in a
+// later process is free. Layer 2 stores post-warmup machine snapshots
+// under the cell key's warmup prefix, so a cell that misses layer 1
+// but shares (config, scheme, workload, seed, warmup) with any earlier
+// cell resumes its detail phase from the snapshot instead of
+// re-simulating the warmup.
+//
 // Correctness rests on two properties. First, the key is a canonical,
 // content-complete rendering of every input that determines a run's
 // outcome (sim.Config.CanonicalKey covers the machine; scheme, workload
 // identity, seed and budget cover the rest — workload streams are pure
 // functions of name and seed). Second, simulations are deterministic, so
-// replaying a cached result is indistinguishable from re-simulating.
-// The skip/memo goldens in cache_test.go assert rendered experiment
-// output is byte-identical with and without the cache.
+// replaying a cached result — or resuming from a snapshot; the resume
+// goldens in internal/sim pin bit-identical results — is
+// indistinguishable from re-simulating. The skip/memo goldens in
+// cache_test.go assert rendered experiment output is byte-identical
+// with and without the cache, and diskcache_test.go asserts the same
+// across cold and warm store runs.
 type RunCache struct {
-	memo *runner.Memo[sim.Result]
+	memo  *runner.Memo[sim.Result]
+	store *simstore.Store
 }
 
 // NewRunCache returns an empty cache, ready to share across Execs.
@@ -35,25 +49,46 @@ func NewRunCache() *RunCache {
 	return &RunCache{memo: runner.NewMemo[sim.Result]()}
 }
 
-// Stats reports cumulative cache hits and misses.
+// AttachStore adds the on-disk layers rooted at st. The in-memory memo
+// still deduplicates within the process (and single-flights concurrent
+// requests); the store serves and persists the memo's misses.
+func (rc *RunCache) AttachStore(st *simstore.Store) { rc.store = st }
+
+// Store returns the attached disk store, or nil.
+func (rc *RunCache) Store() *simstore.Store { return rc.store }
+
+// Stats reports cumulative in-memory cache hits and misses.
 func (rc *RunCache) Stats() (hits, misses uint64) { return rc.memo.Stats() }
 
 // ReportLine renders the post-run summary cmd/experiments prints.
 func (rc *RunCache) ReportLine() string {
-	return "run cache: " + rc.memo.ReportLine()
+	line := "run cache: " + rc.memo.ReportLine()
+	if rc.store != nil {
+		line += "; " + rc.store.ReportLine()
+	}
+	return line
 }
 
 // Keys returns the cached cell keys in sorted order (for tests and
 // debugging; sorted so output is deterministic).
 func (rc *RunCache) Keys() []string { return rc.memo.Keys() }
 
-// cellKey canonically identifies one single-machine simulation cell.
-// Workloads are identified by suite and name: the generator stream is a
-// pure function of (name, seed), so two Workload values with the same
-// identity produce identical traces.
+// warmupKey canonically identifies a cell's warmup prefix: everything
+// that determines the machine state at the warmup/detail boundary.
+// Cells that differ only in detail budget share it, and with it the
+// stored post-warmup snapshot.
+func warmupKey(cfg sim.Config, s Scheme, w workload.Workload, seed uint64, warmup uint64) string {
+	return fmt.Sprintf("%s|%s|%s/%s|seed=%d|warmup=%d",
+		cfg.CanonicalKey(), s, w.Suite, w.Name, seed, warmup)
+}
+
+// cellKey canonically identifies one single-machine simulation cell:
+// the warmup prefix plus the detail budget. Workloads are identified
+// by suite and name: the generator stream is a pure function of
+// (name, seed), so two Workload values with the same identity produce
+// identical traces.
 func cellKey(cfg sim.Config, s Scheme, w workload.Workload, seed uint64, b Budget) string {
-	return fmt.Sprintf("%s|%s|%s/%s|seed=%d|budget=%d/%d",
-		cfg.CanonicalKey(), s, w.Suite, w.Name, seed, b.Warmup, b.Detail)
+	return warmupKey(cfg, s, w, seed, b.Warmup) + fmt.Sprintf("|detail=%d", b.Detail)
 }
 
 // cloneResult deep-copies the parts of a sim.Result that alias mutable
@@ -70,16 +105,72 @@ func cloneResult(r sim.Result) sim.Result {
 	return out
 }
 
+// computeCell produces a cell's result on an in-memory miss, consulting
+// the disk layers when a store is attached: a stored result is decoded
+// and returned outright; otherwise the cell simulates (resuming from a
+// warmup snapshot when one exists) and the result is written back.
+func (rc *RunCache) computeCell(cfg sim.Config, s Scheme, w workload.Workload, seed uint64, b Budget) sim.Result {
+	if rc.store == nil {
+		return mustRunSingle(cfg, s, w, seed, b)
+	}
+	key := cellKey(cfg, s, w, seed, b)
+	if blob, ok := rc.store.LoadResult(key); ok {
+		if r, err := sim.DecodeResult(blob); err == nil {
+			return r
+		}
+		// Undecodable past the store's checksum (an entry from a stale
+		// encoding): treat as a miss; the recomputation below rewrites it.
+	}
+	r := rc.snapshotRun(cfg, s, w, seed, b)
+	if blob, err := sim.EncodeResult(r); err == nil {
+		// Best-effort persistence: a failed write only costs a future re-run.
+		_ = rc.store.SaveResult(key, blob)
+	}
+	return r
+}
+
+// snapshotRun simulates a cell, resuming from — or, on a miss,
+// creating — the post-warmup snapshot shared by every cell with the
+// same warmup prefix.
+func (rc *RunCache) snapshotRun(cfg sim.Config, s Scheme, w workload.Workload, seed uint64, b Budget) sim.Result {
+	if b.Warmup == 0 {
+		return mustRunSingle(cfg, s, w, seed, b)
+	}
+	wkey := warmupKey(cfg, s, w, seed, b.Warmup)
+	if blob, ok := rc.store.LoadSnapshot(wkey); ok {
+		sys, err := buildSingle(cfg, s, w, seed)
+		if err != nil {
+			panic(err)
+		}
+		if err := sys.Restore(blob); err == nil {
+			return sys.RunDetail(b.Detail)
+		}
+		// Restore failed past the store's checksum (e.g. a snapshot from
+		// an unsnapshottable-prefetcher era or a stale walk layout): fall
+		// through to a cold run, which rewrites the snapshot.
+	}
+	sys, err := buildSingle(cfg, s, w, seed)
+	if err != nil {
+		panic(err)
+	}
+	sys.RunWarmup(b.Warmup)
+	if blob, err := sys.Snapshot(); err == nil {
+		_ = rc.store.SaveSnapshot(wkey, blob)
+	}
+	return sys.RunDetail(b.Detail)
+}
+
 // runSingle is the cached path every sweep's single-machine cells route
 // through: with a cache attached the cell simulates at most once per
-// process; without one (the zero-value Exec) it behaves exactly like
+// process (and, with a disk store, at most once across processes);
+// without one (the zero-value Exec) it behaves exactly like
 // mustRunSingle.
 func (x Exec) runSingle(cfg sim.Config, s Scheme, w workload.Workload, seed uint64, b Budget) sim.Result {
 	if x.Cache == nil {
 		return mustRunSingle(cfg, s, w, seed, b)
 	}
 	r, _ := x.Cache.memo.Do(cellKey(cfg, s, w, seed, b), func() sim.Result {
-		return mustRunSingle(cfg, s, w, seed, b)
+		return x.Cache.computeCell(cfg, s, w, seed, b)
 	})
 	return cloneResult(r)
 }

@@ -8,6 +8,7 @@
 package kernelbench
 
 import (
+	"os"
 	"testing"
 	"time"
 
@@ -16,6 +17,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/prefetch"
 	"repro/internal/sim"
+	"repro/internal/simstore"
 	"repro/internal/workload"
 )
 
@@ -98,7 +100,8 @@ func SPPTrigger(b *testing.B) {
 // SimCell describes one end-to-end sim-rate measurement: a fixed
 // single-core workload under a named scheme, optionally forced onto the
 // legacy +1 cycle loop, optionally requested repeatedly through a run
-// cache. These are the rows of BENCH_sim.json.
+// cache, optionally routed through a persistent sim store. These are
+// the rows of BENCH_sim.json.
 type SimCell struct {
 	// Name labels the row in BENCH_sim.json.
 	Name string
@@ -114,12 +117,33 @@ type SimCell struct {
 	// returned instruction count includes the replayed work, so the rate
 	// is the effective throughput a duplicated suite cell sees.
 	MemoRuns int
+	// StoreMode routes the cell through a persistent sim store in a
+	// temporary directory: "cold" measures a first invocation (simulate
+	// plus entry writes), "warm" measures a repeat invocation against the
+	// already-populated store (stored-result replay). Paired rows bound
+	// the store's write overhead and read speedup.
+	StoreMode string
+}
+
+// SimCellMetrics is one RunDetailed measurement: the simulated (or
+// replayed) instruction count, the elapsed wall time, and — for
+// store-backed cells — the persistent store's traffic counters.
+type SimCellMetrics struct {
+	Instructions uint64
+	Elapsed      time.Duration
+	// Store traffic for StoreMode cells (zero otherwise).
+	StoreResultHits     uint64
+	StoreResultMisses   uint64
+	StoreSnapshotHits   uint64
+	StoreSnapshotMisses uint64
 }
 
 // DefaultSimCells returns the standard BENCH_sim.json row set: the
 // Figure 9 PPF cell plus SPP and no-prefetch variants, each with the
-// event-horizon and legacy loops, and the memoized effective rate for
-// the duplicated-cell case (Figure 10 re-requests every Figure 9 cell).
+// event-horizon and legacy loops, the memoized effective rate for the
+// duplicated-cell case (Figure 10 re-requests every Figure 9 cell),
+// and the persistent-store cold/warm pair bounding the disk cache's
+// write overhead and replay speedup.
 func DefaultSimCells() []SimCell {
 	const wl = "603.bwaves_s"
 	return []SimCell{
@@ -130,24 +154,39 @@ func DefaultSimCells() []SimCell {
 		{Name: "fig9_none_skip", Scheme: "none", Workload: wl},
 		{Name: "fig9_none_legacy", Scheme: "none", Workload: wl, LegacyLoop: true},
 		{Name: "fig9_ppf_memoized_x2", Scheme: "ppf", Workload: wl, MemoRuns: 2},
+		{Name: "fig9_ppf_coldstore", Scheme: "ppf", Workload: wl, StoreMode: "cold"},
+		{Name: "fig9_ppf_warmstore", Scheme: "ppf", Workload: wl, StoreMode: "warm"},
 	}
 }
 
 // Run executes the cell at the given budget and returns the simulated
 // instruction count (including warmup — it is simulated work too, and
-// including cached replays for MemoRuns > 1) and the elapsed wall time.
+// including cached replays for MemoRuns > 1 or a warm store) and the
+// elapsed wall time.
 func (c SimCell) Run(warmup, detail uint64) (instructions uint64, elapsed time.Duration) {
+	m := c.RunDetailed(warmup, detail)
+	return m.Instructions, m.Elapsed
+}
+
+// RunDetailed executes the cell at the given budget and returns the
+// full measurement, including persistent-store traffic for StoreMode
+// cells.
+func (c SimCell) RunDetailed(warmup, detail uint64) SimCellMetrics {
 	w := workload.MustByName(c.Workload)
 	scheme := experiment.Scheme(c.Scheme)
+	b := experiment.Budget{Warmup: warmup, Detail: detail}
+	if c.StoreMode != "" {
+		return c.runStore(scheme, w, b)
+	}
 	if c.MemoRuns > 1 {
 		x := experiment.Exec{Workers: 1, Cache: experiment.NewRunCache()}
-		b := experiment.Budget{Warmup: warmup, Detail: detail}
+		var instructions uint64
 		start := time.Now()
 		for i := 0; i < c.MemoRuns; i++ {
 			res := x.RunSingle(sim.DefaultConfig(1), scheme, w, 1, b)
 			instructions += warmup + res.PerCore[0].Instructions
 		}
-		return instructions, time.Since(start)
+		return SimCellMetrics{Instructions: instructions, Elapsed: time.Since(start)}
 	}
 	sys, err := sim.NewSystem(sim.DefaultConfig(1), []sim.CoreSetup{experiment.NewSetup(scheme, w, 1)})
 	if err != nil {
@@ -155,8 +194,50 @@ func (c SimCell) Run(warmup, detail uint64) (instructions uint64, elapsed time.D
 	}
 	sys.SetLegacyLoop(c.LegacyLoop)
 	start := time.Now()
-	res := sys.Run(warmup, detail)
-	return warmup + res.PerCore[0].Instructions, time.Since(start)
+	res := sys.Run(b.Warmup, b.Detail)
+	return SimCellMetrics{Instructions: warmup + res.PerCore[0].Instructions, Elapsed: time.Since(start)}
+}
+
+// runStore measures one invocation against a persistent sim store in a
+// fresh temporary directory. "cold" times the first request — the full
+// simulation plus snapshot/result entry writes. "warm" first populates
+// the store untimed, then times a second invocation through a fresh
+// RunCache over the same directory, which replays the stored result.
+func (c SimCell) runStore(scheme experiment.Scheme, w workload.Workload, b experiment.Budget) SimCellMetrics {
+	dir, err := os.MkdirTemp("", "simstore-bench-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	if c.StoreMode == "warm" {
+		prime, err := simstore.Open(dir)
+		if err != nil {
+			panic(err)
+		}
+		rc := experiment.NewRunCache()
+		rc.AttachStore(prime)
+		x := experiment.Exec{Workers: 1, Cache: rc}
+		x.RunSingle(sim.DefaultConfig(1), scheme, w, 1, b)
+	}
+	st, err := simstore.Open(dir)
+	if err != nil {
+		panic(err)
+	}
+	rc := experiment.NewRunCache()
+	rc.AttachStore(st)
+	x := experiment.Exec{Workers: 1, Cache: rc}
+	start := time.Now()
+	res := x.RunSingle(sim.DefaultConfig(1), scheme, w, 1, b)
+	elapsed := time.Since(start)
+	s := st.Stats()
+	return SimCellMetrics{
+		Instructions:        b.Warmup + res.PerCore[0].Instructions,
+		Elapsed:             elapsed,
+		StoreResultHits:     s.ResultHits,
+		StoreResultMisses:   s.ResultMisses,
+		StoreSnapshotHits:   s.SnapshotHits,
+		StoreSnapshotMisses: s.SnapshotMisses,
+	}
 }
 
 // Fig9CellRate runs one fixed Figure 9 cell — 603.bwaves_s under

@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// buildSystem constructs one fresh system over the given (workloads,
+// scheme, seed) cell, reusing the per-scheme setup helper from the
+// skip-equivalence goldens.
+func buildSystem(t *testing.T, scheme string, names []string, seed uint64) *System {
+	t.Helper()
+	cfg := DefaultConfig(len(names))
+	setups := make([]CoreSetup, len(names))
+	for i, n := range names {
+		setups[i] = skipScheme(t, scheme, workload.MustByName(n), seed+uint64(i))
+	}
+	sys, err := NewSystem(cfg, setups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestResumeEquivalence is the warmup-resume golden: across core
+// counts, schemes and seeds, running warmup, snapshotting, restoring
+// the snapshot into a fresh system and running detail must produce a
+// sim.Result byte-identical to running warmup+detail straight through.
+// This is the correctness bar the persistent sim store rests on — a
+// disk-cached warmup snapshot must be indistinguishable from
+// re-simulating the warmup.
+func TestResumeEquivalence(t *testing.T) {
+	mixes := map[int][]string{
+		1: {"605.mcf_s"},
+		4: {"605.mcf_s", "603.bwaves_s", "641.leela_s", "620.omnetpp_s"},
+		8: {"605.mcf_s", "603.bwaves_s", "641.leela_s", "620.omnetpp_s",
+			"649.fotonik3d_s", "619.lbm_s", "648.exchange2_s", "623.xalancbmk_s"},
+	}
+	for _, cores := range []int{1, 4, 8} {
+		for _, scheme := range []string{"none", "spp", "ppf"} {
+			for _, seed := range []uint64{1, 2, 3} {
+				name := fmt.Sprintf("%dcore/%s/seed%d", cores, scheme, seed)
+				t.Run(name, func(t *testing.T) {
+					warmup, detail := uint64(5_000), uint64(40_000)
+					if cores == 8 {
+						detail = 10_000
+					}
+					scratch := buildSystem(t, scheme, mixes[cores], seed)
+					scratch.RunWarmup(warmup)
+					blob, err := scratch.Snapshot()
+					if err != nil {
+						t.Fatalf("snapshot: %v", err)
+					}
+					want := scratch.RunDetail(detail)
+
+					resumed := buildSystem(t, scheme, mixes[cores], seed)
+					if err := resumed.Restore(blob); err != nil {
+						t.Fatalf("restore: %v", err)
+					}
+					got := resumed.RunDetail(detail)
+					if !reflect.DeepEqual(want, got) {
+						t.Fatalf("resume diverged from scratch\nscratch: %+v\nresumed: %+v", want, got)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSnapshotRoundTripsItself pins that restoring a snapshot and
+// immediately re-snapshotting yields the identical byte stream — i.e.
+// Restore loses nothing the walk serializes.
+func TestSnapshotRoundTripsItself(t *testing.T) {
+	sys := buildSystem(t, "ppf", []string{"605.mcf_s"}, 1)
+	sys.RunWarmup(5_000)
+	blob, err := sys.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := buildSystem(t, "ppf", []string{"605.mcf_s"}, 1)
+	if err := restored.Restore(blob); err != nil {
+		t.Fatal(err)
+	}
+	blob2, err := restored.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(blob, blob2) {
+		t.Fatal("re-snapshot of a restored system diverged from the original snapshot")
+	}
+}
+
+// TestRestoreGuards pins the misuse errors: restoring into a used
+// system and restoring truncated data must both fail cleanly.
+func TestRestoreGuards(t *testing.T) {
+	sys := buildSystem(t, "spp", []string{"603.bwaves_s"}, 1)
+	sys.RunWarmup(2_000)
+	blob, err := sys.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Restore(blob); err == nil {
+		t.Fatal("Restore into a running system succeeded")
+	}
+	fresh := buildSystem(t, "spp", []string{"603.bwaves_s"}, 1)
+	if err := fresh.Restore(blob[:len(blob)/2]); err == nil {
+		t.Fatal("Restore of a truncated snapshot succeeded")
+	}
+}

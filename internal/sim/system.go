@@ -248,13 +248,28 @@ func (s *System) nextEvent() uint64 {
 // detailed region of detail instructions per core, and returns the
 // measurements.
 func (s *System) Run(warmup, detail uint64) Result {
-	if warmup > 0 {
-		base := make([]uint64, len(s.cores))
-		for i, c := range s.cores {
-			base[i] = c.retired + warmup
-		}
-		s.runUntil(func(c *Core) uint64 { return base[c.id] })
+	s.RunWarmup(warmup)
+	return s.RunDetail(detail)
+}
+
+// RunWarmup executes warmup instructions per core. Statistics are
+// discarded by the detail phase: RunDetail resets them, so cold runs
+// (RunWarmup then RunDetail) and snapshot-resumed runs (Restore then
+// RunDetail) execute identical code over the region of interest.
+func (s *System) RunWarmup(warmup uint64) {
+	if warmup == 0 {
+		return
 	}
+	base := make([]uint64, len(s.cores))
+	for i, c := range s.cores {
+		base[i] = c.retired + warmup
+	}
+	s.runUntil(func(c *Core) uint64 { return base[c.id] })
+}
+
+// RunDetail executes a detailed region of detail instructions per core
+// from the machine's current state and returns the measurements.
+func (s *System) RunDetail(detail uint64) Result {
 	// Reset statistics for the region of interest.
 	s.llc.ResetStats()
 	s.mem.ResetStats()

@@ -62,12 +62,24 @@ type SimRateRow struct {
 	// through a fresh run cache (one simulation + MemoRuns-1 replays);
 	// Instructions then counts the replayed work too, so the row reports
 	// the *effective* throughput duplicated suite cells see.
-	MemoRuns           int     `json:"memo_runs,omitempty"`
-	WarmupInstructions uint64  `json:"warmup_instructions"`
-	DetailInstructions uint64  `json:"detail_instructions"`
-	Instructions       uint64  `json:"instructions"`
-	Seconds            float64 `json:"seconds"`
-	InstructionsPerSec float64 `json:"instructions_per_sec"`
+	MemoRuns int `json:"memo_runs,omitempty"`
+	// StoreMode, when non-empty, means the cell ran against a persistent
+	// sim store in a fresh temporary directory: "cold" is the first
+	// invocation (full simulation plus snapshot/result entry writes),
+	// "warm" a repeat invocation replaying the stored result. The delta
+	// between the paired rows is the store's write overhead and read
+	// speedup.
+	StoreMode string `json:"store_mode,omitempty"`
+	// Store traffic counters for StoreMode rows (absent otherwise).
+	StoreResultHits     uint64  `json:"store_result_hits,omitempty"`
+	StoreResultMisses   uint64  `json:"store_result_misses,omitempty"`
+	StoreSnapshotHits   uint64  `json:"store_snapshot_hits,omitempty"`
+	StoreSnapshotMisses uint64  `json:"store_snapshot_misses,omitempty"`
+	WarmupInstructions  uint64  `json:"warmup_instructions"`
+	DetailInstructions  uint64  `json:"detail_instructions"`
+	Instructions        uint64  `json:"instructions"`
+	Seconds             float64 `json:"seconds"`
+	InstructionsPerSec  float64 `json:"instructions_per_sec"`
 }
 
 // SimBench is the schema of BENCH_sim.json: the end-to-end sim-rate
