@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race determinism lint lint-fix bench bench-smoke profile experiments clean
+.PHONY: check build vet test race determinism lint lint-fix bench bench-smoke fuzz-smoke profile experiments clean
 
 # check is the full CI gate: static checks, build, race-enabled tests,
 # and the worker-count determinism proof.
@@ -63,6 +63,18 @@ bench:
 # that the benchmarks themselves keep working, without timing anything.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+
+# fuzz-smoke runs each native fuzz target briefly on top of its
+# committed seed corpus: the ChampSim trace decode path and the
+# snapshot/result codecs. `go test -fuzz` accepts one target per
+# invocation, so the targets run back to back. Longer sessions: raise
+# FUZZTIME or run a single target by hand.
+FUZZTIME ?= 30s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzReader$$' -fuzztime $(FUZZTIME) ./internal/tracefile/
+	$(GO) test -run '^$$' -fuzz '^FuzzAdapter$$' -fuzztime $(FUZZTIME) ./internal/tracefile/
+	$(GO) test -run '^$$' -fuzz '^FuzzRestore$$' -fuzztime $(FUZZTIME) ./internal/sim/
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeResult$$' -fuzztime $(FUZZTIME) ./internal/sim/
 
 # profile captures CPU and heap profiles of a representative experiment;
 # inspect with `go tool pprof cpu.pprof`.

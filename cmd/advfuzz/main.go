@@ -1,0 +1,144 @@
+// Command advfuzz runs the adversarial workload search: it mutates
+// pattern genomes toward filter-pathological behaviour, differential-
+// tests every survivor through the three simulator oracles, minimizes
+// any failure it finds, and writes the highest-pressure specs as JSON
+// for the committed corpus in internal/advfuzz/corpus.
+//
+//	advfuzz -rounds 12 -children 16 -keep 24 -emit 22 -out internal/advfuzz/corpus
+//
+// Oracle failures exit nonzero: a trace that makes the skip loop,
+// snapshot resume or store replay diverge is a simulator bug, and the
+// minimized reproducer is printed for triage.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/advfuzz"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("advfuzz", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Uint64("seed", 1, "campaign seed")
+	rounds := fs.Int("rounds", 12, "mutate-evaluate-select rounds")
+	children := fs.Int("children", 16, "mutants spawned per round")
+	keep := fs.Int("keep", 24, "population cap after selection")
+	emit := fs.Int("emit", 22, "top specs to write as corpus JSON")
+	warmup := fs.Uint64("warmup", advfuzz.DefaultBudget.Warmup, "warmup instructions per evaluation")
+	detail := fs.Uint64("detail", advfuzz.DefaultBudget.Detail, "detailed instructions per evaluation")
+	out := fs.String("out", "", "directory to write corpus JSON into (empty = print names only)")
+	checkSeeds := fs.Int("oracleseeds", 2, "seeds each emitted spec must pass all oracles under")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	b := advfuzz.Budget{Warmup: *warmup, Detail: *detail}
+	pop, err := advfuzz.Search(advfuzz.SearchConfig{
+		Seed:             *seed,
+		Rounds:           *rounds,
+		ChildrenPerRound: *children,
+		Keep:             *keep,
+		Budget:           b,
+		Log:              stdout,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "advfuzz: search: %v\n", err)
+		return 1
+	}
+	// Selection pressure can drive whole families out of the population;
+	// re-add the seed genomes so every pathology family stays eligible
+	// for the diverse cut below.
+	have := map[string]bool{}
+	for _, c := range pop {
+		have[c.Spec.Name] = true
+	}
+	for _, s := range advfuzz.Seeds() {
+		if have[s.Name] {
+			continue
+		}
+		m, err := advfuzz.Evaluate(s, 1, b)
+		if err != nil {
+			fmt.Fprintf(stderr, "advfuzz: evaluate seed %s: %v\n", s.Name, err)
+			return 1
+		}
+		pop = append(pop, advfuzz.Candidate{Spec: s, Metrics: m})
+	}
+	pop = advfuzz.SelectDiverse(pop, *emit)
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintf(stderr, "advfuzz: %v\n", err)
+			return 1
+		}
+	}
+
+	// Every emitted spec must pass the full oracle battery — the corpus
+	// is a regression suite, so a diverging spec is a finding to fix, not
+	// a workload to commit.
+	storeDir, err := os.MkdirTemp("", "advfuzz-store-*")
+	if err != nil {
+		fmt.Fprintf(stderr, "advfuzz: %v\n", err)
+		return 1
+	}
+	defer os.RemoveAll(storeDir)
+	failed := false
+	for _, c := range pop {
+		for s := uint64(1); s <= uint64(*checkSeeds); s++ {
+			for _, f := range advfuzz.CheckAll(c.Spec, s, b, storeDir) {
+				failed = true
+				min := advfuzz.Minimize(f.Spec, func(cand advfuzz.Spec) bool {
+					for _, o := range advfuzz.Oracles(storeDir) {
+						if o.Name == f.Oracle {
+							return o.Check(cand, f.Scheme, f.Seed, b) != nil
+						}
+					}
+					return false
+				})
+				data, _ := min.MarshalIndent()
+				fmt.Fprintf(stderr, "ORACLE FAILURE %s\nminimized reproducer:\n%s\n", f, data)
+			}
+		}
+	}
+	if failed {
+		return 1
+	}
+
+	for i, c := range pop {
+		m := c.Metrics
+		fmt.Fprintf(stdout, "%2d. %-24s score %.3f  boundary %.1f%%  accuracy %.1f%%  pollution %.1f/ki  ppf-vs-spp %+.1f%%\n",
+			i+1, c.Spec.Name, m.Score(), 100*m.BoundaryRate, 100*m.Accuracy, m.PollutionPKI,
+			pct(m.PPFIPC, m.SPPIPC))
+		if *out != "" {
+			data, err := c.Spec.MarshalIndent()
+			if err != nil {
+				fmt.Fprintf(stderr, "advfuzz: marshal %s: %v\n", c.Spec.Name, err)
+				return 1
+			}
+			path := filepath.Join(*out, c.Spec.Name+".json")
+			if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+				fmt.Fprintf(stderr, "advfuzz: %v\n", err)
+				return 1
+			}
+		}
+	}
+	if *out != "" {
+		fmt.Fprintf(stdout, "wrote %d specs to %s\n", len(pop), *out)
+	}
+	return 0
+}
+
+func pct(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * (a/b - 1)
+}

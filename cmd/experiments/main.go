@@ -83,6 +83,7 @@ func runners(mixes int) []runner {
 		{"generality", "PPF over next-line and stride (§3.2)", wrap(experiment.Generality)},
 		{"selection", "23-candidate feature-selection procedure (§5.5)", wrap(experiment.Selection)},
 		{"thresholds", "PPF threshold calibration sweep", wrap(experiment.ThresholdSweep)},
+		{"adversarial", "fuzz-derived filter-hostile regression corpus", wrap(experiment.Adversarial)},
 		{"stability", "seed-robustness of the headline result", wrap(func(x experiment.Exec, b experiment.Budget) experiment.StabilityResult {
 			return experiment.Stability(x, []uint64{1, 2, 3}, b)
 		})},

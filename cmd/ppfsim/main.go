@@ -1,37 +1,101 @@
-// Command ppfsim runs one simulation: a named workload (or a binary trace
-// file) under a chosen prefetching scheme, printing IPC, cache, prefetch
-// and filter statistics.
+// Command ppfsim runs one simulation: a named workload or a trace file
+// under a chosen prefetching scheme, printing IPC, cache, prefetch and
+// filter statistics.
 //
-// Usage:
+// Trace files may be the repo's native binary format (tracegen's .ppft)
+// or ChampSim-compatible instruction traces, optionally gzip- or
+// bzip2-compressed; the format and compression are sniffed from the
+// file's leading bytes, so captured external traces run unmodified:
 //
 //	ppfsim -workload 603.bwaves_s -scheme ppf
 //	ppfsim -trace bwaves.ppft -scheme spp -detail 2000000
+//	ppfsim -trace 605.mcf_s.champsim.gz -scheme ppf
 //	ppfsim -workload 605.mcf_s -scheme ppf -cores 4
 package main
 
 import (
+	"bufio"
+	"encoding/binary"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/experiment"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/tracefile"
 	"repro/internal/workload"
 )
 
 func main() {
-	wl := flag.String("workload", "", "workload name (see -listworkloads)")
-	traceFile := flag.String("trace", "", "binary trace file (alternative to -workload)")
-	scheme := flag.String("scheme", "ppf", "none | bop | da-ampm | spp | ppf | vldp | sms | sandbox")
-	cores := flag.Int("cores", 1, "number of cores (the workload runs on every core)")
-	warmup := flag.Uint64("warmup", 200_000, "warmup instructions per core")
-	detail := flag.Uint64("detail", 1_000_000, "detailed instructions per core")
-	seed := flag.Uint64("seed", 1, "workload seed")
-	listWL := flag.Bool("listworkloads", false, "list workload names and exit")
-	compare := flag.Bool("compare", false, "run every scheme on the workload and print a comparison")
-	verbose := flag.Bool("v", false, "print the full per-cache counter breakdown")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// checkedReader pairs a trace stream with an integrity check consulted
+// after the simulation drains it: trace files can be truncated or
+// corrupt mid-stream, and that must surface as a diagnostic, not as a
+// silently shorter run.
+type checkedReader struct {
+	trace.Reader
+	check func() error
+}
+
+// openTrace opens a trace file, sniffs its compression and format, and
+// returns a reader over its instructions. The native format is
+// identified by its "PPFT" magic; everything else is read as ChampSim
+// records.
+func openTrace(path string) (*checkedReader, io.Closer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	dec, err := tracefile.Decompress(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	br := bufio.NewReaderSize(dec, 1<<16)
+	head, err := br.Peek(4)
+	if err != nil && err != io.EOF {
+		f.Close()
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	// The native format's header is the little-endian uint32 0x50504654
+	// ("PPFT"), i.e. the bytes "TFPP" on disk.
+	if len(head) == 4 && binary.LittleEndian.Uint32(head) == 0x50504654 {
+		tr, err := trace.NewFileReader(br)
+		if err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return &checkedReader{Reader: tr, check: tr.Err}, f, nil
+	}
+	ad := tracefile.NewAdapter(tracefile.NewReader(br))
+	return &checkedReader{Reader: ad, check: ad.Err}, f, nil
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ppfsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	wl := fs.String("workload", "", "workload name (see -listworkloads)")
+	traceFile := fs.String("trace", "", "trace file, native .ppft or ChampSim format, optionally gzipped (alternative to -workload)")
+	scheme := fs.String("scheme", "ppf", "none | bop | da-ampm | spp | ppf | vldp | sms | sandbox")
+	cores := fs.Int("cores", 1, "number of cores (the workload runs on every core)")
+	warmup := fs.Uint64("warmup", 200_000, "warmup instructions per core")
+	detail := fs.Uint64("detail", 1_000_000, "detailed instructions per core")
+	seed := fs.Uint64("seed", 1, "workload seed")
+	listWL := fs.Bool("listworkloads", false, "list workload names and exit")
+	compare := fs.Bool("compare", false, "run every scheme on the workload and print a comparison")
+	verbose := fs.Bool("v", false, "print the full per-cache counter breakdown")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	fatalf := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, format+"\n", args...)
+		return 1
+	}
 
 	if *listWL {
 		for _, w := range workload.All() {
@@ -39,48 +103,45 @@ func main() {
 			if w.MemoryIntensive {
 				mark = "*"
 			}
-			fmt.Printf("%s %-20s (%s)\n", mark, w.Name, w.Suite)
+			fmt.Fprintf(stdout, "%s %-20s (%s)\n", mark, w.Name, w.Suite)
 		}
-		fmt.Println("\n* = memory-intensive (LLC MPKI > 1 subset)")
-		return
+		fmt.Fprintln(stdout, "\n* = memory-intensive (LLC MPKI > 1 subset)")
+		return 0
 	}
 
 	if *compare {
 		if *wl == "" {
-			fatalf("-compare requires -workload")
+			return fatalf("-compare requires -workload")
 		}
 		w, ok := workload.ByName(*wl)
 		if !ok {
-			fatalf("unknown workload %q (try -listworkloads)", *wl)
+			return fatalf("unknown workload %q (try -listworkloads)", *wl)
 		}
-		runComparison(w, *seed, *warmup, *detail)
-		return
+		return runComparison(stdout, stderr, w, *seed, *warmup, *detail)
 	}
 
 	cfg := sim.DefaultConfig(*cores)
 	setups := make([]sim.CoreSetup, *cores)
+	var checks []*checkedReader
 	for c := range setups {
 		var rd trace.Reader
 		switch {
 		case *traceFile != "":
-			f, err := os.Open(*traceFile)
+			cr, closer, err := openTrace(*traceFile)
 			if err != nil {
-				fatalf("open trace: %v", err)
+				return fatalf("open trace: %v", err)
 			}
-			defer f.Close()
-			tr, err := trace.NewFileReader(f)
-			if err != nil {
-				fatalf("read trace: %v", err)
-			}
-			rd = tr
+			defer closer.Close()
+			checks = append(checks, cr)
+			rd = cr
 		case *wl != "":
 			w, ok := workload.ByName(*wl)
 			if !ok {
-				fatalf("unknown workload %q (try -listworkloads)", *wl)
+				return fatalf("unknown workload %q (try -listworkloads)", *wl)
 			}
 			rd = w.NewReader(*seed + uint64(c))
 		default:
-			fatalf("one of -workload or -trace is required")
+			return fatalf("one of -workload or -trace is required")
 		}
 		setup := experiment.NewSetup(experiment.Scheme(*scheme), workload.Workload{}, 0)
 		setup.Trace = rd
@@ -89,70 +150,83 @@ func main() {
 
 	sys, err := sim.NewSystem(cfg, setups)
 	if err != nil {
-		fatalf("configuring system: %v", err)
+		return fatalf("configuring system: %v", err)
 	}
 	res := sys.Run(*warmup, *detail)
 
-	fmt.Println(cfg.Describe())
-	fmt.Printf("\nScheme: %s | warmup %d + detail %d instructions/core\n\n", *scheme, *warmup, *detail)
+	// A malformed trace file surfaces here: the simulator treats the
+	// stream's end as end-of-trace either way, so the integrity check is
+	// what distinguishes a clean EOF from mid-record corruption.
+	for i, cr := range checks {
+		if err := cr.check(); err != nil {
+			return fatalf("ppfsim: trace %s (core %d): %v", *traceFile, i, err)
+		}
+	}
+
+	fmt.Fprintln(stdout, cfg.Describe())
+	fmt.Fprintf(stdout, "\nScheme: %s | warmup %d + detail %d instructions/core\n\n", *scheme, *warmup, *detail)
 	for i, c := range res.PerCore {
-		fmt.Printf("core %d: IPC %.4f (%d instructions, %d cycles)\n", i, c.IPC, c.Instructions, c.Cycles)
-		fmt.Printf("  L1D: %.2f demand MPKI, %d misses\n", c.L1D.DemandMPKI(c.Instructions), c.L1D.DemandMisses)
-		fmt.Printf("  L2 : %.2f demand MPKI, %d misses, prefetch fills %d (accuracy %.1f%%)\n",
+		fmt.Fprintf(stdout, "core %d: IPC %.4f (%d instructions, %d cycles)\n", i, c.IPC, c.Instructions, c.Cycles)
+		fmt.Fprintf(stdout, "  L1D: %.2f demand MPKI, %d misses\n", c.L1D.DemandMPKI(c.Instructions), c.L1D.DemandMisses)
+		fmt.Fprintf(stdout, "  L2 : %.2f demand MPKI, %d misses, prefetch fills %d (accuracy %.1f%%)\n",
 			c.L2.DemandMPKI(c.Instructions), c.L2.DemandMisses, c.L2.PrefetchFills, 100*c.L2.Accuracy())
 		if *verbose {
-			fmt.Printf("  L1D detail: %v\n", c.L1D)
-			fmt.Printf("  L2  detail: %v\n", c.L2)
+			fmt.Fprintf(stdout, "  L1D detail: %v\n", c.L1D)
+			fmt.Fprintf(stdout, "  L2  detail: %v\n", c.L2)
 			robPct, fePct := 0.0, 0.0
 			if c.Cycles > 0 {
 				robPct = 100 * float64(c.ROBStallCycles) / float64(c.Cycles)
 				fePct = 100 * float64(c.FetchStallCycles) / float64(c.Cycles)
 			}
-			fmt.Printf("  stalls: ROB-full %d cycles (%.1f%%), front-end %d cycles (%.1f%%)\n",
+			fmt.Fprintf(stdout, "  stalls: ROB-full %d cycles (%.1f%%), front-end %d cycles (%.1f%%)\n",
 				c.ROBStallCycles, robPct, c.FetchStallCycles, fePct)
 		}
-		fmt.Printf("  branch MPKI %.2f\n", c.BranchMPKI)
+		fmt.Fprintf(stdout, "  branch MPKI %.2f\n", c.BranchMPKI)
 		if c.Candidates > 0 {
-			fmt.Printf("  prefetcher: %d candidates, %d issued, %d useful", c.Candidates, c.PrefetchesIssued, c.PrefetchesUseful)
+			fmt.Fprintf(stdout, "  prefetcher: %d candidates, %d issued, %d useful", c.Candidates, c.PrefetchesIssued, c.PrefetchesUseful)
 			if c.AvgLookaheadDepth > 0 {
-				fmt.Printf(", avg lookahead depth %.2f", c.AvgLookaheadDepth)
+				fmt.Fprintf(stdout, ", avg lookahead depth %.2f", c.AvgLookaheadDepth)
 			}
-			fmt.Println()
+			fmt.Fprintln(stdout)
 		}
 		if c.Filter != nil {
 			f := c.Filter
-			fmt.Printf("  PPF: %d inferences -> %d L2 / %d LLC / %d dropped / %d squashed (issue rate %.1f%%)\n",
+			fmt.Fprintf(stdout, "  PPF: %d inferences -> %d L2 / %d LLC / %d dropped / %d squashed (issue rate %.1f%%)\n",
 				f.Inferences, f.IssuedL2, f.IssuedLLC, f.Dropped, f.Squashed, 100*f.IssueRate())
-			fmt.Printf("       training: %d positive, %d negative, %d false negatives recovered\n",
+			fmt.Fprintf(stdout, "       training: %d positive, %d negative, %d false negatives recovered\n",
 				f.TrainPositive, f.TrainNegative, f.FalseNegatives)
-			fmt.Printf("       tables: %d useful prefetches confirmed, %d unused-prefetch evictions\n",
+			fmt.Fprintf(stdout, "       tables: %d useful prefetches confirmed, %d unused-prefetch evictions\n",
 				f.UsefulIssued, f.EvictUnused)
+			fmt.Fprintf(stdout, "       thrash: %d near-threshold inferences (%.1f%%)\n",
+				f.Boundary, 100*f.BoundaryRate())
 		}
 	}
-	fmt.Printf("\nLLC: %d demand misses, %d prefetch fills\n", res.LLC.DemandMisses, res.LLC.PrefetchFills)
+	fmt.Fprintf(stdout, "\nLLC: %d demand misses, %d prefetch fills\n", res.LLC.DemandMisses, res.LLC.PrefetchFills)
 	if *verbose {
-		fmt.Printf("LLC detail: %v\n", res.LLC)
+		fmt.Fprintf(stdout, "LLC detail: %v\n", res.LLC)
 	}
-	fmt.Printf("DRAM: %d demand reads, %d prefetch reads, %d promoted, %d writes, %d row hits / %d row misses\n",
+	fmt.Fprintf(stdout, "DRAM: %d demand reads, %d prefetch reads, %d promoted, %d writes, %d row hits / %d row misses\n",
 		res.DRAM.Reads, res.DRAM.PrefetchReads, res.DRAM.PromotedReads, res.DRAM.Writes,
 		res.DRAM.RowHits, res.DRAM.RowMisses)
+	return 0
 }
 
 // runComparison runs every scheme on one workload and prints a table.
-func runComparison(w workload.Workload, seed, warmup, detail uint64) {
+func runComparison(stdout, stderr io.Writer, w workload.Workload, seed, warmup, detail uint64) int {
 	schemes := []experiment.Scheme{
 		experiment.SchemeNone, experiment.SchemeBOP, experiment.SchemeAMPM,
 		experiment.SchemeSPP, experiment.SchemePPF, experiment.SchemeVLDP,
 		experiment.SchemeSMS, experiment.SchemeSandbox,
 	}
-	fmt.Printf("%-10s %8s %9s %10s %10s %10s\n",
+	fmt.Fprintf(stdout, "%-10s %8s %9s %10s %10s %10s\n",
 		"scheme", "IPC", "speedup", "L2 MPKI", "pf issued", "pf useful")
 	var baseIPC float64
 	for _, s := range schemes {
 		res, err := experiment.RunSingle(sim.DefaultConfig(1), s, w, seed,
 			experiment.Budget{Warmup: warmup, Detail: detail})
 		if err != nil {
-			fatalf("%s: %v", s, err)
+			fmt.Fprintf(stderr, "%s: %v\n", s, err)
+			return 1
 		}
 		c := res.PerCore[0]
 		rel := "—"
@@ -161,12 +235,8 @@ func runComparison(w workload.Workload, seed, warmup, detail uint64) {
 		} else if baseIPC > 0 {
 			rel = fmt.Sprintf("%+.1f%%", 100*(c.IPC/baseIPC-1))
 		}
-		fmt.Printf("%-10s %8.3f %9s %10.2f %10d %10d\n",
+		fmt.Fprintf(stdout, "%-10s %8.3f %9s %10.2f %10d %10d\n",
 			s, c.IPC, rel, c.L2.DemandMPKI(c.Instructions), c.PrefetchesIssued, c.PrefetchesUseful)
 	}
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, format+"\n", args...)
-	os.Exit(1)
+	return 0
 }

@@ -1,71 +1,130 @@
-// Command tracegen materialises a synthetic workload as a binary trace
-// file that ppfsim (or any trace.FileReader user) can replay.
+// Command tracegen materialises a synthetic workload as a trace file
+// that ppfsim (or any trace reader user) can replay — either the repo's
+// native binary format or ChampSim-compatible records, so the synthetic
+// suites can be fed to external simulators and external traces can be
+// diffed against their synthetic counterparts.
 //
 // Usage:
 //
 //	tracegen -workload 603.bwaves_s -n 1000000 -o bwaves.ppft
+//	tracegen -workload 605.mcf_s -format champsim -o mcf.champsim.gz
+//
+// An -o path ending in .gz is gzip-compressed.
 package main
 
 import (
+	"compress/gzip"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"repro/internal/trace"
+	"repro/internal/tracefile"
 	"repro/internal/workload"
 )
 
 func main() {
-	wl := flag.String("workload", "", "workload name (see ppfsim -listworkloads)")
-	n := flag.Uint64("n", 1_200_000, "number of instructions")
-	seed := flag.Uint64("seed", 1, "generator seed")
-	out := flag.String("o", "", "output file (omit with -stats to only summarise)")
-	statsOnly := flag.Bool("stats", false, "print a workload character summary")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	wl := fs.String("workload", "", "workload name (see ppfsim -listworkloads)")
+	n := fs.Uint64("n", 1_200_000, "number of instructions")
+	seed := fs.Uint64("seed", 1, "generator seed")
+	out := fs.String("o", "", "output file (omit with -stats to only summarise); .gz gzips")
+	format := fs.String("format", "ppft", "output format: ppft (native) | champsim")
+	statsOnly := fs.Bool("stats", false, "print a workload character summary")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	fatalf := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, format+"\n", args...)
+		return 1
+	}
 
 	if *wl == "" || (*out == "" && !*statsOnly) {
-		fmt.Fprintln(os.Stderr, "usage: tracegen -workload NAME -n COUNT -o FILE [-stats]")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "usage: tracegen -workload NAME -n COUNT [-format ppft|champsim] -o FILE [-stats]")
+		return 2
 	}
 	w, ok := workload.ByName(*wl)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
-		os.Exit(1)
+		return fatalf("unknown workload %q", *wl)
 	}
 	if *statsOnly {
-		fmt.Printf("%s (%s, seed %d):\n%s", w.Name, w.Suite, *seed,
+		fmt.Fprintf(stdout, "%s (%s, seed %d):\n%s", w.Name, w.Suite, *seed,
 			trace.Summarize(w.NewReader(*seed), *n))
 		if *out == "" {
-			return
+			return 0
 		}
 	}
 
 	f, err := os.Create(*out)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "create: %v\n", err)
-		os.Exit(1)
+		return fatalf("create: %v", err)
 	}
 	defer f.Close()
+	var sink io.Writer = f
+	var zw *gzip.Writer
+	if strings.HasSuffix(*out, ".gz") {
+		zw = gzip.NewWriter(f)
+		sink = zw
+	}
 
-	tw, err := trace.NewWriter(f)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "write header: %v\n", err)
-		os.Exit(1)
-	}
 	rd := w.NewReader(*seed)
-	for i := uint64(0); i < *n; i++ {
-		in, ok := rd.Next()
-		if !ok {
-			break
+	var count uint64
+	switch *format {
+	case "ppft":
+		tw, err := trace.NewWriter(sink)
+		if err != nil {
+			return fatalf("write header: %v", err)
 		}
-		if err := tw.Write(in); err != nil {
-			fmt.Fprintf(os.Stderr, "write: %v\n", err)
-			os.Exit(1)
+		for i := uint64(0); i < *n; i++ {
+			in, ok := rd.Next()
+			if !ok {
+				break
+			}
+			if err := tw.Write(in); err != nil {
+				return fatalf("write: %v", err)
+			}
+		}
+		if err := tw.Flush(); err != nil {
+			return fatalf("flush: %v", err)
+		}
+		count = tw.Count()
+	case "champsim":
+		tw := tracefile.NewWriter(sink)
+		for i := uint64(0); i < *n; i++ {
+			in, ok := rd.Next()
+			if !ok {
+				break
+			}
+			if err := tw.WriteInst(in); err != nil {
+				return fatalf("write: %v", err)
+			}
+		}
+		if err := tw.Flush(); err != nil {
+			return fatalf("flush: %v", err)
+		}
+		count = tw.Count()
+		if d := tw.DroppedDeps(); d > 0 {
+			fmt.Fprintf(stderr, "note: %d load dependencies exceeded the register window and were dropped\n", d)
+		}
+	default:
+		return fatalf("unknown -format %q (ppft | champsim)", *format)
+	}
+	if zw != nil {
+		if err := zw.Close(); err != nil {
+			return fatalf("gzip: %v", err)
 		}
 	}
-	if err := tw.Flush(); err != nil {
-		fmt.Fprintf(os.Stderr, "flush: %v\n", err)
-		os.Exit(1)
+	if err := f.Close(); err != nil {
+		return fatalf("close: %v", err)
 	}
-	fmt.Printf("wrote %d instructions of %s to %s\n", tw.Count(), w.Name, *out)
+	fmt.Fprintf(stdout, "wrote %d instructions of %s to %s (%s)\n", count, w.Name, *out, *format)
+	return 0
 }

@@ -1,0 +1,308 @@
+package advfuzz
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/tracefile"
+)
+
+// oracleBudget keeps the full-corpus differential sweep fast enough to
+// run under -race in tier-1: the oracles compare exact machine states,
+// so a few thousand instructions surface divergence just as surely as a
+// million.
+var oracleBudget = Budget{Warmup: 1_500, Detail: 6_000}
+
+// TestCorpusStable pins the committed corpus's contract: it parses, is
+// big enough to mean something, names are unique, and every spec's
+// stream is a pure function of (spec, seed) — the property the run
+// cache and the resume oracle both stand on.
+func TestCorpusStable(t *testing.T) {
+	specs := Corpus()
+	if len(specs) < 20 {
+		t.Fatalf("committed corpus has %d specs, want >= 20", len(specs))
+	}
+	names := map[string]bool{}
+	for _, s := range specs {
+		if names[s.Name] {
+			t.Fatalf("duplicate corpus spec name %q", s.Name)
+		}
+		names[s.Name] = true
+		a, err := s.NewReader(3)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		b, err := s.NewReader(3)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		ia, ib := trace.Collect(a, 2_000), trace.Collect(b, 2_000)
+		if !reflect.DeepEqual(ia, ib) {
+			t.Fatalf("%s: stream is not deterministic for a fixed seed", s.Name)
+		}
+		c, err := s.NewReader(4)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if reflect.DeepEqual(ia, trace.Collect(c, 2_000)) {
+			t.Fatalf("%s: seeds 3 and 4 produce identical streams", s.Name)
+		}
+	}
+}
+
+// TestCorpusOracles is the table-driven differential suite: every
+// committed adversarial workload, under every scheme and two seeds,
+// must pass all three oracles — skip loop vs legacy loop, snapshot
+// resume vs cold run, store replay vs recompute — bit-identically.
+func TestCorpusOracles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	storeDir := t.TempDir()
+	for _, spec := range Corpus() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, o := range Oracles(storeDir) {
+				for _, scheme := range Schemes() {
+					for _, seed := range []uint64{1, 2} {
+						if err := o.Check(spec, scheme, seed, oracleBudget); err != nil {
+							t.Errorf("%s: %s seed %d: %v", o.Name, scheme, seed, err)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestChampsimRoundTripProperty is the end-to-end property test: a
+// synthetic adversarial stream serialized to the ChampSim format and
+// read back must simulate identically to the direct generator stream —
+// same Result and, via snapshot comparison, the same trained PPF
+// weights and machine state down to the last counter. The property only
+// holds for streams the register-dataflow encoding can express exactly
+// (a dependency whose producer is >224 loads back is dropped by design),
+// so specs that serialize lossily are skipped — with a floor on how many
+// must remain, so the test cannot quietly skip itself into vacuity.
+func TestChampsimRoundTripProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	warmup, detail := uint64(1_500), uint64(8_000)
+	var lossless []Spec
+	var traces [][]byte
+	for _, spec := range Corpus() {
+		// Serialize generously past the simulated budget so the trace
+		// never ends before the direct stream would.
+		direct, err := spec.NewReader(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		w := tracefile.NewWriter(&buf)
+		for i := uint64(0); i < 2*(warmup+detail); i++ {
+			in, ok := direct.Next()
+			if !ok {
+				break
+			}
+			if err := w.WriteInst(in); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if w.DroppedDeps()+w.DroppedOps() != 0 {
+			continue
+		}
+		lossless = append(lossless, spec)
+		traces = append(traces, append([]byte(nil), buf.Bytes()...))
+		if len(lossless) == 4 {
+			break
+		}
+	}
+	if len(lossless) < 2 {
+		t.Fatalf("only %d corpus specs serialize losslessly; corpus regressed", len(lossless))
+	}
+	for i, spec := range lossless {
+		spec, data := spec, traces[i]
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+
+			run := func(rd trace.Reader) (sim.Result, []byte) {
+				setup, err := coreSetup(SchemePPF, rd)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sys, err := sim.NewSystem(sim.DefaultConfig(1), []sim.CoreSetup{setup})
+				if err != nil {
+					t.Fatal(err)
+				}
+				res := sys.Run(warmup, detail)
+				snap, err := sys.Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res, snap
+			}
+
+			directRd, err := spec.NewReader(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantRes, wantSnap := run(directRd)
+			fileRd := tracefile.NewAdapter(tracefile.NewReader(bytes.NewReader(data)))
+			gotRes, gotSnap := run(fileRd)
+			if err := fileRd.Err(); err != nil {
+				t.Fatalf("trace stream error: %v", err)
+			}
+			if !reflect.DeepEqual(wantRes, gotRes) {
+				t.Fatalf("round-tripped trace simulated differently:\ndirect: %+v\nfile:   %+v",
+					wantRes.PerCore[0], gotRes.PerCore[0])
+			}
+			if !bytes.Equal(wantSnap, gotSnap) {
+				t.Fatal("post-run machine snapshots differ: trained state (PPF weights) diverged")
+			}
+		})
+	}
+}
+
+// TestInterleaveDrainsAllTenants checks the multi-tenant merge: every
+// tenant's instructions appear, in bursts, until all streams drain.
+func TestInterleaveDrainsAllTenants(t *testing.T) {
+	mk := func(pc uint64, n int) trace.Reader {
+		insts := make([]trace.Inst, n)
+		for i := range insts {
+			insts[i] = trace.Inst{PC: pc, Kind: trace.KindALU}
+		}
+		return trace.NewSliceReader(insts)
+	}
+	iv := newInterleave([]trace.Reader{mk(0xA, 10), mk(0xB, 3)}, []uint64{4, 2})
+	var got []uint64
+	for {
+		in, ok := iv.Next()
+		if !ok {
+			break
+		}
+		got = append(got, in.PC)
+	}
+	want := []uint64{0xA, 0xA, 0xA, 0xA, 0xB, 0xB, 0xA, 0xA, 0xA, 0xA, 0xB, 0xA, 0xA}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("interleave order:\ngot  %x\nwant %x", got, want)
+	}
+}
+
+// TestMutateDeterministicAndValid: the mutator is a pure function of
+// (parent, rng state), and its children build.
+func TestMutateDeterministicAndValid(t *testing.T) {
+	parent := Seeds()[0]
+	a := Mutate(parent, newRng(42), 1)
+	b := Mutate(parent, newRng(42), 1)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same rng seed produced different children")
+	}
+	r := newRng(7)
+	for i := 0; i < 200; i++ {
+		child := Mutate(parent, r, i)
+		if err := child.Validate(); err != nil {
+			t.Fatalf("mutation %d produced invalid spec: %v", i, err)
+		}
+		parent = child
+	}
+}
+
+// TestMinimizeShrinks: the minimizer strips everything not implicated
+// in a failure predicate.
+func TestMinimizeShrinks(t *testing.T) {
+	spec := Seeds()[3] // multi-tenant seed
+	spec.Tenants[1].Phases[0].Mix = append(spec.Tenants[1].Phases[0].Mix,
+		PatternSpec{Kind: "hotcold", Seg: 103, Weight: 1, Bytes: 1 << 14, ColdBytes: 1 << 22, PHot: 0.5})
+	hasRand := func(s Spec) bool {
+		for _, tn := range s.Tenants {
+			for _, ph := range tn.Phases {
+				for _, p := range ph.Mix {
+					if p.Kind == "rand" {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+	if !hasRand(spec) {
+		t.Fatal("test premise: seed must contain a rand pattern")
+	}
+	min := Minimize(spec, hasRand)
+	if !hasRand(min) {
+		t.Fatal("minimized spec lost the failing ingredient")
+	}
+	if len(min.Tenants) != 1 {
+		t.Fatalf("minimizer kept %d tenants, want 1", len(min.Tenants))
+	}
+	total := 0
+	for _, ph := range min.Tenants[0].Phases {
+		total += len(ph.Mix)
+	}
+	if total != 1 {
+		t.Fatalf("minimizer kept %d mix components, want 1", total)
+	}
+}
+
+// TestEvaluateAndScore sanity-checks the fitness plumbing on one seed.
+func TestEvaluateAndScore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	m, err := Evaluate(Seeds()[0], 1, oracleBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.BaseIPC <= 0 || m.SPPIPC <= 0 || m.PPFIPC <= 0 {
+		t.Fatalf("degenerate IPCs: %+v", m)
+	}
+	if s := m.Score(); s < 0 {
+		t.Fatalf("negative score %f for %+v", s, m)
+	}
+}
+
+// TestSelectDiverse keeps one candidate per family before seconds.
+func TestSelectDiverse(t *testing.T) {
+	mk := func(name string, seed uint64) Candidate {
+		s := Seeds()[0]
+		s.Name, s.Seed = name, seed
+		return Candidate{Spec: s}
+	}
+	pop := []Candidate{mk("a-m1", 1), mk("a-m2", 2), mk("a-m3", 3), mk("b-m9", 4), mk("c", 5)}
+	// a-m2 differs from a-m1 only by seed-carrying content, but a-m3
+	// duplicating a-m1's body exactly must be dropped.
+	pop = append(pop, mk("a-dup", 1))
+	got := SelectDiverse(pop, 3)
+	var names []string
+	for _, c := range got {
+		names = append(names, c.Spec.Name)
+	}
+	want := []string{"a-m1", "b-m9", "c"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("SelectDiverse = %v, want %v", names, want)
+	}
+}
+
+// TestWorkloadNamesAreNamespaced guards the "adv-" prefix: corpus specs
+// must not collide with built-in workload names in cache keys.
+func TestWorkloadNamesAreNamespaced(t *testing.T) {
+	for _, s := range Corpus() {
+		w := s.Workload()
+		if got, want := w.Name, fmt.Sprintf("adv-%s", s.Name); got != want {
+			t.Fatalf("workload name %q, want %q", got, want)
+		}
+		rd := w.NewReader(1)
+		if _, ok := rd.Next(); !ok {
+			t.Fatalf("%s: workload stream is empty", w.Name)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package advfuzz
+
+import "repro/internal/trace"
+
+// interleave merges several tenant streams into one, issuing each
+// tenant's burst in round-robin order. It models multi-tenant traffic:
+// the filter's training sees one tenant's pattern interrupted by
+// another's, which is exactly the cross-context noise the paper's
+// per-core tables are meant to survive. A tenant whose stream drains is
+// skipped; the merged stream ends when every tenant has drained.
+type interleave struct {
+	rs     []trace.Reader
+	bursts []uint64
+	cur    int
+	left   uint64 // instructions remaining in the current burst
+	done   []bool
+	live   int
+}
+
+func newInterleave(rs []trace.Reader, bursts []uint64) *interleave {
+	return &interleave{
+		rs:     rs,
+		bursts: bursts,
+		left:   bursts[0],
+		done:   make([]bool, len(rs)),
+		live:   len(rs),
+	}
+}
+
+// Next implements trace.Reader.
+func (iv *interleave) Next() (trace.Inst, bool) {
+	for iv.live > 0 {
+		if iv.left == 0 || iv.done[iv.cur] {
+			iv.advance()
+			continue
+		}
+		in, ok := iv.rs[iv.cur].Next()
+		if !ok {
+			iv.done[iv.cur] = true
+			iv.live--
+			iv.advance()
+			continue
+		}
+		iv.left--
+		return in, true
+	}
+	return trace.Inst{}, false
+}
+
+// advance moves to the next un-drained tenant and refills its burst.
+func (iv *interleave) advance() {
+	for i := 0; i < len(iv.rs); i++ {
+		iv.cur = (iv.cur + 1) % len(iv.rs)
+		if !iv.done[iv.cur] {
+			iv.left = iv.bursts[iv.cur]
+			return
+		}
+	}
+	iv.left = 0
+}

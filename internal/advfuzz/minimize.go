@@ -1,0 +1,67 @@
+package advfuzz
+
+// Minimize shrinks a failing spec while the failure persists, so a
+// committed reproducer is the smallest genome that still diverges.
+// stillFails must re-run whatever oracle originally failed. The shrink
+// passes are applied greedily in a fixed order — drop tenants, drop
+// phases, drop mix components, halve phase lengths — and repeat until a
+// full sweep removes nothing.
+func Minimize(spec Spec, stillFails func(Spec) bool) Spec {
+	cur := cloneSpec(spec)
+	for shrunk := true; shrunk; {
+		shrunk = false
+
+		// Drop whole tenants.
+		for i := 0; i < len(cur.Tenants) && len(cur.Tenants) > 1; i++ {
+			cand := cloneSpec(cur)
+			cand.Tenants = append(cand.Tenants[:i], cand.Tenants[i+1:]...)
+			if stillFails(cand) {
+				cur, shrunk = cand, true
+				i--
+			}
+		}
+
+		// Drop whole phases.
+		for ti := range cur.Tenants {
+			for pi := 0; pi < len(cur.Tenants[ti].Phases) && len(cur.Tenants[ti].Phases) > 1; pi++ {
+				cand := cloneSpec(cur)
+				t := &cand.Tenants[ti]
+				t.Phases = append(t.Phases[:pi], t.Phases[pi+1:]...)
+				if stillFails(cand) {
+					cur, shrunk = cand, true
+					pi--
+				}
+			}
+		}
+
+		// Drop mix components.
+		for ti := range cur.Tenants {
+			for pi := range cur.Tenants[ti].Phases {
+				for mi := 0; mi < len(cur.Tenants[ti].Phases[pi].Mix) && len(cur.Tenants[ti].Phases[pi].Mix) > 1; mi++ {
+					cand := cloneSpec(cur)
+					mix := &cand.Tenants[ti].Phases[pi].Mix
+					*mix = append((*mix)[:mi], (*mix)[mi+1:]...)
+					if stillFails(cand) {
+						cur, shrunk = cand, true
+						mi--
+					}
+				}
+			}
+		}
+
+		// Halve phase lengths (a zero length means "sole phase, runs
+		// forever" and is left alone).
+		for ti := range cur.Tenants {
+			for pi := range cur.Tenants[ti].Phases {
+				if l := cur.Tenants[ti].Phases[pi].Length; l >= 512 {
+					cand := cloneSpec(cur)
+					cand.Tenants[ti].Phases[pi].Length = l / 2
+					if stillFails(cand) {
+						cur, shrunk = cand, true
+					}
+				}
+			}
+		}
+	}
+	return cur
+}

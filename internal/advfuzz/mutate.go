@@ -1,0 +1,210 @@
+package advfuzz
+
+import "fmt"
+
+// Mutation palette. The mutator is biased toward changes that empirical
+// runs show move perceptron sums toward the τ_hi/τ_lo boundaries:
+// mixing a trainable pattern with anti-trainable noise (thrash),
+// injecting large random regions (pollution storms), cutting phases
+// short (abrupt flips) and stacking tenants (interleaving noise).
+
+// pollutionPalette are pattern specs the mutator injects to generate
+// useless-prefetch pressure: wide random scans and rarely-revisited
+// pointer chains that SPP happily predicts and the filter must learn to
+// drop.
+func pollutionPalette(r *rng, seg int) PatternSpec {
+	switch r.intn(3) {
+	case 0:
+		return PatternSpec{Kind: "rand", Seg: seg, Weight: 1 + 2*r.float(), Bytes: 1 << (20 + r.intn(5))}
+	case 1:
+		return PatternSpec{Kind: "ptr", Seg: seg, Weight: 1 + 2*r.float(), Bytes: 1 << (19 + r.intn(4))}
+	default:
+		return PatternSpec{Kind: "hotcold", Seg: seg, Weight: 1 + 2*r.float(),
+			Bytes: 1 << 14, ColdBytes: 1 << (22 + r.intn(3)), PHot: 0.2 + 0.3*r.float()}
+	}
+}
+
+// trainablePalette are patterns SPP predicts well; alternating them
+// with pollution keeps the perceptron crossing its thresholds instead
+// of saturating on one verdict.
+func trainablePalette(r *rng, seg int) PatternSpec {
+	switch r.intn(3) {
+	case 0:
+		return PatternSpec{Kind: "seq", Seg: seg, Weight: 1 + 2*r.float(), Bytes: 1 << (18 + r.intn(4))}
+	case 1:
+		return PatternSpec{Kind: "stride", Seg: seg, Weight: 1 + 2*r.float(),
+			Bytes: 1 << (18 + r.intn(4)), Stride: 1 + r.intn(8)}
+	default:
+		return PatternSpec{Kind: "deltaseq", Seg: seg, Weight: 1 + 2*r.float(),
+			Pages: uint64(64 + r.intn(192)), Deltas: []int{1, 2, 1, 3}[:2+r.intn(3)]}
+	}
+}
+
+// Mutate returns a mutated copy of spec. n tags the child's name; the
+// rng drives every choice, so a (spec, rng-state) pair reproduces the
+// same child.
+func Mutate(spec Spec, r *rng, n int) Spec {
+	child := cloneSpec(spec)
+	child.Name = fmt.Sprintf("%s-m%d", baseName(spec.Name), n)
+	// Several small mutations per child beats one: single-knob steps
+	// rarely change divergence pressure enough to rank children.
+	for steps := 1 + r.intn(3); steps > 0; steps-- {
+		mutateOnce(&child, r)
+	}
+	if r.chance(0.3) {
+		child.Seed = r.next()
+	}
+	return child
+}
+
+func mutateOnce(s *Spec, r *rng) {
+	// Tenant-level structural mutations.
+	switch {
+	case r.chance(0.10) && len(s.Tenants) < 4:
+		// Add an interfering tenant with its own address segments.
+		t := s.Tenants[r.intn(len(s.Tenants))]
+		nt := cloneStream(t)
+		nt.Burst = uint64(16 << r.intn(5))
+		for pi := range nt.Phases {
+			for mi := range nt.Phases[pi].Mix {
+				nt.Phases[pi].Mix[mi].Seg += 100 * len(s.Tenants)
+			}
+		}
+		s.Tenants = append(s.Tenants, nt)
+		return
+	case r.chance(0.05) && len(s.Tenants) > 1:
+		s.Tenants = append(s.Tenants[:0:0], s.Tenants[:len(s.Tenants)-1]...)
+		return
+	}
+
+	t := &s.Tenants[r.intn(len(s.Tenants))]
+	switch r.intn(6) {
+	case 0: // ratio jitter
+		t.LoadRatio = clamp(r.jitter(orDefault(t.LoadRatio, 0.25), 0.3), 0.05, 0.6)
+		t.StoreRatio = clamp(r.jitter(orDefault(t.StoreRatio, 0.1), 0.3), 0.02, 0.3)
+		t.BranchRatio = clamp(r.jitter(orDefault(t.BranchRatio, 0.15), 0.3), 0.02, 0.3)
+	case 1: // burst jitter — interleaving granularity
+		b := t.Burst
+		if b == 0 {
+			b = 64
+		}
+		if r.chance(0.5) {
+			b *= 2
+		} else {
+			b /= 2
+		}
+		t.Burst = clampU(b, 4, 4096)
+	case 2: // phase flip: split a phase, swapping in a contrasting mix
+		pi := r.intn(len(t.Phases))
+		ph := t.Phases[pi]
+		if ph.Length == 0 {
+			ph.Length = 4096
+		}
+		half := ph.Length / 2
+		flipped := PhaseSpec{Length: half, Mix: []PatternSpec{
+			pollutionPalette(r, 10+r.intn(40)),
+			trainablePalette(r, 50+r.intn(40)),
+		}}
+		t.Phases[pi].Length = ph.Length - half
+		t.Phases = append(t.Phases[:pi+1:pi+1], append([]PhaseSpec{flipped}, t.Phases[pi+1:]...)...)
+	case 3: // inject pollution into an existing mix
+		pi := r.intn(len(t.Phases))
+		t.Phases[pi].Mix = append(t.Phases[pi].Mix, pollutionPalette(r, 10+r.intn(80)))
+	case 4: // inject a trainable counterweight
+		pi := r.intn(len(t.Phases))
+		t.Phases[pi].Mix = append(t.Phases[pi].Mix, trainablePalette(r, 10+r.intn(80)))
+	case 5: // reweight / parameter jitter on one component
+		pi := r.intn(len(t.Phases))
+		mix := t.Phases[pi].Mix
+		if len(mix) == 0 {
+			return
+		}
+		p := &mix[r.intn(len(mix))]
+		p.Weight = clamp(r.jitter(p.Weight, 0.5), 0.1, 16)
+		if p.Bytes > 0 && r.chance(0.5) {
+			if r.chance(0.5) {
+				p.Bytes *= 2
+			} else if p.Bytes > 4096 {
+				p.Bytes /= 2
+			}
+		}
+		if p.Stride > 0 && r.chance(0.5) {
+			p.Stride = 1 + r.intn(12)
+		}
+		if p.SwitchP > 0 {
+			p.SwitchP = clamp(r.jitter(p.SwitchP, 0.4), 0.005, 0.5)
+		}
+	}
+}
+
+// baseName strips accumulated "-mN" mutation suffixes so lineages don't
+// grow unbounded names.
+func baseName(name string) string {
+	for i := len(name) - 1; i > 0; i-- {
+		c := name[i]
+		if c >= '0' && c <= '9' {
+			continue
+		}
+		if c == 'm' && i >= 2 && name[i-1] == '-' && i+1 < len(name) {
+			return name[:i-1]
+		}
+		break
+	}
+	return name
+}
+
+func cloneSpec(s Spec) Spec {
+	c := s
+	c.Tenants = make([]StreamSpec, len(s.Tenants))
+	for i, t := range s.Tenants {
+		c.Tenants[i] = cloneStream(t)
+	}
+	return c
+}
+
+func cloneStream(t StreamSpec) StreamSpec {
+	c := t
+	c.Phases = make([]PhaseSpec, len(t.Phases))
+	for i, ph := range t.Phases {
+		c.Phases[i] = PhaseSpec{Length: ph.Length, Mix: append([]PatternSpec(nil), ph.Mix...)}
+		for mi, p := range c.Phases[i].Mix {
+			c.Phases[i].Mix[mi].Deltas = append([]int(nil), p.Deltas...)
+			c.Phases[i].Mix[mi].Footprint = append([]int(nil), p.Footprint...)
+			if p.Seqs != nil {
+				seqs := make([][]int, len(p.Seqs))
+				for si, sq := range p.Seqs {
+					seqs[si] = append([]int(nil), sq...)
+				}
+				c.Phases[i].Mix[mi].Seqs = seqs
+			}
+		}
+	}
+	return c
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func clampU(v, lo, hi uint64) uint64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func orDefault(v, d float64) float64 {
+	if v == 0 {
+		return d
+	}
+	return v
+}

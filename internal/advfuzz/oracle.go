@@ -1,0 +1,156 @@
+package advfuzz
+
+import (
+	"fmt"
+	"reflect"
+
+	"repro/internal/sim"
+	"repro/internal/simstore"
+)
+
+// An Oracle differential-tests one spec/scheme/seed cell: it runs the
+// simulation two ways that must agree bit-for-bit and reports the first
+// divergence. Oracles are how fuzzer output becomes trustworthy — a
+// pathological trace that breaks simulator invariants is a simulator
+// bug find, not a filter finding.
+type Oracle struct {
+	// Name identifies the oracle in failure reports.
+	Name string
+	// Check runs the cell both ways; a non-nil error is a divergence.
+	Check func(spec Spec, scheme string, seed uint64, b Budget) error
+}
+
+// Oracles returns the three differential oracles in fixed order.
+func Oracles(storeDir string) []Oracle {
+	return []Oracle{
+		{Name: "skip-vs-legacy", Check: checkSkipLoop},
+		{Name: "resume-vs-cold", Check: checkResume},
+		{Name: "replay-vs-recompute", Check: mkCheckReplay(storeDir)},
+	}
+}
+
+// checkSkipLoop runs the cell on the event-horizon skipping loop and on
+// the legacy one-cycle-at-a-time loop; the Results must be identical.
+func checkSkipLoop(spec Spec, scheme string, seed uint64, b Budget) error {
+	legacy, err := newSystem(spec, scheme, seed)
+	if err != nil {
+		return err
+	}
+	legacy.SetLegacyLoop(true)
+	skip, err := newSystem(spec, scheme, seed)
+	if err != nil {
+		return err
+	}
+	rl := legacy.Run(b.Warmup, b.Detail)
+	rs := skip.Run(b.Warmup, b.Detail)
+	if !reflect.DeepEqual(rl, rs) {
+		return fmt.Errorf("skip loop diverged from legacy loop: legacy IPC %.6f cycles %d, skip IPC %.6f cycles %d",
+			rl.PerCore[0].IPC, rl.Cycles, rs.PerCore[0].IPC, rs.Cycles)
+	}
+	return nil
+}
+
+// checkResume warms one system, snapshots it, restores the snapshot
+// into a fresh system, and finishes both; the resumed Result must match
+// a cold uninterrupted run.
+func checkResume(spec Spec, scheme string, seed uint64, b Budget) error {
+	cold, err := newSystem(spec, scheme, seed)
+	if err != nil {
+		return err
+	}
+	want := cold.Run(b.Warmup, b.Detail)
+
+	warm, err := newSystem(spec, scheme, seed)
+	if err != nil {
+		return err
+	}
+	warm.RunWarmup(b.Warmup)
+	snap, err := warm.Snapshot()
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	resumed, err := newSystem(spec, scheme, seed)
+	if err != nil {
+		return err
+	}
+	if err := resumed.Restore(snap); err != nil {
+		return fmt.Errorf("restore: %w", err)
+	}
+	got := resumed.RunDetail(b.Detail)
+	if !reflect.DeepEqual(want, got) {
+		return fmt.Errorf("snapshot-resumed run diverged from cold run: cold IPC %.6f cycles %d, resumed IPC %.6f cycles %d",
+			want.PerCore[0].IPC, want.Cycles, got.PerCore[0].IPC, got.Cycles)
+	}
+	return nil
+}
+
+// mkCheckReplay builds the store oracle: a Result round-tripped through
+// the result codec and the on-disk store must match recomputing the
+// cell from scratch.
+func mkCheckReplay(dir string) func(Spec, string, uint64, Budget) error {
+	return func(spec Spec, scheme string, seed uint64, b Budget) error {
+		first, err := newSystem(spec, scheme, seed)
+		if err != nil {
+			return err
+		}
+		res := first.Run(b.Warmup, b.Detail)
+		payload, err := sim.EncodeResult(res)
+		if err != nil {
+			return fmt.Errorf("encode result: %w", err)
+		}
+		key := fmt.Sprintf("advfuzz|%s|%s|%d|%d|%d", spec.Name, scheme, seed, b.Warmup, b.Detail)
+		st, err := simstore.Open(dir)
+		if err != nil {
+			return fmt.Errorf("open store: %w", err)
+		}
+		if err := st.SaveResult(key, payload); err != nil {
+			return fmt.Errorf("save result: %w", err)
+		}
+		stored, ok := st.LoadResult(key)
+		if !ok {
+			return fmt.Errorf("stored result not found under its own key")
+		}
+		replayed, err := sim.DecodeResult(stored)
+		if err != nil {
+			return fmt.Errorf("decode stored result: %w", err)
+		}
+		second, err := newSystem(spec, scheme, seed)
+		if err != nil {
+			return err
+		}
+		recomputed := second.Run(b.Warmup, b.Detail)
+		if !reflect.DeepEqual(replayed, recomputed) {
+			return fmt.Errorf("store-replayed result diverged from recomputation: replayed IPC %.6f cycles %d, recomputed IPC %.6f cycles %d",
+				replayed.PerCore[0].IPC, replayed.Cycles, recomputed.PerCore[0].IPC, recomputed.Cycles)
+		}
+		return nil
+	}
+}
+
+// Failure records one oracle divergence.
+type Failure struct {
+	Spec   Spec
+	Scheme string
+	Seed   uint64
+	Oracle string
+	Err    error
+}
+
+func (f Failure) String() string {
+	return fmt.Sprintf("%s: %s/%s seed %d: %v", f.Oracle, f.Spec.Name, f.Scheme, f.Seed, f.Err)
+}
+
+// CheckAll runs every oracle over every scheme for one spec and seed,
+// returning all divergences. storeDir hosts the replay oracle's store
+// (typically a temp dir).
+func CheckAll(spec Spec, seed uint64, b Budget, storeDir string) []Failure {
+	var fails []Failure
+	for _, o := range Oracles(storeDir) {
+		for _, scheme := range Schemes() {
+			if err := o.Check(spec, scheme, seed, b); err != nil {
+				fails = append(fails, Failure{Spec: spec, Scheme: scheme, Seed: seed, Oracle: o.Name, Err: err})
+			}
+		}
+	}
+	return fails
+}

@@ -1,0 +1,31 @@
+package advfuzz
+
+// rng is a splitmix64 generator. The fuzzer carries its own PRNG
+// instead of math/rand so searches are reproducible from a single seed
+// and the package stays clear of the determinism analyzer's global-rand
+// ban.
+type rng struct{ s uint64 }
+
+func newRng(seed uint64) *rng { return &rng{s: seed} }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform int in [0, n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// float returns a uniform float64 in [0, 1).
+func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// jitter scales v by a uniform factor in [1-spread, 1+spread].
+func (r *rng) jitter(v, spread float64) float64 {
+	return v * (1 + spread*(2*r.float()-1))
+}
+
+// chance is true with probability p.
+func (r *rng) chance(p float64) bool { return r.float() < p }

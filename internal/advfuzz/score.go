@@ -1,0 +1,81 @@
+package advfuzz
+
+import "fmt"
+
+// Metrics summarises how hard a spec presses on the filter. All rates
+// are per detailed kilo-instruction unless noted.
+type Metrics struct {
+	// BaseIPC / SPPIPC / PPFIPC are the per-scheme detailed IPCs.
+	BaseIPC float64 `json:"baseIPC"`
+	SPPIPC  float64 `json:"sppIPC"`
+	PPFIPC  float64 `json:"ppfIPC"`
+	// Accuracy is the L2 prefetch accuracy under ppf (0..1).
+	Accuracy float64 `json:"accuracy"`
+	// IssueRate is the fraction of PPF inferences issued anywhere (0..1).
+	IssueRate float64 `json:"issueRate"`
+	// BoundaryRate is the fraction of PPF inferences whose perceptron sum
+	// landed within ±2 of τ_hi or τ_lo — the thrash signature (0..1).
+	BoundaryRate float64 `json:"boundaryRate"`
+	// PollutionPKI counts unused-prefetch evictions under ppf.
+	PollutionPKI float64 `json:"pollutionPKI"`
+	// FalseNegPKI counts recovered false negatives under ppf.
+	FalseNegPKI float64 `json:"falseNegPKI"`
+}
+
+// Score is the divergence pressure the search climbs: it rewards specs
+// that keep the perceptron near its thresholds (thrash), make the
+// filter pass junk (inaccuracy, pollution) or block good prefetches
+// (false negatives), and make filtered prefetching lose to unfiltered
+// SPP or to no prefetching at all. Each term is bounded so no single
+// pathology saturates the search.
+func (m Metrics) Score() float64 {
+	s := 3 * m.BoundaryRate
+	s += 1 - m.Accuracy
+	s += min(m.PollutionPKI/10, 2)
+	s += min(m.FalseNegPKI/10, 2)
+	if m.SPPIPC > 0 && m.PPFIPC < m.SPPIPC {
+		s += min(2*(m.SPPIPC/m.PPFIPC-1), 2)
+	}
+	if m.BaseIPC > 0 && m.PPFIPC < m.BaseIPC {
+		s += min(2*(m.BaseIPC/m.PPFIPC-1), 2)
+	}
+	return s
+}
+
+// Evaluate runs the spec under none, spp and ppf and derives its
+// divergence metrics.
+func Evaluate(spec Spec, seed uint64, b Budget) (Metrics, error) {
+	var m Metrics
+	for _, scheme := range Schemes() {
+		sys, err := newSystem(spec, scheme, seed)
+		if err != nil {
+			return Metrics{}, fmt.Errorf("advfuzz: evaluate %s/%s: %w", spec.Name, scheme, err)
+		}
+		res := sys.Run(b.Warmup, b.Detail)
+		c := res.PerCore[0]
+		switch scheme {
+		case SchemeNone:
+			m.BaseIPC = c.IPC
+		case SchemeSPP:
+			m.SPPIPC = c.IPC
+		case SchemePPF:
+			m.PPFIPC = c.IPC
+			m.Accuracy = c.L2.Accuracy()
+			if f := c.Filter; f != nil && c.Instructions > 0 {
+				ki := float64(c.Instructions) / 1000
+				m.IssueRate = f.IssueRate()
+				m.BoundaryRate = f.BoundaryRate()
+				m.PollutionPKI = float64(f.EvictUnused) / ki
+				m.FalseNegPKI = float64(f.FalseNegatives) / ki
+			}
+		}
+	}
+	return m, nil
+}
+
+func min(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

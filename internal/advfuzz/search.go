@@ -1,0 +1,211 @@
+package advfuzz
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Seeds returns the hand-written starting population: one spec per
+// targeted pathology family. The fuzzer mutates these toward higher
+// divergence pressure; the committed corpus is their descendants.
+func Seeds() []Spec {
+	return []Spec{
+		{
+			Name: "thrash", Note: "alternating trainable/untrainable mix pins perceptron sums near tau",
+			Seed: 11,
+			Tenants: []StreamSpec{{
+				LoadRatio: 0.3, StoreRatio: 0.08, BranchRatio: 0.12, BranchPredictability: 0.9,
+				Phases: []PhaseSpec{{Mix: []PatternSpec{
+					{Kind: "stride", Seg: 1, Weight: 3, Bytes: 1 << 20, Stride: 2},
+					{Kind: "rand", Seg: 2, Weight: 3, Bytes: 1 << 22},
+				}}},
+			}},
+		},
+		{
+			Name: "storm", Note: "pollution storm: wide random scans swamp the L2 with junk candidates",
+			Seed: 12,
+			Tenants: []StreamSpec{{
+				LoadRatio: 0.35, StoreRatio: 0.05, BranchRatio: 0.1, BranchPredictability: 0.85,
+				HotLoadRatio: -1,
+				Phases: []PhaseSpec{{Mix: []PatternSpec{
+					{Kind: "rand", Seg: 1, Weight: 5, Bytes: 1 << 24},
+					{Kind: "seq", Seg: 2, Weight: 1, Bytes: 1 << 19},
+				}}},
+			}},
+		},
+		{
+			Name: "flip", Note: "abrupt phase flips between friendly and hostile pattern regimes",
+			Seed: 13,
+			Tenants: []StreamSpec{{
+				LoadRatio: 0.3, StoreRatio: 0.1, BranchRatio: 0.15, BranchPredictability: 0.92,
+				Phases: []PhaseSpec{
+					{Length: 3000, Mix: []PatternSpec{{Kind: "seq", Seg: 1, Weight: 1, Bytes: 1 << 21}}},
+					{Length: 3000, Mix: []PatternSpec{{Kind: "ptr", Seg: 2, Weight: 1, Bytes: 1 << 21}}},
+					{Length: 3000, Mix: []PatternSpec{{Kind: "deltaseq", Seg: 3, Weight: 1, Pages: 128, Deltas: []int{1, 3, 1, 5}}}},
+					{Length: 3000, Mix: []PatternSpec{{Kind: "rand", Seg: 4, Weight: 1, Bytes: 1 << 23}}},
+				},
+			}},
+		},
+		{
+			Name: "tenants", Note: "bursty multi-tenant interleaving pollutes cross-tenant training",
+			Seed: 14,
+			Tenants: []StreamSpec{
+				{
+					Burst: 96, LoadRatio: 0.3, StoreRatio: 0.08, BranchRatio: 0.12, BranchPredictability: 0.9,
+					Phases: []PhaseSpec{{Mix: []PatternSpec{
+						{Kind: "stride", Seg: 1, Weight: 1, Bytes: 1 << 20, Stride: 1},
+					}}},
+				},
+				{
+					Burst: 32, LoadRatio: 0.4, StoreRatio: 0.05, BranchRatio: 0.1, BranchPredictability: 0.8,
+					HotLoadRatio: -1,
+					Phases: []PhaseSpec{{Mix: []PatternSpec{
+						{Kind: "rand", Seg: 101, Weight: 2, Bytes: 1 << 23},
+						{Kind: "ptr", Seg: 102, Weight: 1, Bytes: 1 << 20},
+					}}},
+				},
+			},
+		},
+		{
+			Name: "drift", Note: "varying-delta page walks defeat signature training mid-stream",
+			Seed: 15,
+			Tenants: []StreamSpec{{
+				LoadRatio: 0.32, StoreRatio: 0.1, BranchRatio: 0.14, BranchPredictability: 0.88,
+				Phases: []PhaseSpec{{Mix: []PatternSpec{
+					{Kind: "varydelta", Seg: 1, Weight: 3, Pages: 256,
+						Seqs: [][]int{{1, 1, 2}, {4, -1, 4}, {7, 3}}, SwitchP: 0.05},
+					{Kind: "hotcold", Seg: 2, Weight: 1, Bytes: 1 << 14, ColdBytes: 1 << 23, PHot: 0.4},
+				}}},
+			}},
+		},
+	}
+}
+
+// SelectDiverse picks up to n candidates from a score-sorted population
+// by round-robin over pathology families (the seed each lineage
+// descends from), so the emitted corpus keeps one of every stress
+// flavour instead of collapsing onto whichever family scored highest.
+func SelectDiverse(pop []Candidate, n int) []Candidate {
+	byFamily := map[string][]Candidate{}
+	var order []string
+	seen := map[string]bool{}
+	for _, c := range pop {
+		// Mutation lineages can converge on byte-identical genomes (same
+		// tenants, different name); committing both would waste regression
+		// slots on the same workload.
+		body := cloneSpec(c.Spec)
+		body.Name, body.Note = "", ""
+		if len(body.Tenants) == 1 {
+			// Burst only matters when tenants interleave; a lone stream with
+			// a different burst is the same workload.
+			body.Tenants[0].Burst = 0
+		}
+		key, err := body.MarshalIndent()
+		if err == nil {
+			if seen[string(key)] {
+				continue
+			}
+			seen[string(key)] = true
+		}
+		fam := baseName(c.Spec.Name)
+		if _, ok := byFamily[fam]; !ok {
+			order = append(order, fam)
+		}
+		byFamily[fam] = append(byFamily[fam], c)
+	}
+	var out []Candidate
+	for len(out) < n {
+		took := false
+		for _, fam := range order {
+			if len(out) >= n {
+				break
+			}
+			if q := byFamily[fam]; len(q) > 0 {
+				out = append(out, q[0])
+				byFamily[fam] = q[1:]
+				took = true
+			}
+		}
+		if !took {
+			break
+		}
+	}
+	return out
+}
+
+// Candidate pairs a spec with its evaluated metrics.
+type Candidate struct {
+	Spec    Spec
+	Metrics Metrics
+}
+
+// SearchConfig sizes one fuzzing campaign.
+type SearchConfig struct {
+	// Seed drives every mutation and evaluation in the campaign.
+	Seed uint64
+	// Rounds of mutate-evaluate-select.
+	Rounds int
+	// ChildrenPerRound is how many mutants each round spawns.
+	ChildrenPerRound int
+	// Keep is the population cap after selection.
+	Keep int
+	// Budget sizes each evaluation run.
+	Budget Budget
+	// Log, when non-nil, receives one line per round.
+	Log io.Writer
+}
+
+// Search runs a population hill-climb from the seed specs: each round
+// mutates the current population, evaluates children under the three
+// schemes, and keeps the highest-divergence-pressure genomes. Returns
+// the final population sorted by descending score.
+func Search(cfg SearchConfig) ([]Candidate, error) {
+	r := newRng(cfg.Seed)
+	var pop []Candidate
+	for _, s := range Seeds() {
+		m, err := Evaluate(s, 1, cfg.Budget)
+		if err != nil {
+			return nil, err
+		}
+		pop = append(pop, Candidate{Spec: s, Metrics: m})
+	}
+	nameN := 0
+	for round := 0; round < cfg.Rounds; round++ {
+		children := make([]Spec, 0, cfg.ChildrenPerRound)
+		for i := 0; i < cfg.ChildrenPerRound; i++ {
+			parent := pop[r.intn(len(pop))].Spec
+			nameN++
+			children = append(children, Mutate(parent, r, nameN))
+		}
+		for _, c := range children {
+			if err := c.Validate(); err != nil {
+				// A mutation can produce a degenerate genome; skip it rather
+				// than abort the campaign.
+				continue
+			}
+			m, err := Evaluate(c, 1, cfg.Budget)
+			if err != nil {
+				return nil, err
+			}
+			pop = append(pop, Candidate{Spec: c, Metrics: m})
+		}
+		sort.SliceStable(pop, func(i, j int) bool {
+			si, sj := pop[i].Metrics.Score(), pop[j].Metrics.Score()
+			if si != sj {
+				return si > sj
+			}
+			return pop[i].Spec.Name < pop[j].Spec.Name
+		})
+		if len(pop) > cfg.Keep {
+			pop = pop[:cfg.Keep]
+		}
+		if cfg.Log != nil {
+			best := pop[0]
+			fmt.Fprintf(cfg.Log, "round %d: population %d, best %s score %.3f (boundary %.1f%% accuracy %.1f%%)\n",
+				round+1, len(pop), best.Spec.Name, best.Metrics.Score(),
+				100*best.Metrics.BoundaryRate, 100*best.Metrics.Accuracy)
+		}
+	}
+	return pop, nil
+}

@@ -1,0 +1,68 @@
+package advfuzz
+
+import (
+	"fmt"
+
+	ppf "repro/internal/core"
+	"repro/internal/prefetch"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Schemes the fuzzer exercises. The experiment package has a richer
+// scheme registry, but it sits above advfuzz in the import graph (the
+// adversarial table imports the corpus), so the fuzzer wires the three
+// configurations it needs — baseline, unfiltered SPP and SPP+PPF —
+// directly.
+const (
+	SchemeNone = "none"
+	SchemeSPP  = "spp"
+	SchemePPF  = "ppf"
+)
+
+// Schemes returns the fuzzer's differential scheme set in fixed order.
+func Schemes() []string { return []string{SchemeNone, SchemeSPP, SchemePPF} }
+
+// coreSetup builds one fresh per-core setup for the named scheme.
+// Prefetcher and filter state is stateful, so every system under
+// comparison gets its own instances.
+func coreSetup(scheme string, rd trace.Reader) (sim.CoreSetup, error) {
+	setup := sim.CoreSetup{Trace: rd}
+	switch scheme {
+	case SchemeNone:
+	case SchemeSPP:
+		setup.Prefetcher = prefetch.NewSPP(prefetch.DefaultSPPConfig())
+	case SchemePPF:
+		setup.Prefetcher = prefetch.NewSPP(prefetch.AggressiveSPPConfig())
+		setup.Filter = ppf.New(ppf.DefaultConfig())
+	default:
+		return sim.CoreSetup{}, fmt.Errorf("advfuzz: unknown scheme %q", scheme)
+	}
+	return setup, nil
+}
+
+// newSystem builds a fresh single-core system over the spec's stream.
+func newSystem(spec Spec, scheme string, seed uint64) (*sim.System, error) {
+	rd, err := spec.NewReader(seed)
+	if err != nil {
+		return nil, err
+	}
+	setup, err := coreSetup(scheme, rd)
+	if err != nil {
+		return nil, err
+	}
+	return sim.NewSystem(sim.DefaultConfig(1), []sim.CoreSetup{setup})
+}
+
+// Budget sizes one differential run. Oracle runs are repeated several
+// times per candidate, so the defaults are deliberately small.
+type Budget struct {
+	Warmup uint64
+	Detail uint64
+}
+
+// DefaultBudget is sized for search throughput: big enough for the
+// filter to train and the boundary/pollution counters to move (they
+// read zero below ~20k detailed instructions), small enough that a
+// three-oracle pass over a candidate stays well under a second.
+var DefaultBudget = Budget{Warmup: 3_000, Detail: 30_000}

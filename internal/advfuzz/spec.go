@@ -1,0 +1,254 @@
+// Package advfuzz hunts for filter-pathological workloads: it mutates
+// synthetic pattern mixes toward behaviour that stresses the PPF filter
+// (decision thrash at the τ_hi/τ_lo boundaries, cache-pollution storms,
+// abrupt phase flips, bursty multi-tenant interleavings), scores each
+// candidate by the divergence pressure it exerts, and differential-tests
+// every generated trace through three oracles — the event-horizon skip
+// loop against the legacy +1 loop, snapshot-resumed runs against cold
+// runs, and store-replayed results against recomputation. Failing specs
+// are minimized; the worst filter-accuracy survivors are committed as
+// the regression corpus rendered by `cmd/experiments -run adversarial`.
+package advfuzz
+
+import (
+	"embed"
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"sort"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// PatternSpec is the serializable description of one pattern component
+// in a phase mix. Kind selects the constructor; the other fields are
+// its parameters (unused ones stay zero and are omitted from JSON).
+type PatternSpec struct {
+	// Kind is one of seq, stride, deltaseq, ptr, region, rand, hotcold,
+	// varydelta.
+	Kind string `json:"kind"`
+	// Seg namespaces the pattern's address region.
+	Seg int `json:"seg"`
+	// Weight is the component's selection weight in the mix.
+	Weight float64 `json:"weight"`
+
+	Bytes     uint64  `json:"bytes,omitempty"`     // region size (seq, stride, ptr, rand; hot set for hotcold)
+	ColdBytes uint64  `json:"coldBytes,omitempty"` // hotcold cold-set size
+	PHot      float64 `json:"pHot,omitempty"`      // hotcold hot probability
+	Stride    int     `json:"stride,omitempty"`    // stride, in blocks
+	Pages     uint64  `json:"pages,omitempty"`     // deltaseq/region/varydelta page count
+	Deltas    []int   `json:"deltas,omitempty"`    // deltaseq delta cycle
+	Footprint []int   `json:"footprint,omitempty"` // region block offsets
+	Seqs      [][]int `json:"seqs,omitempty"`      // varydelta delta sequences
+	SwitchP   float64 `json:"switchP,omitempty"`   // varydelta switch probability
+}
+
+// build instantiates the pattern.
+func (p PatternSpec) build() (trace.Pattern, error) {
+	if p.Weight <= 0 {
+		return nil, fmt.Errorf("pattern %q: non-positive weight %g", p.Kind, p.Weight)
+	}
+	switch p.Kind {
+	case "seq":
+		return trace.NewSequentialPattern(p.Seg, p.Bytes), nil
+	case "stride":
+		return trace.NewStridePattern(p.Seg, p.Bytes, p.Stride), nil
+	case "deltaseq":
+		return trace.NewDeltaSeqPattern(p.Seg, p.Pages, p.Deltas), nil
+	case "ptr":
+		return trace.NewPointerChasePattern(p.Seg, p.Bytes), nil
+	case "region":
+		return trace.NewRegionFootprintPattern(p.Seg, p.Pages, p.Footprint), nil
+	case "rand":
+		return trace.NewRandomPattern(p.Seg, p.Bytes), nil
+	case "hotcold":
+		return trace.NewHotColdPattern(p.Seg, p.Bytes, p.ColdBytes, p.PHot), nil
+	case "varydelta":
+		return trace.NewVaryingDeltaPattern(p.Seg, p.Pages, p.Seqs, p.SwitchP), nil
+	default:
+		return nil, fmt.Errorf("unknown pattern kind %q", p.Kind)
+	}
+}
+
+// PhaseSpec is one stretch of execution with a fixed mix.
+type PhaseSpec struct {
+	// Length is the phase length in instructions (0 = the stream's only
+	// phase, never advancing).
+	Length uint64 `json:"length"`
+	// Mix is the weighted pattern set.
+	Mix []PatternSpec `json:"mix"`
+}
+
+// StreamSpec describes one tenant's instruction stream — a full
+// generator configuration.
+type StreamSpec struct {
+	// Burst is how many consecutive instructions this tenant issues per
+	// scheduling turn when interleaved with other tenants (ignored for
+	// single-tenant specs; 0 defaults to 64).
+	Burst uint64 `json:"burst,omitempty"`
+
+	LoadRatio            float64 `json:"loadRatio"`
+	StoreRatio           float64 `json:"storeRatio"`
+	BranchRatio          float64 `json:"branchRatio"`
+	BranchPredictability float64 `json:"branchPredictability"`
+	StoreStreamRatio     float64 `json:"storeStreamRatio,omitempty"`
+	// HotLoadRatio follows trace.GenConfig's convention: 0 means the
+	// generator default (0.65), negative disables hot loads.
+	HotLoadRatio float64 `json:"hotLoadRatio,omitempty"`
+	BlockReuse   int     `json:"blockReuse,omitempty"`
+
+	Phases []PhaseSpec `json:"phases"`
+}
+
+// config lowers the stream to a generator configuration.
+func (ss StreamSpec) config(seed uint64) (trace.GenConfig, error) {
+	cfg := trace.GenConfig{
+		Seed:                 seed,
+		LoadRatio:            ss.LoadRatio,
+		StoreRatio:           ss.StoreRatio,
+		BranchRatio:          ss.BranchRatio,
+		BranchPredictability: ss.BranchPredictability,
+		StoreStreamRatio:     ss.StoreStreamRatio,
+		HotLoadRatio:         ss.HotLoadRatio,
+		BlockReuse:           ss.BlockReuse,
+	}
+	for pi, ph := range ss.Phases {
+		phase := trace.Phase{Length: ph.Length}
+		for mi, ps := range ph.Mix {
+			p, err := ps.build()
+			if err != nil {
+				return trace.GenConfig{}, fmt.Errorf("phase %d mix %d: %w", pi, mi, err)
+			}
+			phase.Mix = append(phase.Mix, trace.Weighted{P: p, Weight: ps.Weight})
+		}
+		cfg.Phases = append(cfg.Phases, phase)
+	}
+	return cfg, nil
+}
+
+// Spec is one adversarial workload: a pattern genome the fuzzer mutates
+// and the corpus commits. The stream it produces is a pure function of
+// (Spec, seed), which is what lets corpus entries flow through the
+// content-keyed run cache as ordinary named workloads.
+type Spec struct {
+	// Name identifies the spec; corpus entries use "adv-<family>-<n>".
+	Name string `json:"name"`
+	// Note records what pathology the spec targets (human context for
+	// the experiment table).
+	Note string `json:"note,omitempty"`
+	// Seed offsets every stream seed so two otherwise-identical specs
+	// can explore different stream instances.
+	Seed uint64 `json:"seed"`
+	// Tenants are the interleaved streams; one tenant is the common
+	// single-stream case.
+	Tenants []StreamSpec `json:"tenants"`
+}
+
+// Validate checks the spec builds without instantiating a reader.
+func (s Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("advfuzz: spec with empty name")
+	}
+	if len(s.Tenants) == 0 {
+		return fmt.Errorf("advfuzz: spec %s has no tenants", s.Name)
+	}
+	_, err := s.NewReader(1)
+	return err
+}
+
+// NewReader builds the spec's deterministic instruction stream.
+func (s Spec) NewReader(seed uint64) (trace.Reader, error) {
+	if len(s.Tenants) == 0 {
+		return nil, fmt.Errorf("advfuzz: spec %s has no tenants", s.Name)
+	}
+	rs := make([]trace.Reader, len(s.Tenants))
+	bursts := make([]uint64, len(s.Tenants))
+	for i, t := range s.Tenants {
+		cfg, err := t.config(streamSeed(s.Seed, seed, i))
+		if err != nil {
+			return nil, fmt.Errorf("advfuzz: spec %s tenant %d: %w", s.Name, i, err)
+		}
+		g, err := trace.NewGenerator(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("advfuzz: spec %s tenant %d: %w", s.Name, i, err)
+		}
+		rs[i] = g
+		bursts[i] = t.Burst
+		if bursts[i] == 0 {
+			bursts[i] = 64
+		}
+	}
+	if len(rs) == 1 {
+		return rs[0], nil
+	}
+	return newInterleave(rs, bursts), nil
+}
+
+// streamSeed mixes the spec's base seed, the caller's seed and the
+// tenant index into one generator seed.
+func streamSeed(base, seed uint64, tenant int) uint64 {
+	x := base ^ (seed * 0x9E3779B97F4A7C15) ^ (uint64(tenant+1) * 0xBF58476D1CE4E5B9)
+	x ^= x >> 30
+	x *= 0x94D049BB133111EB
+	x ^= x >> 27
+	return x
+}
+
+// Workload wraps the spec as a named workload in the adversarial suite,
+// so experiments, caches and sweeps treat it like any other benchmark.
+func (s Spec) Workload() workload.Workload {
+	return workload.Custom("adv-"+s.Name, workload.AdversarialSuite, true, func(seed uint64) trace.Reader {
+		r, err := s.NewReader(seed)
+		if err != nil {
+			// Corpus and search specs are validated before use; reaching
+			// here is a bug, and the workload API has no error path.
+			panic(err)
+		}
+		return r
+	})
+}
+
+// MarshalIndent renders the spec as committed-corpus JSON.
+func (s Spec) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// ParseSpec decodes one corpus JSON document.
+func ParseSpec(data []byte) (Spec, error) {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Spec{}, err
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+//go:embed corpus/*.json
+var corpusFS embed.FS
+
+// Corpus returns the committed adversarial regression specs, sorted by
+// name. The corpus is embedded: experiments and tests see the same set
+// everywhere without touching the filesystem.
+func Corpus() []Spec {
+	entries, err := fs.ReadDir(corpusFS, "corpus")
+	if err != nil {
+		panic(fmt.Sprintf("advfuzz: embedded corpus: %v", err))
+	}
+	specs := make([]Spec, 0, len(entries))
+	for _, e := range entries {
+		data, err := fs.ReadFile(corpusFS, "corpus/"+e.Name())
+		if err != nil {
+			panic(fmt.Sprintf("advfuzz: embedded corpus %s: %v", e.Name(), err))
+		}
+		s, err := ParseSpec(data)
+		if err != nil {
+			panic(fmt.Sprintf("advfuzz: committed corpus %s is malformed: %v", e.Name(), err))
+		}
+		specs = append(specs, s)
+	}
+	sort.Slice(specs, func(i, j int) bool { return specs[i].Name < specs[j].Name })
+	return specs
+}

@@ -94,6 +94,27 @@ type Stats struct {
 	FalseNegatives uint64 // reject-table hits: we dropped a useful prefetch
 	UsefulIssued   uint64 // prefetch-table hits: issued prefetch proved useful
 	EvictUnused    uint64 // issued prefetch evicted without use
+	// Boundary counts inferences whose perceptron sum landed within
+	// BoundaryMargin of τ_hi or τ_lo — candidates one training event
+	// away from flipping decision. A high Boundary rate is the thrash
+	// signature the adversarial fuzzer (internal/advfuzz) hunts for:
+	// workloads that pin the filter to its thresholds oscillate between
+	// issue and drop on every retrain.
+	Boundary uint64
+}
+
+// BoundaryMargin is the half-width of the near-threshold band Boundary
+// counts: weight increments are ±1, so a sum within 2 of a threshold
+// can cross it within two training events on its features.
+const BoundaryMargin = 2
+
+// BoundaryRate is the fraction of inferences that scored within
+// BoundaryMargin of a decision threshold.
+func (s Stats) BoundaryRate() float64 {
+	if s.Inferences == 0 {
+		return 0
+	}
+	return float64(s.Boundary) / float64(s.Inferences)
 }
 
 // IssueRate is the fraction of scored candidates that were actually
@@ -344,6 +365,10 @@ func (f *Filter) Decide(in *FeatureInput) Decision {
 	f.scratchFor = *in
 	f.computeScratch()
 	sum := f.sumIndexed(&f.scratchIdx)
+	if (sum >= f.cfg.TauHi-BoundaryMargin && sum <= f.cfg.TauHi+BoundaryMargin) ||
+		(sum >= f.cfg.TauLo-BoundaryMargin && sum <= f.cfg.TauLo+BoundaryMargin) {
+		f.stats.Boundary++
+	}
 	switch {
 	case sum >= f.cfg.TauHi:
 		return FillL2

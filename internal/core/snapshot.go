@@ -49,4 +49,5 @@ func (s *Stats) SnapshotWalk(w *snap.Walker) {
 	w.Uint64(&s.FalseNegatives)
 	w.Uint64(&s.UsefulIssued)
 	w.Uint64(&s.EvictUnused)
+	w.Uint64(&s.Boundary)
 }

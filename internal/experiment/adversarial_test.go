@@ -1,0 +1,61 @@
+package experiment
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/advfuzz"
+)
+
+// TestAdversarialShape pins the corpus-to-table plumbing: one row per
+// committed spec, live counters, and the thrash column actually firing
+// on a corpus that was fuzzed toward the thresholds.
+func TestAdversarialShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	specs := advfuzz.Corpus()
+	if len(specs) < 20 {
+		t.Fatalf("committed corpus has %d specs, want >= 20", len(specs))
+	}
+	r := Adversarial(Serial(), Budget{Warmup: 3_000, Detail: 30_000})
+	if len(r.Rows) != len(specs) {
+		t.Fatalf("got %d rows for %d corpus specs", len(r.Rows), len(specs))
+	}
+	boundary := false
+	for _, row := range r.Rows {
+		if row.BaseIPC <= 0 || row.SPP <= 0 || row.PPF <= 0 {
+			t.Fatalf("degenerate row %+v", row)
+		}
+		if row.BoundaryRate > 0 {
+			boundary = true
+		}
+	}
+	if !boundary {
+		t.Fatal("no corpus workload drove the perceptron near its thresholds")
+	}
+	out := r.Render()
+	for _, want := range []string{"boundary", "pollute/ki", r.Rows[0].Name} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestAdversarialDeterministicAcrossWorkerCounts extends the package's
+// worker-count contract to the adversarial sweep.
+func TestAdversarialDeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	b := Budget{Warmup: 2_000, Detail: 10_000}
+	serial := Adversarial(Exec{Workers: 1}, b)
+	parallel := Adversarial(Exec{Workers: 8}, b)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("adversarial raw results differ between -j 1 and -j 8")
+	}
+	if serial.Render() != parallel.Render() {
+		t.Fatal("adversarial rendered reports differ between -j 1 and -j 8")
+	}
+}

@@ -1,13 +1,63 @@
 package sim
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 
 	ppf "repro/internal/core"
 	"repro/internal/prefetch"
 	"repro/internal/snap"
 )
+
+// Snapshot envelope: the walker stream is positional with no internal
+// redundancy, so a corrupted blob that happens to parse would restore a
+// machine full of garbage — including an instCount that sends Restore's
+// trace replay loop spinning for what might as well be forever. The
+// envelope makes corruption a deterministic error instead: magic(4) |
+// version(4) | payload length(8) | CRC-32 of payload(4) | payload.
+const (
+	snapMagic   = 0x5050534E // "PPSN"
+	snapVersion = 1
+	snapHdrLen  = 20
+)
+
+// ErrBadSnapshot reports a snapshot whose envelope failed validation.
+var ErrBadSnapshot = errors.New("sim: malformed snapshot")
+
+// sealSnapshot wraps a walker payload in the checksummed envelope.
+func sealSnapshot(payload []byte) []byte {
+	out := make([]byte, snapHdrLen, snapHdrLen+len(payload))
+	binary.LittleEndian.PutUint32(out[0:4], snapMagic)
+	binary.LittleEndian.PutUint32(out[4:8], snapVersion)
+	binary.LittleEndian.PutUint64(out[8:16], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(out[16:20], crc32.ChecksumIEEE(payload))
+	return append(out, payload...)
+}
+
+// openSnapshot validates the envelope and returns the walker payload.
+func openSnapshot(data []byte) ([]byte, error) {
+	if len(data) < snapHdrLen {
+		return nil, fmt.Errorf("%w: %d bytes, shorter than the %d-byte header", ErrBadSnapshot, len(data), snapHdrLen)
+	}
+	if m := binary.LittleEndian.Uint32(data[0:4]); m != snapMagic {
+		return nil, fmt.Errorf("%w: bad magic 0x%08x", ErrBadSnapshot, m)
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != snapVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadSnapshot, v)
+	}
+	n := binary.LittleEndian.Uint64(data[8:16])
+	payload := data[snapHdrLen:]
+	if n != uint64(len(payload)) {
+		return nil, fmt.Errorf("%w: header claims %d payload bytes, have %d", ErrBadSnapshot, n, len(payload))
+	}
+	want := binary.LittleEndian.Uint32(data[16:20])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, fmt.Errorf("%w: checksum mismatch (stored %08x, computed %08x)", ErrBadSnapshot, want, got)
+	}
+	return payload, nil
+}
 
 // Snapshot serializes the machine's complete mutable state — clock,
 // caches, DRAM, predictors, prefetchers, filters, per-core pipeline
@@ -29,7 +79,11 @@ func (s *System) Snapshot() ([]byte, error) {
 	}
 	w := snap.NewEncoder()
 	s.snapshotWalk(w)
-	return w.Bytes()
+	payload, err := w.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	return sealSnapshot(payload), nil
 }
 
 // Restore loads a Snapshot into a fresh (never-run) system built from
@@ -44,7 +98,11 @@ func (s *System) Restore(data []byte) error {
 			return fmt.Errorf("sim: core %d prefetcher %q is not snapshottable", c.id, c.pf.Name())
 		}
 	}
-	w := snap.NewDecoder(data)
+	payload, err := openSnapshot(data)
+	if err != nil {
+		return err
+	}
+	w := snap.NewDecoder(payload)
 	s.snapshotWalk(w)
 	if err := w.Finish(); err != nil {
 		return err
@@ -127,8 +185,10 @@ func (c *Core) snapshotWalk(w *snap.Walker) {
 // results in this encoding, so adding a Result field without walking
 // it here is caught by the ppflint snapshot analyzer.
 func (r *Result) SnapshotWalk(w *snap.Walker) {
+	// A Result's geometry is one entry per core; cap the decoded count so
+	// a corrupt stream cannot demand a multi-gigabyte allocation.
 	n := len(r.PerCore)
-	w.Len(&n)
+	w.LenCapped(&n, 1024)
 	if n != len(r.PerCore) {
 		r.PerCore = make([]CoreResult, n)
 	}

@@ -221,6 +221,20 @@ func (w *Walker) Len(v *int) {
 	w.Int(v)
 	if !w.encoding && w.err == nil && (*v < 0 || *v > maxLen) {
 		w.err = fmt.Errorf("snap: implausible length %d", *v)
+		// Walk methods are no-ops after an error, but the caller is about
+		// to size an allocation from *v — don't hand it the corrupt count.
+		*v = 0
+	}
+}
+
+// LenCapped is Len with a caller-supplied bound, for sequences whose
+// length is structurally limited (a per-core slice, say): a decoded
+// count beyond max latches an error before the caller allocates for it.
+func (w *Walker) LenCapped(v *int, max int) {
+	w.Int(v)
+	if !w.encoding && w.err == nil && (*v < 0 || *v > max) {
+		w.err = fmt.Errorf("snap: implausible length %d (cap %d)", *v, max)
+		*v = 0
 	}
 }
 

@@ -141,6 +141,8 @@ func (tw *Writer) Flush() error {
 type FileReader struct {
 	r   *bufio.Reader
 	buf [24]byte
+	off int64 // byte offset of the next unread record
+	rec uint64
 	err error
 }
 
@@ -161,7 +163,7 @@ func NewFileReader(r io.Reader) (*FileReader, error) {
 	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != fileVersion {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, v)
 	}
-	return &FileReader{r: br}, nil
+	return &FileReader{r: br, off: 8}, nil
 }
 
 // Next implements Reader.
@@ -169,10 +171,16 @@ func (fr *FileReader) Next() (Inst, bool) {
 	if fr.err != nil {
 		return Inst{}, false
 	}
-	if _, err := io.ReadFull(fr.r, fr.buf[:]); err != nil {
+	if n, err := io.ReadFull(fr.r, fr.buf[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			err = fmt.Errorf("%w: offset %d (record %d): truncated record: %d of %d bytes",
+				ErrBadTrace, fr.off, fr.rec, n, len(fr.buf))
+		}
 		fr.err = err
 		return Inst{}, false
 	}
+	fr.off += int64(len(fr.buf))
+	fr.rec++
 	b := fr.buf[:]
 	in := Inst{
 		PC:    binary.LittleEndian.Uint64(b[0:8]),

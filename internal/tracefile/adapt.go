@@ -1,0 +1,144 @@
+package tracefile
+
+import (
+	"io"
+
+	"repro/internal/trace"
+)
+
+// Adapter converts a record stream onto the simulator's trace.Reader
+// interface. One record expands into one instruction per memory slot
+// plus the branch, in a fixed order (loads, stores, then the branch),
+// or a single ALU instruction when the record touches nothing.
+//
+// Load→load dependencies — internal/trace's Inst.Dep, which the core
+// uses to model pointer chasing — do not exist as a field in the
+// ChampSim format; real traces carry them as register dataflow instead.
+// The adapter reconstructs them the way ChampSim's own frontend does:
+// it tracks, per register, the most recent load that wrote it, and a
+// load that reads such a register depends on that producer. The Writer
+// in this package emits exactly this convention, so synthetic traces
+// round-trip through the external format with their dependency
+// structure intact.
+type Adapter struct {
+	r   *Reader
+	rec Record
+
+	// pend queues the instructions expanded from the current record.
+	pend  [NumSources + NumDests + 1]trace.Inst
+	pendN int
+	pendI int
+
+	// idx is the index of the next instruction to emit.
+	idx uint64
+	// lastLoad[r] is the instruction index of the load that most
+	// recently wrote register r; loadValid[r] is false once any
+	// non-load overwrites the register.
+	lastLoad  [256]uint64
+	loadValid [256]bool
+
+	err  error
+	done bool
+}
+
+// NewAdapter returns a trace.Reader over r's records.
+func NewAdapter(r *Reader) *Adapter { return &Adapter{r: r} }
+
+// Err returns the first stream error: nil after a clean end of trace, a
+// *FormatError after truncation or garbage. Callers that care about
+// integrity must check it once Next has returned ok=false.
+func (a *Adapter) Err() error {
+	if a.err == io.EOF {
+		return nil
+	}
+	return a.err
+}
+
+// Records is the number of trace records consumed so far.
+func (a *Adapter) Records() uint64 { return a.r.Records() }
+
+// Next implements trace.Reader. The stream ends on clean EOF and on
+// the first malformed record alike; Err distinguishes the two.
+func (a *Adapter) Next() (trace.Inst, bool) {
+	for a.pendI >= a.pendN {
+		if a.done {
+			return trace.Inst{}, false
+		}
+		if err := a.r.Read(&a.rec); err != nil {
+			a.err = err
+			a.done = true
+			return trace.Inst{}, false
+		}
+		a.expand()
+	}
+	in := a.pend[a.pendI]
+	a.pendI++
+	a.idx++
+	return in, true
+}
+
+// expand converts the current record into pending instructions and
+// updates the register dataflow tracking.
+func (a *Adapter) expand() {
+	a.pendN, a.pendI = 0, 0
+	rec := &a.rec
+	firstLoad := -1
+	for _, addr := range rec.SrcMem {
+		if addr == 0 {
+			continue
+		}
+		if firstLoad < 0 {
+			firstLoad = a.pendN
+		}
+		a.pend[a.pendN] = trace.Inst{PC: rec.IP, Kind: trace.KindLoad, Addr: addr}
+		a.pendN++
+	}
+	for _, addr := range rec.DestMem {
+		if addr == 0 {
+			continue
+		}
+		a.pend[a.pendN] = trace.Inst{PC: rec.IP, Kind: trace.KindStore, Addr: addr}
+		a.pendN++
+	}
+	if rec.IsBranch == 1 {
+		a.pend[a.pendN] = trace.Inst{PC: rec.IP, Kind: trace.KindBranch, Taken: rec.BranchTaken == 1}
+		a.pendN++
+	}
+	if a.pendN == 0 {
+		a.pend[0] = trace.Inst{PC: rec.IP, Kind: trace.KindALU}
+		a.pendN = 1
+	}
+
+	// Attach the register-carried dependency to the record's first load:
+	// the most recent load-written source register is the producer.
+	if firstLoad >= 0 {
+		loadIdx := a.idx + uint64(firstLoad)
+		var best uint64
+		found := false
+		for _, reg := range rec.SrcRegs {
+			if reg != 0 && a.loadValid[reg] && (!found || a.lastLoad[reg] > best) {
+				best = a.lastLoad[reg]
+				found = true
+			}
+		}
+		if found {
+			if d := loadIdx - best; d >= 1 && d < 1<<16 {
+				a.pend[firstLoad].Dep = uint16(d)
+			}
+		}
+	}
+
+	// Destination registers now hold this record's result: a load result
+	// when the record loaded, otherwise a value no future load depends on.
+	for _, reg := range rec.DestRegs {
+		if reg == 0 {
+			continue
+		}
+		if firstLoad >= 0 {
+			a.lastLoad[reg] = a.idx + uint64(firstLoad)
+			a.loadValid[reg] = true
+		} else {
+			a.loadValid[reg] = false
+		}
+	}
+}

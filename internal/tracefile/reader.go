@@ -1,0 +1,118 @@
+package tracefile
+
+import (
+	"bufio"
+	"compress/bzip2"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Reader streams records from a decompressed ChampSim trace, validating
+// each strictly: a partial record at end of stream or an impossible
+// flag byte is a *FormatError carrying the byte offset and record
+// index, never a silent truncation.
+type Reader struct {
+	r   *bufio.Reader
+	buf [RecordSize]byte
+	off int64
+	rec uint64
+	err error
+}
+
+// NewReader wraps r (already decompressed; see Decompress) in a record
+// reader.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Offset is the byte offset of the next unread record.
+func (r *Reader) Offset() int64 { return r.off }
+
+// Records is the number of records read so far.
+func (r *Reader) Records() uint64 { return r.rec }
+
+// fail latches and returns a FormatError at the current record.
+func (r *Reader) fail(format string, args ...any) error {
+	r.err = &FormatError{Offset: r.off, Record: r.rec, Reason: fmt.Sprintf(format, args...)}
+	return r.err
+}
+
+// Read decodes the next record into rec. It returns io.EOF at a clean
+// end of stream and a *FormatError on truncation or garbage; any error
+// is sticky.
+func (r *Reader) Read(rec *Record) error {
+	if r.err != nil {
+		return r.err
+	}
+	n, err := io.ReadFull(r.r, r.buf[:])
+	switch {
+	case err == io.EOF:
+		r.err = io.EOF
+		return io.EOF
+	case err == io.ErrUnexpectedEOF:
+		return r.fail("truncated record: %d of %d bytes", n, RecordSize)
+	case err != nil:
+		return r.fail("read: %v", err)
+	}
+	rec.Decode(r.buf[:])
+	if rec.IsBranch > 1 {
+		return r.fail("garbage is_branch byte 0x%02x", rec.IsBranch)
+	}
+	if rec.BranchTaken > 1 {
+		return r.fail("garbage branch_taken byte 0x%02x", rec.BranchTaken)
+	}
+	r.off += RecordSize
+	r.rec++
+	return nil
+}
+
+// Compression container magics.
+var (
+	gzipMagic = []byte{0x1f, 0x8b}
+	xzMagic   = []byte{0xfd, '7', 'z', 'X', 'Z', 0x00}
+	bzipMagic = []byte{'B', 'Z', 'h'}
+	zstdMagic = []byte{0x28, 0xb5, 0x2f, 0xfd}
+)
+
+// Decompress sniffs r's leading magic bytes and layers the matching
+// stdlib decoder over it: gzip and bzip2 decode transparently, xz and
+// zstd are recognised but unsupported (no stdlib decoder; the error
+// says how to recompress), and anything else passes through untouched.
+// The returned reader streams the decompressed bytes.
+func Decompress(r io.Reader) (io.Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head, err := br.Peek(6)
+	if err != nil && !errors.Is(err, io.EOF) {
+		return nil, fmt.Errorf("sniffing compression: %w", err)
+	}
+	switch {
+	case hasPrefix(head, gzipMagic):
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("gzip: %w", err)
+		}
+		return zr, nil
+	case hasPrefix(head, bzipMagic):
+		return bzip2.NewReader(br), nil
+	case hasPrefix(head, xzMagic):
+		return nil, errors.New("xz-compressed trace: no stdlib decoder; recompress with `xz -d | gzip`")
+	case hasPrefix(head, zstdMagic):
+		return nil, errors.New("zstd-compressed trace: no stdlib decoder; recompress with `zstd -d | gzip`")
+	default:
+		return br, nil
+	}
+}
+
+func hasPrefix(b, prefix []byte) bool {
+	if len(b) < len(prefix) {
+		return false
+	}
+	for i, c := range prefix {
+		if b[i] != c {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,314 @@
+package tracefile
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// encodeInsts writes insts through the Writer and returns the raw bytes.
+func encodeInsts(t *testing.T, insts []trace.Inst) ([]byte, *Writer) {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, in := range insts {
+		if err := w.WriteInst(in); err != nil {
+			t.Fatalf("WriteInst: %v", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	return buf.Bytes(), w
+}
+
+// decodeInsts reads every instruction back through the Adapter.
+func decodeInsts(t *testing.T, data []byte) ([]trace.Inst, *Adapter) {
+	t.Helper()
+	a := NewAdapter(NewReader(bytes.NewReader(data)))
+	var out []trace.Inst
+	for {
+		in, ok := a.Next()
+		if !ok {
+			break
+		}
+		out = append(out, in)
+	}
+	if err := a.Err(); err != nil {
+		t.Fatalf("adapter error: %v", err)
+	}
+	return out, a
+}
+
+// TestRecordEncodeDecode pins the 64-byte layout round trip.
+func TestRecordEncodeDecode(t *testing.T) {
+	rec := Record{
+		IP:       0x401234,
+		IsBranch: 1, BranchTaken: 1,
+		DestRegs: [NumDests]byte{3, 0},
+		SrcRegs:  [NumSources]byte{7, 0, 9, 0},
+		DestMem:  [NumDests]uint64{0xdeadbeef000, 0},
+		SrcMem:   [NumSources]uint64{0x5f0000000040, 0, 0, 0x77},
+	}
+	var b [RecordSize]byte
+	rec.Encode(b[:])
+	var got Record
+	got.Decode(b[:])
+	if got != rec {
+		t.Fatalf("round trip mismatch:\nwrote %+v\nread  %+v", rec, got)
+	}
+}
+
+// TestInstStreamRoundTrip: a synthetic workload stream written as
+// ChampSim records and read back must reproduce the identical Inst
+// sequence — kinds, PCs, addresses, branch outcomes, and the
+// register-encoded load dependencies.
+func TestInstStreamRoundTrip(t *testing.T) {
+	for _, name := range []string{"605.mcf_s", "603.bwaves_s", "620.omnetpp_s"} {
+		t.Run(name, func(t *testing.T) {
+			rd := workload.MustByName(name).NewReader(1)
+			insts := trace.Collect(rd, 50_000)
+			data, w := encodeInsts(t, insts)
+			if w.DroppedOps() != 0 {
+				t.Fatalf("writer dropped %d memory ops", w.DroppedOps())
+			}
+			if w.DroppedDeps() != 0 {
+				t.Fatalf("writer dropped %d dependencies", w.DroppedDeps())
+			}
+			got, _ := decodeInsts(t, data)
+			if len(got) != len(insts) {
+				t.Fatalf("got %d instructions, want %d", len(got), len(insts))
+			}
+			for i := range insts {
+				if got[i] != insts[i] {
+					t.Fatalf("instruction %d diverged:\nwrote %+v\nread  %+v", i, insts[i], got[i])
+				}
+			}
+		})
+	}
+}
+
+// TestReencodeIdentity: decoding a valid byte stream and re-encoding
+// its records must reproduce the input bytes exactly (the reader keeps
+// every field raw).
+func TestReencodeIdentity(t *testing.T) {
+	rd := workload.MustByName("649.fotonik3d_s").NewReader(2)
+	data, _ := encodeInsts(t, trace.Collect(rd, 10_000))
+
+	r := NewReader(bytes.NewReader(data))
+	var out bytes.Buffer
+	var rec Record
+	var b [RecordSize]byte
+	for {
+		err := r.Read(&rec)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		rec.Encode(b[:])
+		out.Write(b[:])
+	}
+	if !bytes.Equal(out.Bytes(), data) {
+		t.Fatal("re-encoded stream differs from input")
+	}
+}
+
+// TestMultiOpExpansion pins the fixed expansion order of a record with
+// several memory slots: loads, stores, then the branch.
+func TestMultiOpExpansion(t *testing.T) {
+	rec := Record{
+		IP: 0x400100, IsBranch: 1, BranchTaken: 1,
+		SrcMem:  [NumSources]uint64{0x1000, 0, 0x2000, 0},
+		DestMem: [NumDests]uint64{0x3000, 0},
+	}
+	var b [RecordSize]byte
+	rec.Encode(b[:])
+	got, _ := decodeInsts(t, b[:])
+	want := []trace.Inst{
+		{PC: 0x400100, Kind: trace.KindLoad, Addr: 0x1000},
+		{PC: 0x400100, Kind: trace.KindLoad, Addr: 0x2000},
+		{PC: 0x400100, Kind: trace.KindStore, Addr: 0x3000},
+		{PC: 0x400100, Kind: trace.KindBranch, Taken: true},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("expansion mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestDependencyReconstruction pins the register-dataflow convention
+// directly: a load reading a register last written by a load depends on
+// it; a register clobbered by a non-load carries no dependency.
+func TestDependencyReconstruction(t *testing.T) {
+	var recs []Record
+	// Record 0: load into register 40.
+	recs = append(recs, Record{IP: 1, SrcMem: [NumSources]uint64{0x1000}, DestRegs: [NumDests]byte{40}})
+	// Record 1: ALU noise.
+	recs = append(recs, Record{IP: 2})
+	// Record 2: load reading register 40 — depends on instruction 0.
+	recs = append(recs, Record{IP: 3, SrcMem: [NumSources]uint64{0x2000}, SrcRegs: [NumSources]byte{40}})
+	// Record 3: ALU clobbers register 40.
+	recs = append(recs, Record{IP: 4, DestRegs: [NumDests]byte{40}})
+	// Record 4: load reading register 40 — producer is not a load, no dep.
+	recs = append(recs, Record{IP: 5, SrcMem: [NumSources]uint64{0x3000}, SrcRegs: [NumSources]byte{40}})
+
+	var buf bytes.Buffer
+	var b [RecordSize]byte
+	for i := range recs {
+		recs[i].Encode(b[:])
+		buf.Write(b[:])
+	}
+	got, _ := decodeInsts(t, buf.Bytes())
+	deps := []uint16{0, 0, 2, 0, 0}
+	if len(got) != len(deps) {
+		t.Fatalf("got %d instructions, want %d", len(got), len(deps))
+	}
+	for i, want := range deps {
+		if got[i].Dep != want {
+			t.Fatalf("instruction %d: Dep = %d, want %d", i, got[i].Dep, want)
+		}
+	}
+}
+
+// TestTruncationDiagnostic: a stream cut mid-record must surface a
+// *FormatError with the exact offset and record index.
+func TestTruncationDiagnostic(t *testing.T) {
+	rd := workload.MustByName("605.mcf_s").NewReader(3)
+	data, _ := encodeInsts(t, trace.Collect(rd, 100))
+	cut := data[:3*RecordSize+17]
+
+	a := NewAdapter(NewReader(bytes.NewReader(cut)))
+	n := 0
+	for {
+		if _, ok := a.Next(); !ok {
+			break
+		}
+		n++
+	}
+	err := a.Err()
+	var fe *FormatError
+	if !errors.As(err, &fe) {
+		t.Fatalf("adapter error = %v, want *FormatError", err)
+	}
+	if fe.Offset != 3*RecordSize || fe.Record != 3 {
+		t.Fatalf("diagnostic at offset %d record %d, want offset %d record 3", fe.Offset, fe.Record, 3*RecordSize)
+	}
+	if !strings.Contains(fe.Error(), "truncated record") {
+		t.Fatalf("diagnostic %q does not mention truncation", fe.Error())
+	}
+	if n == 0 {
+		t.Fatal("no instructions decoded before the truncation point")
+	}
+}
+
+// TestGarbageDiagnostic: impossible flag bytes are rejected with
+// context rather than silently producing a bogus instruction.
+func TestGarbageDiagnostic(t *testing.T) {
+	var b [2 * RecordSize]byte
+	(&Record{IP: 1}).Encode(b[:RecordSize])
+	(&Record{IP: 2}).Encode(b[RecordSize:])
+	b[RecordSize+8] = 0x7f // second record: garbage is_branch
+
+	r := NewReader(bytes.NewReader(b[:]))
+	var rec Record
+	if err := r.Read(&rec); err != nil {
+		t.Fatalf("first record: %v", err)
+	}
+	err := r.Read(&rec)
+	var fe *FormatError
+	if !errors.As(err, &fe) {
+		t.Fatalf("error = %v, want *FormatError", err)
+	}
+	if fe.Offset != RecordSize || fe.Record != 1 {
+		t.Fatalf("diagnostic at offset %d record %d, want offset %d record 1", fe.Offset, fe.Record, RecordSize)
+	}
+	if !strings.Contains(err.Error(), "is_branch") {
+		t.Fatalf("diagnostic %q does not name the garbage field", err)
+	}
+	// Errors are sticky.
+	if err2 := r.Read(&rec); err2 != err {
+		t.Fatalf("error not sticky: %v then %v", err, err2)
+	}
+}
+
+// TestDecompressGzip: a gzip-compressed trace decodes transparently.
+func TestDecompressGzip(t *testing.T) {
+	rd := workload.MustByName("619.lbm_s").NewReader(1)
+	insts := trace.Collect(rd, 5_000)
+	raw, _ := encodeInsts(t, insts)
+
+	var zbuf bytes.Buffer
+	zw := gzip.NewWriter(&zbuf)
+	if _, err := zw.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	dec, err := Decompress(bytes.NewReader(zbuf.Bytes()))
+	if err != nil {
+		t.Fatalf("Decompress: %v", err)
+	}
+	data, err := io.ReadAll(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := decodeInsts(t, data)
+	if !reflect.DeepEqual(got, insts) {
+		t.Fatal("gzip round trip diverged from the raw stream")
+	}
+}
+
+// TestDecompressRejectsXZ: xz is detected and rejected with advice, not
+// parsed as garbage records.
+func TestDecompressRejectsXZ(t *testing.T) {
+	head := append(append([]byte{}, xzMagic...), make([]byte, 64)...)
+	if _, err := Decompress(bytes.NewReader(head)); err == nil || !strings.Contains(err.Error(), "xz") {
+		t.Fatalf("xz stream: err = %v, want xz advice", err)
+	}
+}
+
+// TestDecompressPassthrough: a raw trace passes through untouched, and
+// an empty stream is a clean EOF at record zero.
+func TestDecompressPassthrough(t *testing.T) {
+	dec, err := Decompress(bytes.NewReader(nil))
+	if err != nil {
+		t.Fatalf("empty stream: %v", err)
+	}
+	r := NewReader(dec)
+	var rec Record
+	if err := r.Read(&rec); err != io.EOF {
+		t.Fatalf("empty trace: err = %v, want io.EOF", err)
+	}
+}
+
+// TestDroppedDepCounting: a dependency whose producer register was
+// recycled (more than regPoolSize loads in between) is dropped and
+// counted, not mis-encoded.
+func TestDroppedDepCounting(t *testing.T) {
+	var insts []trace.Inst
+	insts = append(insts, trace.Inst{PC: 1, Kind: trace.KindLoad, Addr: 0x1000})
+	for i := 0; i < regPoolSize+1; i++ {
+		insts = append(insts, trace.Inst{PC: 2, Kind: trace.KindLoad, Addr: 0x2000 + uint64(i)*64})
+	}
+	dep := len(insts)
+	insts = append(insts, trace.Inst{PC: 3, Kind: trace.KindLoad, Addr: 0x9000, Dep: uint16(dep)})
+
+	data, w := encodeInsts(t, insts)
+	if w.DroppedDeps() != 1 {
+		t.Fatalf("DroppedDeps = %d, want 1", w.DroppedDeps())
+	}
+	got, _ := decodeInsts(t, data)
+	if got[dep].Dep != 0 {
+		t.Fatalf("recycled-register dep resurfaced as %d", got[dep].Dep)
+	}
+}

@@ -1,0 +1,126 @@
+package tracefile
+
+import (
+	"bufio"
+	"io"
+
+	"repro/internal/trace"
+)
+
+// Writer's register pool for load results. Register 0 means "empty
+// slot" in the format, and low numbers are ChampSim's architectural
+// specials (stack pointer, flags, IP), so loads cycle through the high
+// range. A dependency is representable while its producer is within the
+// last poolSize loads — beyond that the producer's register has been
+// recycled and the dependency is dropped (counted in DroppedDeps).
+const (
+	regPoolBase = 32
+	regPoolSize = 256 - regPoolBase
+)
+
+// Writer serialises a trace.Inst stream as ChampSim records, one record
+// per instruction, encoding load→load dependencies as register dataflow
+// (the Adapter's reconstruction convention, making write→read lossless
+// for any dependency whose producer is recent enough to still own its
+// register).
+type Writer struct {
+	w   *bufio.Writer
+	buf [RecordSize]byte
+
+	idx     uint64 // instruction index of the next write
+	nextReg int
+	// regOwner[r] is the instruction index of the load whose result
+	// register r currently holds.
+	regOwner [256]uint64
+	regValid [256]bool
+
+	count       uint64
+	droppedDeps uint64
+	droppedOps  uint64
+	err         error
+}
+
+// NewWriter wraps w (layer compression outside; the writer emits raw
+// records) in a trace writer.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Count is the number of records written.
+func (w *Writer) Count() uint64 { return w.count }
+
+// DroppedDeps counts load dependencies that could not be encoded
+// because the producing load's register had been recycled.
+func (w *Writer) DroppedDeps() uint64 { return w.droppedDeps }
+
+// DroppedOps counts memory operations that could not be encoded
+// because their address was zero (the format's empty-slot sentinel);
+// the instruction is written as a non-memory record instead.
+func (w *Writer) DroppedOps() uint64 { return w.droppedOps }
+
+// WriteInst appends one instruction as one record.
+func (w *Writer) WriteInst(in trace.Inst) error {
+	if w.err != nil {
+		return w.err
+	}
+	var rec Record
+	rec.IP = in.PC
+	switch in.Kind {
+	case trace.KindLoad:
+		if in.Addr == 0 {
+			w.droppedOps++
+			break
+		}
+		rec.SrcMem[0] = in.Addr
+		if in.Dep > 0 && uint64(in.Dep) <= w.idx {
+			if reg := w.regOf(w.idx - uint64(in.Dep)); reg != 0 {
+				rec.SrcRegs[0] = reg
+			} else {
+				w.droppedDeps++
+			}
+		}
+		reg := byte(regPoolBase + w.nextReg)
+		w.nextReg = (w.nextReg + 1) % regPoolSize
+		rec.DestRegs[0] = reg
+		w.regOwner[reg] = w.idx
+		w.regValid[reg] = true
+	case trace.KindStore:
+		if in.Addr == 0 {
+			w.droppedOps++
+			break
+		}
+		rec.DestMem[0] = in.Addr
+	case trace.KindBranch:
+		rec.IsBranch = 1
+		if in.Taken {
+			rec.BranchTaken = 1
+		}
+	}
+	rec.Encode(w.buf[:])
+	if _, err := w.w.Write(w.buf[:]); err != nil {
+		w.err = err
+		return err
+	}
+	w.idx++
+	w.count++
+	return nil
+}
+
+// regOf finds the register currently owned by the load at instruction
+// index target, or 0 when it has been recycled.
+func (w *Writer) regOf(target uint64) byte {
+	for r := regPoolBase; r < 256; r++ {
+		if w.regValid[r] && w.regOwner[r] == target {
+			return byte(r)
+		}
+	}
+	return 0
+}
+
+// Flush writes buffered records to the underlying writer.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}

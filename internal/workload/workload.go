@@ -26,6 +26,9 @@ const (
 	SPEC2017Suite   Suite = "spec2017"
 	SPEC2006Suite   Suite = "spec2006"
 	CloudSuiteSuite Suite = "cloudsuite"
+	// AdversarialSuite tags fuzz-derived regression workloads
+	// (internal/advfuzz's committed corpus).
+	AdversarialSuite Suite = "adversarial"
 )
 
 // Workload is one named benchmark.
@@ -39,14 +42,33 @@ type Workload struct {
 	// build constructs a fresh generator config; pattern state must not
 	// be shared between readers, so this is re-invoked per reader.
 	build func() trace.GenConfig
+	// mkReader, when non-nil, replaces the GenConfig path entirely: the
+	// workload's stream is whatever the factory returns. Custom sets it
+	// for workloads (like the adversarial corpus) whose streams are not
+	// a single-generator config.
+	mkReader func(seed uint64) trace.Reader
 }
 
 // NewReader returns a fresh instruction stream for the workload. The same
 // (workload, seed) pair always produces the identical stream.
 func (w Workload) NewReader(seed uint64) trace.Reader {
+	if w.mkReader != nil {
+		return w.mkReader(seed)
+	}
 	cfg := w.build()
 	cfg.Seed = seed ^ nameHash(w.Name)
 	return trace.MustGenerator(cfg)
+}
+
+// Custom wraps a deterministic reader factory as a Workload, so streams
+// that are not a single generator config (interleaved multi-tenant
+// mixes, fuzz-derived corpus entries, external traces) flow through
+// every sweep, cache and experiment unmodified. The factory must be a
+// pure function of (its own captured definition, seed): the run cache
+// keys cells by suite/name/seed, so two Custom workloads with the same
+// identity must produce identical streams.
+func Custom(name string, suite Suite, intensive bool, mk func(seed uint64) trace.Reader) Workload {
+	return Workload{Name: name, Suite: suite, MemoryIntensive: intensive, mkReader: mk}
 }
 
 // nameHash gives each workload a distinct deterministic base seed.
