@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race determinism lint lint-fix bench bench-smoke fuzz-smoke profile experiments clean
+.PHONY: check build vet test race determinism lint lint-fix bench bench-smoke serve-smoke serve-bench fuzz-smoke profile experiments clean
 
 # check is the full CI gate: static checks, build, race-enabled tests,
 # and the worker-count determinism proof.
@@ -63,6 +63,19 @@ bench:
 # that the benchmarks themselves keep working, without timing anything.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+
+# serve-smoke runs the decision server's race-focused suite (concurrent
+# client churn, slow-client shedding, the served-vs-local bit-identical
+# golden) plus the engine batch golden it builds on.
+serve-smoke:
+	$(GO) test -race -count=1 ./internal/serve/ ./internal/engine/
+
+# serve-bench measures serving throughput (decisions/sec at 1, 8 and 64
+# concurrent streams against an in-process server) and writes
+# BENCH_serve.json, the serving trajectory tracked alongside the kernel
+# and sim-rate snapshots.
+serve-bench:
+	$(GO) run ./cmd/ppfd -loadtest -streams 1,8,64 -events 200000 -out BENCH_serve.json
 
 # fuzz-smoke runs each native fuzz target briefly on top of its
 # committed seed corpus: the ChampSim trace decode path and the

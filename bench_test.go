@@ -209,7 +209,7 @@ func BenchmarkFilterTrainCycle(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		in.Addr += 64
-		f.RecordIssue(in, ppf.FillL2)
+		f.RecordIssue(&in, ppf.FillL2)
 		f.OnDemand(in.Addr)
 	}
 }

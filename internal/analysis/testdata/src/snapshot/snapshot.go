@@ -102,3 +102,95 @@ type allowed struct {
 func (al *allowed) snapshotWalk(w *Walker) {
 	w.Uint64(&al.a)
 }
+
+// resetWhole: a whole-receiver reassignment covers every field, present
+// and future, by construction — clean.
+type resetWhole struct {
+	weights uint64
+	hist    bool
+}
+
+func (r *resetWhole) snapshotWalk(w *Walker) {
+	w.Uint64(&r.weights)
+	w.Bool(&r.hist)
+}
+
+func (r *resetWhole) Reset() {
+	*r = resetWhole{}
+}
+
+// resetFieldwise mentions every field explicitly: also clean.
+type resetFieldwise struct {
+	weights uint64
+	hist    bool
+}
+
+func (r *resetFieldwise) snapshotWalk(w *Walker) {
+	w.Uint64(&r.weights)
+	w.Bool(&r.hist)
+}
+
+func (r *resetFieldwise) Reset() {
+	r.weights = 0
+	r.hist = false
+}
+
+// resetPartial forgets a field: the re-lease state-leak bug the Reset
+// rule exists for.
+type resetPartial struct {
+	weights uint64
+	hist    bool
+}
+
+func (r *resetPartial) snapshotWalk(w *Walker) {
+	w.Uint64(&r.weights)
+	w.Bool(&r.hist)
+}
+
+func (r *resetPartial) Reset() { // want "Reset on snapshot-walked resetPartial does not touch field hist"
+	r.weights = 0
+}
+
+// resetUnwalked is not snapshot-walked, so its partial Reset is not the
+// analyzer's business.
+type resetUnwalked struct {
+	weights uint64
+	hist    bool
+}
+
+func (r *resetUnwalked) Reset() {
+	r.weights = 0
+}
+
+// resetConfig: fields the walk parks in Static are configuration, so a
+// Reset that keeps them is clean without any annotation.
+type resetConfig struct {
+	weights uint64
+	degree  uint64
+}
+
+func (r *resetConfig) snapshotWalk(w *Walker) {
+	w.Uint64(&r.weights)
+	w.Static(r.degree)
+}
+
+func (r *resetConfig) Reset() {
+	r.weights = 0
+}
+
+// resetAllowed demonstrates the escape hatch on the Reset half for a
+// walked (non-Static) field that deliberately survives a reset.
+type resetAllowed struct {
+	weights uint64
+	wiring  bool
+}
+
+func (r *resetAllowed) snapshotWalk(w *Walker) {
+	w.Uint64(&r.weights)
+	w.Bool(&r.wiring)
+}
+
+//ppflint:allow snapshot wiring survives a reset deliberately
+func (r *resetAllowed) Reset() {
+	r.weights = 0
+}

@@ -14,6 +14,11 @@ package core
 // file and its budget cannot drift apart.
 const pcHistDepth = 3
 
+// PCHistory is the load-PC history register file feeding the PCPath
+// feature. The alias lets facades outside core (internal/engine,
+// internal/sim) name the array type without duplicating its depth.
+type PCHistory = [pcHistDepth]uint64
+
 // FeatureInput carries everything a feature index function may consume:
 // the candidate address, the triggering demand access context, the last
 // three load PCs, and the metadata exported by the underlying prefetcher
@@ -25,7 +30,7 @@ type FeatureInput struct {
 	// prefetch chain.
 	PC uint64
 	// PCHist holds the three most recent load PCs before the trigger.
-	PCHist [pcHistDepth]uint64
+	PCHist PCHistory
 	// Depth is the lookahead depth of the candidate (1 = direct).
 	Depth int
 	// Signature is the SPP signature current when the candidate was

@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // Weight bounds: 5-bit saturating counters (paper §3.1).
 const (
@@ -36,7 +39,18 @@ const (
 	FillL2
 )
 
-// String renders the decision for reports.
+// decisionCount bounds the defined Decision values; ParseDecision
+// rejects anything at or beyond it.
+const decisionCount = 3
+
+// ErrBadDecision is the typed error decode paths latch when an encoded
+// decision byte names no defined verdict.
+var ErrBadDecision = errors.New("core: invalid decision")
+
+// String renders the decision for reports. Unknown values format as
+// decision(N) — which is fine for a report, but means String/Sprintf
+// round-trips garbage silently; boundaries that *decode* decisions
+// (wire frames, snapshots) must validate with ParseDecision instead.
 func (d Decision) String() string {
 	switch d {
 	case Drop:
@@ -48,6 +62,17 @@ func (d Decision) String() string {
 	default:
 		return fmt.Sprintf("decision(%d)", uint8(d))
 	}
+}
+
+// ParseDecision validates a decision byte arriving from an untrusted
+// boundary — a ppfd wire frame, a snapshot stream — and returns the
+// verdict it names, or ErrBadDecision (wrapped with the offending byte)
+// for anything out of range.
+func ParseDecision(b uint8) (Decision, error) {
+	if b >= decisionCount {
+		return 0, fmt.Errorf("%w: byte 0x%02x", ErrBadDecision, b)
+	}
+	return Decision(b), nil
 }
 
 // Config tunes the filter thresholds.
@@ -143,13 +168,17 @@ type indexVec [MaxFeatures]uint16
 // feature-index vector. Storage accounting still follows the paper's bit
 // budget in storage.go.
 type recordEntry struct {
-	valid  bool
-	tag    uint16
-	useful bool
-	issued bool   // the perceptron decision: true = prefetched
-	seq    uint64 // issue sequence number, for overwrite-age checks
-	idx    indexVec
+	valid    bool
+	tag      uint16
+	useful   bool
+	decision Decision // the perceptron decision carried out (Drop = reject-table entry)
+	seq      uint64   // issue sequence number, for overwrite-age checks
+	idx      indexVec
 }
+
+// issued reports whether the entry records an issued prefetch (as
+// opposed to a reject-table entry).
+func (e *recordEntry) issued() bool { return e.decision != Drop }
 
 // Filter is the perceptron prefetch filter.
 type Filter struct {
@@ -160,7 +189,7 @@ type Filter struct {
 	prefetchTable [recordTableEntries]recordEntry
 	rejectTable   [recordTableEntries]recordEntry
 
-	pcHist [pcHistDepth]uint64
+	pcHist PCHistory
 
 	issueSeq uint64
 
@@ -217,6 +246,23 @@ func (f *Filter) Stats() Stats { return f.stats }
 // kept, matching the simulation methodology).
 func (f *Filter) ResetStats() { f.stats = Stats{} }
 
+// Reset returns the filter to its freshly-constructed state: weights,
+// prefetch/reject tables, PC history, issue sequencing, scratch memo and
+// statistics all cleared. Per-client session reuse (a ppfd session
+// leased to a new tenant) needs exactly this — ResetStats alone would
+// leak the previous tenant's learned weights. The training observer
+// survives the reset: it is caller wiring, not learned state.
+//
+// Implemented as a whole-receiver reassignment from New, so a field
+// added to Filter later cannot silently escape it; the snapshot ppflint
+// analyzer enforces that shape, and TestResetMatchesFresh pins
+// Reset ≡ New byte-identically through the SnapshotWalk encoding.
+func (f *Filter) Reset() {
+	hook := f.OnTrainEvent
+	*f = *New(f.cfg)
+	f.OnTrainEvent = hook
+}
+
 // Config returns the active configuration.
 func (f *Filter) Config() Config { return f.cfg }
 
@@ -250,7 +296,7 @@ func (f *Filter) OnLoadPC(pc uint64) {
 
 // PCHist exposes the current load-PC history (used when constructing
 // FeatureInput for candidates).
-func (f *Filter) PCHist() [pcHistDepth]uint64 { return f.pcHist }
+func (f *Filter) PCHist() PCHistory { return f.pcHist }
 
 // indexFor folds feature i's raw value for in onto its weight table.
 func (f *Filter) indexFor(i int, in *FeatureInput) int {
@@ -390,7 +436,7 @@ func (f *Filter) Decide(in *FeatureInput) Decision {
 // table generation (1,024 issues) without a demand hit is treated as the
 // same signal when overwritten. Entries that churn faster are simply
 // lost, so useful long-lead prefetches are not punished.
-func (f *Filter) RecordIssue(in FeatureInput, d Decision) {
+func (f *Filter) RecordIssue(in *FeatureInput, d Decision) {
 	switch d {
 	case FillL2:
 		f.stats.IssuedL2++
@@ -399,7 +445,7 @@ func (f *Filter) RecordIssue(in FeatureInput, d Decision) {
 	}
 	f.issueSeq++
 	idx, tag := recordIndex(in.Addr)
-	if e := &f.prefetchTable[idx]; e.valid && e.issued && !e.useful &&
+	if e := &f.prefetchTable[idx]; e.valid && e.issued() && !e.useful &&
 		f.issueSeq-e.seq >= recordTableEntries {
 		f.stats.EvictUnused++
 		f.observe(&e.idx, -1)
@@ -408,8 +454,8 @@ func (f *Filter) RecordIssue(in FeatureInput, d Decision) {
 			f.stats.TrainNegative++
 		}
 	}
-	f.ensureScratch(&in)
-	f.prefetchTable[idx] = recordEntry{valid: true, tag: tag, issued: true, seq: f.issueSeq, idx: f.scratchIdx}
+	f.ensureScratch(in)
+	f.prefetchTable[idx] = recordEntry{valid: true, tag: tag, decision: d, seq: f.issueSeq, idx: f.scratchIdx}
 }
 
 // RecordSquashed accounts a candidate the filter accepted but the cache
@@ -422,15 +468,15 @@ func (f *Filter) RecordSquashed() {
 
 // RecordReject logs a filtered-out candidate in the Reject Table so a
 // later demand to the block can correct the false negative.
-func (f *Filter) RecordReject(in FeatureInput) {
+func (f *Filter) RecordReject(in *FeatureInput) {
 	idx, tag := recordIndex(in.Addr)
-	f.ensureScratch(&in)
+	f.ensureScratch(in)
 	f.rejectTable[idx] = recordEntry{valid: true, tag: tag, idx: f.scratchIdx}
 }
 
 // Filter is the one-shot convenience path: decide and record in one call.
-func (f *Filter) Filter(in FeatureInput) Decision {
-	d := f.Decide(&in)
+func (f *Filter) Filter(in *FeatureInput) Decision {
+	d := f.Decide(in)
 	if d == Drop {
 		f.RecordReject(in)
 	} else {

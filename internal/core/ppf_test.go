@@ -77,12 +77,12 @@ func TestIssueAccounting(t *testing.T) {
 	if d != FillL2 {
 		t.Fatalf("decision %v", d)
 	}
-	f.RecordIssue(a, d)
+	f.RecordIssue(&a, d)
 
 	if d := f.Decide(&b); d == Drop {
 		t.Fatalf("decision %v", d)
 	} else {
-		f.RecordIssue(b, FillLLC)
+		f.RecordIssue(&b, FillLLC)
 	}
 
 	if d := f.Decide(&c); d == Drop {
@@ -106,7 +106,7 @@ func TestIssueAccounting(t *testing.T) {
 func TestPositiveTrainingOnDemandHit(t *testing.T) {
 	f := New(DefaultConfig())
 	in := testInput(0x20000)
-	f.RecordIssue(in, FillL2)
+	f.RecordIssue(&in, FillL2)
 	before := f.Sum(&in)
 	f.OnDemand(in.Addr) // demand touches the prefetched block
 	after := f.Sum(&in)
@@ -127,7 +127,7 @@ func TestPositiveTrainingOnDemandHit(t *testing.T) {
 func TestNegativeTrainingOnEviction(t *testing.T) {
 	f := New(DefaultConfig())
 	in := testInput(0x30000)
-	f.RecordIssue(in, FillL2)
+	f.RecordIssue(&in, FillL2)
 	before := f.Sum(&in)
 	f.OnEvict(in.Addr, false)
 	after := f.Sum(&in)
@@ -147,7 +147,7 @@ func TestNegativeTrainingOnEviction(t *testing.T) {
 func TestUsedEvictionDoesNotTrainNegative(t *testing.T) {
 	f := New(DefaultConfig())
 	in := testInput(0x40000)
-	f.RecordIssue(in, FillL2)
+	f.RecordIssue(&in, FillL2)
 	f.OnDemand(in.Addr) // mark useful
 	f.OnEvict(in.Addr, true)
 	if f.Stats().TrainNegative != 0 {
@@ -158,7 +158,7 @@ func TestUsedEvictionDoesNotTrainNegative(t *testing.T) {
 func TestFalseNegativeRecovery(t *testing.T) {
 	f := New(DefaultConfig())
 	in := testInput(0x50000)
-	f.RecordReject(in)
+	f.RecordReject(&in)
 	before := f.Sum(&in)
 	f.OnDemand(in.Addr) // the block we rejected was demanded: false negative
 	after := f.Sum(&in)
@@ -178,20 +178,22 @@ func TestFalseNegativeRecovery(t *testing.T) {
 func TestOverwriteUnusedTrainsNegativeOnlyWhenOld(t *testing.T) {
 	f := New(DefaultConfig())
 	a := testInput(0x60000)
-	f.RecordIssue(a, FillL2)
+	f.RecordIssue(&a, FillL2)
 	// A fast overwrite (same direct-mapped slot: block + 1024 blocks)
 	// must NOT train: the entry never had a fair chance to be used.
 	b := testInput(0x60000 + 1024*64)
-	f.RecordIssue(b, FillL2)
+	f.RecordIssue(&b, FillL2)
 	if f.Stats().TrainNegative != 0 {
 		t.Fatalf("fast overwrite trained negative: %+v", f.Stats())
 	}
 	// Age the entry by a full table generation of unrelated issues, then
 	// overwrite: now it counts as unused-for-a-generation → negative.
 	for i := 0; i < 1024; i++ {
-		f.RecordIssue(testInput(uint64(0x900000+i*64)), FillL2)
+		filler := testInput(uint64(0x900000 + i*64))
+		f.RecordIssue(&filler, FillL2)
 	}
-	f.RecordIssue(testInput(0x60000+2048*64), FillL2)
+	over := testInput(0x60000 + 2048*64)
+	f.RecordIssue(&over, FillL2)
 	if f.Stats().EvictUnused == 0 || f.Stats().TrainNegative == 0 {
 		t.Fatalf("aged unused entry did not train: %+v", f.Stats())
 	}
@@ -202,7 +204,7 @@ func TestTrainingSaturationThresholds(t *testing.T) {
 	in := testInput(0x70000)
 	// Repeated positive training must stop once the sum reaches ThetaP.
 	for i := 0; i < 50; i++ {
-		f.RecordIssue(in, FillL2)
+		f.RecordIssue(&in, FillL2)
 		f.OnDemand(in.Addr)
 	}
 	if got := f.Sum(&in); got < 10 || got > 10+9 {
@@ -272,7 +274,7 @@ func TestOnLoadPCHistory(t *testing.T) {
 func TestFilterConvenienceRecordsTables(t *testing.T) {
 	f := New(Config{TauHi: 1000, TauLo: 999, ThetaP: 40, ThetaN: -40}) // everything drops
 	in := testInput(0x80000)
-	if d := f.Filter(in); d != Drop {
+	if d := f.Filter(&in); d != Drop {
 		t.Fatalf("decision %v", d)
 	}
 	f.OnDemand(in.Addr)
@@ -281,7 +283,7 @@ func TestFilterConvenienceRecordsTables(t *testing.T) {
 	}
 
 	f2 := New(Config{TauHi: -1000, TauLo: -2000, ThetaP: 40, ThetaN: -40}) // everything L2
-	if d := f2.Filter(in); d != FillL2 {
+	if d := f2.Filter(&in); d != FillL2 {
 		t.Fatal("expected fill-l2")
 	}
 	f2.OnDemand(in.Addr)
@@ -337,10 +339,10 @@ func TestOnTrainEventObserved(t *testing.T) {
 		events = append(events, outcome)
 	}
 	in := testInput(0x90000)
-	f.RecordIssue(in, FillL2)
+	f.RecordIssue(&in, FillL2)
 	f.OnDemand(in.Addr) // +1
 	in2 := testInput(0xA0000)
-	f.RecordIssue(in2, FillL2)
+	f.RecordIssue(&in2, FillL2)
 	f.OnEvict(in2.Addr, false) // -1
 	if len(events) != 2 || events[0] != 1 || events[1] != -1 {
 		t.Fatalf("events %v", events)

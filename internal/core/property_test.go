@@ -37,15 +37,15 @@ func TestFilterPropertyInvariants(t *testing.T) {
 			case 0:
 				f.OnLoadPC(in.PC)
 			case 1:
-				f.Filter(in)
+				f.Filter(&in)
 			case 2:
 				if f.Decide(&in) == Drop {
-					f.RecordReject(in)
+					f.RecordReject(&in)
 				} else {
-					f.RecordIssue(in, FillL2)
+					f.RecordIssue(&in, FillL2)
 				}
 			case 3:
-				f.RecordIssue(in, FillL2)
+				f.RecordIssue(&in, FillL2)
 			case 4:
 				f.OnDemand(in.Addr)
 			case 5:
@@ -94,7 +94,7 @@ func TestFilterTrainingSaturatesAtThresholds(t *testing.T) {
 	in := randInput(rand.New(rand.NewSource(7)))
 
 	for i := 0; i < 100; i++ {
-		f.RecordIssue(in, FillL2)
+		f.RecordIssue(&in, FillL2)
 		f.OnDemand(in.Addr)
 	}
 	if s := f.Sum(&in); s < f.cfg.ThetaP || s > f.cfg.ThetaP+len(f.features) {
@@ -102,7 +102,7 @@ func TestFilterTrainingSaturatesAtThresholds(t *testing.T) {
 	}
 
 	for i := 0; i < 200; i++ {
-		f.RecordIssue(in, FillL2)
+		f.RecordIssue(&in, FillL2)
 		f.OnEvict(in.Addr, false)
 	}
 	if s := f.Sum(&in); s > f.cfg.ThetaN || s < f.cfg.ThetaN-len(f.features) {

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/snap"
+)
+
+// encodeFilter walks f through an encoder and returns the byte stream.
+func encodeFilter(t *testing.T, f *Filter) []byte {
+	t.Helper()
+	w := snap.NewEncoder()
+	f.SnapshotWalk(w)
+	blob, err := w.Bytes()
+	if err != nil {
+		t.Fatalf("encoding filter: %v", err)
+	}
+	return blob
+}
+
+// churn drives the filter through every mutating entry point so all
+// serialized state — weights, both record tables, PC history, issue
+// sequencing, stats — is non-trivially populated.
+func churn(f *Filter, seed int64, events int) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < events; i++ {
+		in := randInput(rng)
+		f.OnLoadPC(in.PC)
+		switch rng.Intn(5) {
+		case 0:
+			f.Filter(&in)
+		case 1:
+			if f.Decide(&in) == Drop {
+				f.RecordReject(&in)
+			} else {
+				f.RecordIssue(&in, FillLLC)
+			}
+		case 2:
+			f.RecordIssue(&in, FillL2)
+		case 3:
+			f.OnDemand(in.Addr)
+		case 4:
+			f.OnEvict(in.Addr, rng.Intn(2) == 0)
+		}
+	}
+}
+
+// TestResetMatchesFresh is the property test pinning Filter.Reset: after
+// arbitrary traffic, Reset must restore exactly the state a fresh New
+// would have — proven byte-identically through the SnapshotWalk
+// encoding, which the snapshot ppflint analyzer guarantees covers every
+// serialized field. A field added to Filter that Reset misses shows up
+// here as a byte diff.
+func TestResetMatchesFresh(t *testing.T) {
+	cfgs := []Config{
+		DefaultConfig(),
+		{TauHi: 2, TauLo: -2, ThetaP: 10, ThetaN: -10},
+		{Features: append(DefaultFeatures(), LastSignatureFeature())},
+	}
+	for ci, cfg := range cfgs {
+		for seed := int64(1); seed <= 3; seed++ {
+			f := New(cfg)
+			churn(f, seed, 4096)
+			if bytes.Equal(encodeFilter(t, f), encodeFilter(t, New(cfg))) {
+				t.Fatalf("cfg %d seed %d: churn left the filter in fresh state; the test is vacuous", ci, seed)
+			}
+			f.Reset()
+			if !bytes.Equal(encodeFilter(t, f), encodeFilter(t, New(cfg))) {
+				t.Errorf("cfg %d seed %d: Reset state differs from a fresh New", ci, seed)
+			}
+		}
+	}
+}
+
+// TestResetPreservesTrainObserver: the observer is wiring, not learned
+// state; session reuse re-leases the same filter with its telemetry
+// intact.
+func TestResetPreservesTrainObserver(t *testing.T) {
+	f := New(DefaultConfig())
+	calls := 0
+	f.OnTrainEvent = func([]int8, int) { calls++ }
+	churn(f, 1, 512)
+	f.Reset()
+	in := testInput(0x1000)
+	f.RecordIssue(&in, FillL2)
+	f.OnDemand(in.Addr)
+	if calls == 0 {
+		t.Fatal("Reset dropped the OnTrainEvent observer")
+	}
+}
+
+func TestParseDecision(t *testing.T) {
+	for b := uint8(0); b < 3; b++ {
+		d, err := ParseDecision(b)
+		if err != nil || d != Decision(b) {
+			t.Errorf("ParseDecision(%d) = %v, %v; want %v, nil", b, d, err, Decision(b))
+		}
+	}
+	for _, b := range []uint8{3, 4, 0x7F, 0xFF} {
+		if _, err := ParseDecision(b); !errors.Is(err, ErrBadDecision) {
+			t.Errorf("ParseDecision(%d) err = %v, want ErrBadDecision", b, err)
+		}
+	}
+}
+
+// TestDecisionSnapshotRejectsGarbage pins the wire/snapshot boundary
+// fix: a decision byte outside the defined verdicts must latch
+// ErrBadDecision on decode instead of round-tripping as decision(N).
+func TestDecisionSnapshotRejectsGarbage(t *testing.T) {
+	d := FillL2
+	enc := snap.NewEncoder()
+	d.SnapshotWalk(enc)
+	blob, err := enc.Bytes()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var got Decision
+	dec := snap.NewDecoder(blob)
+	got.SnapshotWalk(dec)
+	if err := dec.Finish(); err != nil || got != FillL2 {
+		t.Fatalf("valid decision round trip: got %v, err %v", got, err)
+	}
+
+	dec = snap.NewDecoder([]byte{0x2A})
+	got = Drop
+	got.SnapshotWalk(dec)
+	if !errors.Is(dec.Err(), ErrBadDecision) {
+		t.Fatalf("decoding byte 0x2A latched %v, want ErrBadDecision", dec.Err())
+	}
+	if got != Drop {
+		t.Fatalf("failed decode overwrote the destination: %v", got)
+	}
+}
+
+// TestFilterSnapshotRejectsBadDecisionByte corrupts the decision byte of
+// a record-table entry inside a full filter snapshot and requires the
+// decode to fail typed rather than restore garbage table state.
+func TestFilterSnapshotRejectsBadDecisionByte(t *testing.T) {
+	f := New(DefaultConfig())
+	in := testInput(0x4000)
+	f.RecordIssue(&in, FillL2)
+	blob := encodeFilter(t, f)
+
+	// Locate the issued entry's decision byte: corrupt each byte equal to
+	// the FillL2 encoding until the decode fails with ErrBadDecision.
+	found := false
+	for i := range blob {
+		if blob[i] != uint8(FillL2) {
+			continue
+		}
+		mut := append([]byte(nil), blob...)
+		mut[i] = 0x77
+		g := New(DefaultConfig())
+		dec := snap.NewDecoder(mut)
+		g.SnapshotWalk(dec)
+		if errors.Is(dec.Err(), ErrBadDecision) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no byte position produced ErrBadDecision; decision bytes are not validated on decode")
+	}
+}

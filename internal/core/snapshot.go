@@ -32,9 +32,40 @@ func (e *recordEntry) snapshotWalk(w *snap.Walker) {
 	w.Bool(&e.valid)
 	w.Uint16(&e.tag)
 	w.Bool(&e.useful)
-	w.Bool(&e.issued)
+	e.decision.SnapshotWalk(w)
 	w.Uint64(&e.seq)
 	w.Uint16s(e.idx[:])
+}
+
+// SnapshotWalk round-trips a Decision as one byte. The decode direction
+// validates the byte through ParseDecision, so a corrupt or misaligned
+// stream latches ErrBadDecision instead of restoring a verdict that
+// does not exist — record-table entries carry the perceptron decision,
+// making this part of every filter snapshot.
+func (d *Decision) SnapshotWalk(w *snap.Walker) {
+	b := uint8(*d)
+	w.Uint8(&b)
+	if w.Decoding() {
+		v, err := ParseDecision(b)
+		if w.Check(err) {
+			*d = v
+		}
+	}
+}
+
+// SnapshotWalk serializes a FeatureInput with the walker's fixed-width
+// conventions. Filter snapshots do not contain inputs — the scratch memo
+// is parked in Static — but the ppfd wire framing (internal/engine,
+// internal/serve) reuses this walk to move candidate events, so the
+// event encoding cannot drift from the snapshot codec's conventions.
+func (in *FeatureInput) SnapshotWalk(w *snap.Walker) {
+	w.Uint64(&in.Addr)
+	w.Uint64(&in.PC)
+	w.Uint64s(in.PCHist[:])
+	w.Int(&in.Depth)
+	w.Uint16(&in.Signature)
+	w.Int(&in.Confidence)
+	w.Int(&in.Delta)
 }
 
 // SnapshotWalk round-trips every filter counter.

@@ -37,10 +37,10 @@ func FilterDecideTrain(b *testing.B) {
 		in.Addr += 64
 		d := f.Decide(&in)
 		if d == ppf.Drop {
-			f.RecordReject(in)
+			f.RecordReject(&in)
 			continue
 		}
-		f.RecordIssue(in, d)
+		f.RecordIssue(&in, d)
 		f.OnDemand(in.Addr)
 	}
 }

@@ -1,0 +1,438 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/snap"
+)
+
+// startServer runs a server on an ephemeral loopback port and returns
+// its address, tearing everything down with the test.
+func startServer(t *testing.T, cfg Config) (*Server, string) {
+	t.Helper()
+	srv := NewServer(cfg)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(lis)
+	t.Cleanup(func() { srv.Close() })
+	return srv, lis.Addr().String()
+}
+
+// TestServedStreamMatchesLocalSession is the cross-the-wire golden: a
+// batched served stream must produce bit-identical decisions and
+// bit-identical final filter state (via the session snapshot) to a
+// local engine.Session fed the same events one at a time.
+func TestServedStreamMatchesLocalSession(t *testing.T) {
+	_, addr := startServer(t, Config{})
+	events := syntheticEvents(42, 30_000)
+
+	local := engine.New(core.DefaultConfig())
+	var localDecisions []core.Decision
+	for i := range events {
+		if d, ok := local.Apply(&events[i]); ok {
+			localDecisions = append(localDecisions, d)
+		}
+	}
+
+	c, err := Dial(addr, "golden")
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	var served []core.Decision
+	for lo := 0; lo < len(events); lo += 777 {
+		hi := min(lo+777, len(events))
+		ds, err := c.Decide(events[lo:hi])
+		if err != nil {
+			t.Fatalf("decide batch at %d: %v", lo, err)
+		}
+		served = append(served, ds...)
+	}
+	if len(served) != len(localDecisions) {
+		t.Fatalf("served %d decisions, local %d", len(served), len(localDecisions))
+	}
+	for i := range served {
+		if served[i] != localDecisions[i] {
+			t.Fatalf("decision %d: served %v, local %v", i, served[i], localDecisions[i])
+		}
+	}
+
+	blob, err := c.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	remote := engine.New(core.DefaultConfig())
+	if err := remote.Restore(blob); err != nil {
+		t.Fatalf("restore served snapshot: %v", err)
+	}
+	localBytes := encodeSession(t, local)
+	if !bytes.Equal(encodeSession(t, remote), localBytes) {
+		t.Fatal("served filter state diverged from the local sequential run")
+	}
+}
+
+func encodeSession(t *testing.T, s *engine.Session) []byte {
+	t.Helper()
+	w := snap.NewEncoder()
+	s.SnapshotWalk(w)
+	blob, err := w.Bytes()
+	if err != nil {
+		t.Fatalf("encoding session: %v", err)
+	}
+	return blob
+}
+
+// TestSessionReattach: a trained session survives disconnect and is
+// resumed by a reconnect with the same key.
+func TestSessionReattach(t *testing.T) {
+	srv, addr := startServer(t, Config{})
+	c, err := Dial(addr, "sticky")
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	if _, err := c.Decide(syntheticEvents(7, 5000)); err != nil {
+		t.Fatalf("decide: %v", err)
+	}
+	before, err := c.Stats()
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if before.Inferences == 0 {
+		t.Fatal("no inferences recorded; stream is vacuous")
+	}
+	c.Close()
+
+	// The lease release races our re-dial; retry briefly.
+	var c2 *Client
+	deadline := time.Now().Add(5 * time.Second) //ppflint:allow determinism test retry deadline
+	for {
+		c2, err = Dial(addr, "sticky")
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrSessionBusy) || time.Now().After(deadline) { //ppflint:allow determinism test retry deadline
+			t.Fatalf("re-dial: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	defer c2.Close()
+	after, err := c2.Stats()
+	if err != nil {
+		t.Fatalf("stats after reattach: %v", err)
+	}
+	if after != before {
+		t.Fatalf("reattached stats %+v, want %+v", after, before)
+	}
+	if n := srv.Sessions(); n != 1 {
+		t.Fatalf("server holds %d sessions, want 1", n)
+	}
+
+	// Reset returns the session to fresh state.
+	if err := c2.Reset(); err != nil {
+		t.Fatalf("reset: %v", err)
+	}
+	fresh, err := c2.Stats()
+	if err != nil {
+		t.Fatalf("stats after reset: %v", err)
+	}
+	if fresh != (core.Stats{}) {
+		t.Fatalf("post-reset stats %+v, want zero", fresh)
+	}
+}
+
+// TestSessionBusy: a key leased to a live connection rejects a second
+// connection with the typed busy error.
+func TestSessionBusy(t *testing.T) {
+	_, addr := startServer(t, Config{})
+	c, err := Dial(addr, "contended")
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	if _, err := Dial(addr, "contended"); !errors.Is(err, ErrSessionBusy) {
+		t.Fatalf("second dial err = %v, want ErrSessionBusy", err)
+	}
+}
+
+// TestConnectionChurn is the race-focused suite: many clients churning
+// connect/stream/disconnect against overlapping session keys. Run under
+// -race this exercises the registry striping, lease handoff, and
+// pipeline teardown; the test asserts every stream either completes or
+// fails with the one legal error (busy on an overlapping key).
+func TestConnectionChurn(t *testing.T) {
+	_, addr := startServer(t, Config{})
+	const (
+		workers    = 16
+		iterations = 12
+		keys       = 8 // fewer keys than workers forces lease contention
+	)
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers*iterations)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for it := 0; it < iterations; it++ {
+				key := fmt.Sprintf("churn-%d", (w+it)%keys)
+				c, err := Dial(addr, key)
+				if err != nil {
+					if errors.Is(err, ErrSessionBusy) {
+						continue // legal: another worker holds the lease
+					}
+					errCh <- fmt.Errorf("worker %d iter %d dial: %w", w, it, err)
+					return
+				}
+				events := syntheticEvents(uint64(w*100+it), 512)
+				if _, err := c.Decide(events); err != nil {
+					errCh <- fmt.Errorf("worker %d iter %d decide: %w", w, it, err)
+					c.Close()
+					return
+				}
+				if _, err := c.Stats(); err != nil {
+					errCh <- fmt.Errorf("worker %d iter %d stats: %w", w, it, err)
+					c.Close()
+					return
+				}
+				c.Close()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}
+
+// TestSlowClientShed: a client that streams requests without ever
+// draining responses must be shed with the typed overload error, not
+// buffered without bound. net.Pipe (no kernel buffering, unlike a
+// loopback TCP socket) makes the writer block on the very first
+// undrained response, so the bounded queues fill deterministically.
+func TestSlowClientShed(t *testing.T) {
+	srv := NewServer(Config{
+		QueueDepth:  2,
+		ShedTimeout: 50 * time.Millisecond,
+	})
+	cli, srvConn := net.Pipe()
+	defer cli.Close()
+	handled := make(chan struct{})
+	go func() {
+		defer close(handled)
+		srv.handle(srvConn)
+	}()
+
+	hello, err := encodeHello("slow")
+	if err != nil {
+		t.Fatalf("encode hello: %v", err)
+	}
+	if err := writeFrame(cli, hello); err != nil {
+		t.Fatalf("write hello: %v", err)
+	}
+	// Read only the hello ack, then flood batches and never read again.
+	br := bufio.NewReader(cli)
+	if _, err := readFrame(br, DefaultMaxFrame); err != nil {
+		t.Fatalf("read hello ack: %v", err)
+	}
+	batch, err := encodeBatch(syntheticEvents(1, 256))
+	if err != nil {
+		t.Fatalf("encode batch: %v", err)
+	}
+	for i := 0; i < 64; i++ {
+		if err := writeFrame(cli, batch); err != nil {
+			break // server severed us: expected under shed
+		}
+	}
+	<-handled
+	if srv.Sheds() != 1 {
+		t.Fatalf("Sheds = %d, want 1", srv.Sheds())
+	}
+}
+
+// rawRequest drives the protocol by hand for malformed-input cases.
+func rawRequest(t *testing.T, addr string, frames ...[]byte) error {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	for i, f := range frames {
+		if err := writeFrame(conn, f); err != nil {
+			t.Fatalf("write frame %d: %v", i, err)
+		}
+	}
+	// Drain until the error (or EOF).
+	for {
+		body, err := readFrame(br, DefaultMaxFrame)
+		if err != nil {
+			return err
+		}
+		w := snap.NewDecoder(body)
+		var op uint8
+		w.Uint8(&op)
+		if op == opErr {
+			return decodeError(w, len(body))
+		}
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	_, addr := startServer(t, Config{MaxBatch: 64})
+	hello, err := encodeHello("proto")
+	if err != nil {
+		t.Fatalf("encode hello: %v", err)
+	}
+	bigBatch, err := encodeBatch(syntheticEvents(3, 65))
+	if err != nil {
+		t.Fatalf("encode batch: %v", err)
+	}
+	badKind := append([]byte(nil), hello...) // reuse framing, op 0x5A
+	badKind[0] = 0x5A
+
+	cases := []struct {
+		name   string
+		frames [][]byte
+		want   error
+	}{
+		{"batch before hello", [][]byte{mustBody(opBatch, nil)}, ErrBadOrder},
+		{"duplicate hello", [][]byte{hello, hello}, ErrBadOrder},
+		{"unknown op", [][]byte{hello, badKind}, ErrBadFrame},
+		{"oversized batch", [][]byte{hello, bigBatch}, ErrTooLarge},
+		{"empty key", [][]byte{mustBody(opHello, func(w *snap.Walker) {
+			n := 0
+			w.Len(&n)
+		})}, ErrBadFrame},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := rawRequest(t, addr, tc.frames...)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestOversizedFrameRejected: a hostile length prefix beyond MaxFrame
+// must sever the connection without the server allocating for it.
+func TestOversizedFrameRejected(t *testing.T) {
+	_, addr := startServer(t, Config{MaxFrame: 1 << 10})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], 1<<30)
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	br := bufio.NewReader(conn)
+	err = rawReadError(br)
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+// rawReadError reads frames until an opErr or transport error.
+func rawReadError(br *bufio.Reader) error {
+	for {
+		body, err := readFrame(br, DefaultMaxFrame)
+		if err != nil {
+			return err
+		}
+		w := snap.NewDecoder(body)
+		var op uint8
+		w.Uint8(&op)
+		if op == opErr {
+			return decodeError(w, len(body))
+		}
+	}
+}
+
+// TestDecisionValidationOnClientDecode: a response carrying a garbage
+// decision byte fails typed on the client instead of yielding an
+// undefined Decision (the ParseDecision satellite, exercised at the
+// client's decode boundary).
+func TestDecisionValidationOnClientDecode(t *testing.T) {
+	body, err := encodeDecisions([]core.Decision{core.FillL2, core.FillLLC})
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	body[len(body)-1] = 0x66 // corrupt the last decision byte
+	w := snap.NewDecoder(body)
+	var op uint8
+	w.Uint8(&op)
+	if _, err := decodeDecisions(w, len(body)); !errors.Is(err, core.ErrBadDecision) {
+		t.Fatalf("err = %v, want core.ErrBadDecision", err)
+	}
+}
+
+// TestWireErrorRoundTrip pins the typed-error codec.
+func TestWireErrorRoundTrip(t *testing.T) {
+	for code := ErrorCode(1); code < codeCount; code++ {
+		in := &WireError{Code: code, Msg: "details"}
+		body := encodeError(in)
+		w := snap.NewDecoder(body)
+		var op uint8
+		w.Uint8(&op)
+		if op != opErr {
+			t.Fatalf("op = 0x%02x, want opErr", op)
+		}
+		err := decodeError(w, len(body))
+		var out *WireError
+		if !errors.As(err, &out) || out.Code != code || out.Msg != "details" {
+			t.Fatalf("round trip of %v gave %v", in, err)
+		}
+		if !errors.Is(err, &WireError{Code: code}) {
+			t.Fatalf("errors.Is failed for code %v", code)
+		}
+	}
+	if _, err := parseErrorCode(0); err == nil {
+		t.Fatal("parseErrorCode(0) accepted the zero code")
+	}
+	if _, err := parseErrorCode(uint8(codeCount)); err == nil {
+		t.Fatal("parseErrorCode(codeCount) accepted an out-of-range code")
+	}
+}
+
+// TestLoadHarnessSmoke runs the miniature version of cmd/ppfd -loadtest
+// end to end and sanity-checks the emitted rows.
+func TestLoadHarnessSmoke(t *testing.T) {
+	bench, err := RunLoad(LoadConfig{
+		Streams:         []int{1, 4},
+		EventsPerStream: 4000,
+		Batch:           256,
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if len(bench.Rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(bench.Rows))
+	}
+	for _, row := range bench.Rows {
+		if row.Decisions == 0 || row.DecisionsPerSec <= 0 {
+			t.Fatalf("row %+v has no throughput", row)
+		}
+		if row.Events != uint64(row.Streams)*uint64(row.EventsPerStream) {
+			t.Fatalf("row %+v event accounting is off", row)
+		}
+		if row.Sheds != 0 {
+			t.Fatalf("row %+v shed clients during a healthy run", row)
+		}
+	}
+}

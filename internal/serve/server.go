@@ -1,0 +1,434 @@
+package serve
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/snap"
+)
+
+// Defaults for Config zero values.
+const (
+	// DefaultQueueDepth bounds the per-connection request and response
+	// queues. Deep enough to keep a pipelining client's worker busy,
+	// shallow enough that one slow client holds only a bounded number
+	// of response frames in memory.
+	DefaultQueueDepth = 32
+	// DefaultMaxFrame bounds a frame body (4 MiB): far above any sane
+	// batch, far below an allocation a hostile length prefix could
+	// weaponize.
+	DefaultMaxFrame = 4 << 20
+	// DefaultMaxBatch bounds events per batch frame.
+	DefaultMaxBatch = 8192
+	// DefaultShedTimeout is how long a worker waits on the full
+	// response queue of a non-draining client before shedding it.
+	DefaultShedTimeout = 2 * time.Second
+)
+
+// Config parameterizes a Server. The zero value serves DefaultConfig
+// filters with the default bounds.
+type Config struct {
+	// Filter configures the perceptron filter each new session wraps.
+	// Zero means core.DefaultConfig().
+	Filter core.Config
+	// QueueDepth bounds the per-connection request/response queues.
+	QueueDepth int
+	// MaxFrame bounds an incoming frame body in bytes.
+	MaxFrame int
+	// MaxBatch bounds the events accepted in one batch frame.
+	MaxBatch int
+	// ShedTimeout is the patience before a non-draining client is shed.
+	ShedTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Filter.Features == nil && c.Filter.TauHi == 0 && c.Filter.TauLo == 0 {
+		c.Filter = core.DefaultConfig()
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = DefaultMaxFrame
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = DefaultMaxBatch
+	}
+	if c.ShedTimeout <= 0 {
+		c.ShedTimeout = DefaultShedTimeout
+	}
+	return c
+}
+
+// Server accepts prefetch-decision streams. Each connection leases one
+// session and gets a three-stage pipeline — reader, worker, writer —
+// joined by bounded queues: the reader parses frames and stops reading
+// (TCP backpressure) when the worker falls behind; the worker drives
+// the session single-threaded; the writer drains responses to the
+// socket. A client that stops draining responses is shed after
+// ShedTimeout with ErrOverloaded rather than pinning server memory.
+type Server struct {
+	cfg Config
+	reg registry
+
+	mu     sync.Mutex
+	lis    net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	sheds atomic.Uint64
+}
+
+// NewServer builds a server; zero-valued config fields take defaults.
+func NewServer(cfg Config) *Server {
+	return &Server{cfg: cfg.withDefaults(), conns: make(map[net.Conn]struct{})}
+}
+
+// Sheds reports how many connections were dropped for not draining
+// their responses.
+func (s *Server) Sheds() uint64 { return s.sheds.Load() }
+
+// Sessions reports the number of registered sessions (live or parked
+// awaiting reconnect).
+func (s *Server) Sessions() int { return s.reg.count() }
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(lis)
+}
+
+// Addr returns the listener address once Serve has begun, for tests and
+// the loadtest harness binding to port 0.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lis == nil {
+		return nil
+	}
+	return s.lis.Addr()
+}
+
+// Serve accepts connections on lis until Close. It always returns a
+// non-nil error; after Close the error is net.ErrClosed.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		lis.Close()
+		return net.ErrClosed
+	}
+	s.lis = lis
+	s.mu.Unlock()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops the listener, severs every live connection, and waits for
+// their pipelines to unwind. Sessions stay registered; a server is
+// single-use but its registry state is inspectable after Close.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	lis := s.lis
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if lis != nil {
+		err = lis.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// request is one parsed client frame handed from reader to worker.
+type request struct {
+	op     uint8
+	events []engine.Event
+}
+
+// handle runs one connection's lifecycle: hello handshake, then the
+// reader/worker/writer pipeline until EOF, protocol error, shed, or
+// server close.
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+
+	key, err := s.readHello(br)
+	if err != nil {
+		s.writeErrorFrame(conn, bw, err)
+		return
+	}
+	sess, err := s.reg.acquire(key, s.cfg.Filter)
+	if err != nil {
+		s.writeErrorFrame(conn, bw, err)
+		return
+	}
+	defer s.reg.release(key)
+	if err := writeFrame(bw, mustBody(opOK, nil)); err != nil {
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		return
+	}
+
+	reqCh := make(chan request, s.cfg.QueueDepth)
+	respCh := make(chan []byte, s.cfg.QueueDepth)
+	done := make(chan struct{})
+	var closeOnce sync.Once
+	kill := func() { closeOnce.Do(func() { close(done); conn.Close() }) }
+	defer kill()
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+
+	// Worker: single goroutine per session — the lock-free hot path.
+	go func() {
+		defer wg.Done()
+		defer close(respCh)
+		buf := make([]core.Decision, 0, s.cfg.MaxBatch)
+		shed := time.NewTimer(s.cfg.ShedTimeout)
+		defer shed.Stop()
+		for {
+			var req request
+			var ok bool
+			select {
+			case req, ok = <-reqCh:
+			case <-done:
+				return
+			}
+			if !ok {
+				return
+			}
+			resp := s.execute(sess, &req, buf[:0])
+			if !shed.Stop() {
+				select {
+				case <-shed.C:
+				default:
+				}
+			}
+			shed.Reset(s.cfg.ShedTimeout)
+			select {
+			case respCh <- resp:
+			case <-shed.C:
+				// The response queue sat full for the whole patience
+				// window: the client is not draining. Shed it.
+				s.sheds.Add(1)
+				s.writeErrorFrame(conn, nil, ErrOverloaded)
+				kill()
+				return
+			case <-done:
+				return
+			}
+		}
+	}()
+
+	// Writer: drains responses to the socket.
+	go func() {
+		defer wg.Done()
+		for resp := range respCh {
+			if err := writeFrame(bw, resp); err != nil {
+				kill()
+				return
+			}
+			// Flush when the queue runs dry so a pipelining client's
+			// responses coalesce into few syscalls.
+			if len(respCh) == 0 {
+				if err := bw.Flush(); err != nil {
+					kill()
+					return
+				}
+			}
+		}
+		bw.Flush()
+	}()
+
+	// Reader: this goroutine. Blocking on a full reqCh is deliberate —
+	// it stops the TCP read loop, which is the backpressure signal to a
+	// client outrunning its worker.
+	for {
+		body, err := readFrame(br, s.cfg.MaxFrame)
+		if err != nil {
+			var we *WireError
+			if errors.As(err, &we) {
+				s.writeErrorFrame(conn, nil, we)
+			}
+			kill()
+			break
+		}
+		req, err := s.parseRequest(body)
+		if err != nil {
+			s.writeErrorFrame(conn, nil, err)
+			kill()
+			break
+		}
+		select {
+		case reqCh <- req:
+			continue
+		case <-done:
+		}
+		break
+	}
+	close(reqCh)
+	wg.Wait()
+}
+
+// readHello enforces the handshake: the first frame must be opHello
+// with a non-empty key.
+func (s *Server) readHello(br *bufio.Reader) (string, error) {
+	body, err := readFrame(br, s.cfg.MaxFrame)
+	if err != nil {
+		return "", err
+	}
+	w := snap.NewDecoder(body)
+	var op uint8
+	w.Uint8(&op)
+	if w.Err() != nil || op != opHello {
+		return "", ErrBadOrder
+	}
+	key, err := decodeBytesField(w, len(body))
+	if err != nil {
+		return "", err
+	}
+	if err := w.Finish(); err != nil {
+		return "", fmt.Errorf("%w: %w", ErrBadFrame, err)
+	}
+	if len(key) == 0 {
+		return "", fmt.Errorf("%w: empty session key", ErrBadFrame)
+	}
+	return string(key), nil
+}
+
+// parseRequest decodes one post-hello frame.
+func (s *Server) parseRequest(body []byte) (request, error) {
+	w := snap.NewDecoder(body)
+	var op uint8
+	w.Uint8(&op)
+	if err := w.Err(); err != nil {
+		return request{}, fmt.Errorf("%w: %w", ErrBadFrame, err)
+	}
+	switch op {
+	case opBatch:
+		events, err := decodeBatch(w, s.cfg.MaxBatch)
+		if err != nil {
+			return request{}, err
+		}
+		return request{op: op, events: events}, nil
+	case opStats, opSnapshot, opReset:
+		if err := w.Finish(); err != nil {
+			return request{}, fmt.Errorf("%w: %w", ErrBadFrame, err)
+		}
+		return request{op: op}, nil
+	case opHello:
+		return request{}, fmt.Errorf("%w: duplicate hello", ErrBadOrder)
+	default:
+		return request{}, fmt.Errorf("%w: unknown op 0x%02x", ErrBadFrame, op)
+	}
+}
+
+// execute runs one request against the session and builds the response
+// frame body. buf is the worker's reusable decision buffer.
+func (s *Server) execute(sess *engine.Session, req *request, buf []core.Decision) []byte {
+	switch req.op {
+	case opBatch:
+		body, err := encodeDecisions(sess.ApplyBatch(req.events, buf))
+		if err != nil {
+			return encodeError(&WireError{Code: CodeInternal, Msg: err.Error()})
+		}
+		return body
+	case opStats:
+		st := sess.Stats()
+		body, err := encodeBody(opStatsRep, st.SnapshotWalk)
+		if err != nil {
+			return encodeError(&WireError{Code: CodeInternal, Msg: err.Error()})
+		}
+		return body
+	case opSnapshot:
+		blob, err := sess.Snapshot()
+		if err != nil {
+			return encodeError(&WireError{Code: CodeInternal, Msg: err.Error()})
+		}
+		body, err := encodeBody(opSnapRep, func(w *snap.Walker) {
+			n := len(blob)
+			w.Len(&n)
+			w.Uint8s(blob)
+		})
+		if err != nil {
+			return encodeError(&WireError{Code: CodeInternal, Msg: err.Error()})
+		}
+		return body
+	case opReset:
+		sess.Reset()
+		return mustBody(opOK, nil)
+	default:
+		return encodeError(&WireError{Code: CodeBadFrame, Msg: fmt.Sprintf("unknown op 0x%02x", req.op)})
+	}
+}
+
+// writeErrorFrame best-effort delivers a typed error before the
+// connection dies. When bw is nil (the writer goroutine owns the
+// buffered writer), the frame goes straight to the socket under a short
+// deadline so a stuck peer cannot pin this goroutine.
+func (s *Server) writeErrorFrame(conn net.Conn, bw *bufio.Writer, err error) {
+	we := &WireError{Code: CodeInternal, Msg: err.Error()}
+	var typed *WireError
+	if errors.As(err, &typed) {
+		we = typed
+	}
+	body := encodeError(we)
+	if bw != nil {
+		if writeFrame(bw, body) == nil {
+			bw.Flush()
+		}
+		return
+	}
+	conn.SetWriteDeadline(time.Now().Add(100 * time.Millisecond)) //ppflint:allow determinism socket deadline, not report data
+	writeFrame(conn, body)
+}
+
+// mustBody is encodeBody for payloads that cannot fail (fixed fields).
+func mustBody(op uint8, walk func(w *snap.Walker)) []byte {
+	body, err := encodeBody(op, walk)
+	if err != nil {
+		panic(err)
+	}
+	return body
+}

@@ -4,6 +4,7 @@ import (
 	"repro/internal/branch"
 	"repro/internal/cache"
 	ppf "repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/prefetch"
 	"repro/internal/trace"
 )
@@ -28,7 +29,7 @@ type Core struct {
 	l1d    *cache.Cache
 	l2     *cache.Cache
 	pf     prefetch.Prefetcher
-	filter *ppf.Filter
+	filter *engine.Session
 
 	emit prefetch.Emit
 
@@ -67,7 +68,10 @@ func (c *Core) ID() int { return c.id }
 func (c *Core) Retired() uint64 { return c.retired }
 
 // Filter returns the attached PPF filter, or nil.
-func (c *Core) Filter() *ppf.Filter { return c.filter }
+func (c *Core) Filter() *ppf.Filter { return c.filter.Filter() }
+
+// Session returns the engine session driving the filter, or nil.
+func (c *Core) Session() *engine.Session { return c.filter }
 
 // Prefetcher returns the attached prefetcher.
 func (c *Core) Prefetcher() prefetch.Prefetcher { return c.pf }
@@ -119,7 +123,7 @@ func (c *Core) emitCandidate(cand prefetch.Candidate) bool {
 	}
 	d := c.filter.Decide(&in)
 	if d == ppf.Drop {
-		c.filter.RecordReject(in)
+		c.filter.RecordReject(&in)
 		return false
 	}
 	_, ok := c.l2.Prefetch(cand.Addr, at, d == ppf.FillL2, c.id)
@@ -130,7 +134,7 @@ func (c *Core) emitCandidate(cand prefetch.Candidate) bool {
 		c.filter.RecordSquashed()
 		return false
 	}
-	c.filter.RecordIssue(in, d)
+	c.filter.RecordIssue(&in, d)
 	c.pfIssued++
 	c.pf.OnPrefetchFill(cand.Addr)
 	return true

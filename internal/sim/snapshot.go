@@ -18,8 +18,11 @@ import (
 // envelope makes corruption a deterministic error instead: magic(4) |
 // version(4) | payload length(8) | CRC-32 of payload(4) | payload.
 const (
-	snapMagic   = 0x5050534E // "PPSN"
-	snapVersion = 1
+	snapMagic = 0x5050534E // "PPSN"
+	// Version history: 1 = original layout; 2 = record-table entries
+	// carry the full Decision byte (was a bool issued flag), so a v1
+	// payload would decode issued entries into the wrong verdicts.
+	snapVersion = 2
 	snapHdrLen  = 20
 )
 

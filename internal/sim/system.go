@@ -7,6 +7,7 @@ import (
 	"repro/internal/cache"
 	ppf "repro/internal/core"
 	"repro/internal/dram"
+	"repro/internal/engine"
 	"repro/internal/prefetch"
 	"repro/internal/trace"
 )
@@ -139,7 +140,7 @@ func NewSystem(cfg Config, setups []CoreSetup) (*System, error) {
 			l1d:      l1d,
 			l2:       l2,
 			pf:       pf,
-			filter:   su.Filter,
+			filter:   engine.Wrap(su.Filter),
 			rob:      make([]uint64, cfg.ROBSize),
 			loadDone: make([]uint64, loadRing),
 		}

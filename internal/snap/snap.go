@@ -51,6 +51,28 @@ func NewDecoder(data []byte) *Walker { return &Walker{buf: data} }
 // Err returns the first error the walk latched, if any.
 func (w *Walker) Err() error { return w.err }
 
+// Decoding reports whether the walker is assigning fields from input
+// (as opposed to appending them to the output buffer). Walk functions
+// that must validate decoded values — a decision byte, an event kind —
+// branch on this to run the check only in the decode direction.
+func (w *Walker) Decoding() bool { return !w.encoding }
+
+// Check latches err as the walk error (first error wins, matching the
+// rest of the walker) and reports whether the walk is still clean. It
+// lets walk functions reject semantically invalid decoded values with a
+// typed error instead of round-tripping garbage:
+//
+//	v, err := ParseThing(b)
+//	if w.Check(err) {
+//		*field = v
+//	}
+func (w *Walker) Check(err error) bool {
+	if w.err == nil && err != nil {
+		w.err = err
+	}
+	return w.err == nil
+}
+
 // Bytes returns the encoded stream.
 func (w *Walker) Bytes() ([]byte, error) {
 	if w.err != nil {

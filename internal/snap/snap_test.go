@@ -154,6 +154,33 @@ func TestErrorLatching(t *testing.T) {
 	}
 }
 
+func TestDecoding(t *testing.T) {
+	if NewEncoder().Decoding() {
+		t.Fatal("encoder reports Decoding() = true")
+	}
+	if !NewDecoder(nil).Decoding() {
+		t.Fatal("decoder reports Decoding() = false")
+	}
+}
+
+func TestCheck(t *testing.T) {
+	dec := NewDecoder([]byte{1, 2})
+	if !dec.Check(nil) {
+		t.Fatal("Check(nil) on a clean walker reported an error")
+	}
+	bad := errors.New("semantically invalid")
+	if dec.Check(bad) {
+		t.Fatal("Check(err) reported the walk still clean")
+	}
+	if !errors.Is(dec.Err(), bad) {
+		t.Fatalf("Err() = %v, want the checked error", dec.Err())
+	}
+	// First error wins, matching the rest of the walker.
+	if dec.Check(errors.New("later")); !errors.Is(dec.Err(), bad) {
+		t.Fatalf("a later Check overwrote the latched error: %v", dec.Err())
+	}
+}
+
 func TestStaticIsANoOp(t *testing.T) {
 	enc := NewEncoder()
 	enc.Static(struct{ x int }{1}, "config", nil)

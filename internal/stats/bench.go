@@ -94,6 +94,42 @@ type SimBench struct {
 	Rows  []SimRateRow `json:"rows"`
 }
 
+// ServeRow is one load-test measurement of BENCH_serve.json: N
+// concurrent client streams driving the decision server flat out.
+type ServeRow struct {
+	// Streams is the number of concurrent client connections.
+	Streams int `json:"streams"`
+	// Batch is the events-per-frame batch size each stream used.
+	Batch int `json:"batch"`
+	// EventsPerStream is the synthetic events each stream sent.
+	EventsPerStream int `json:"events_per_stream"`
+	// Events and Decisions aggregate across streams; Decisions counts
+	// candidate verdicts only (training events return none).
+	Events    uint64 `json:"events"`
+	Decisions uint64 `json:"decisions"`
+	// Seconds is the wall time from first dial to last response.
+	Seconds float64 `json:"seconds"`
+	// DecisionsPerSec is the headline serving throughput.
+	DecisionsPerSec float64 `json:"decisions_per_sec"`
+	// EventsPerSec includes training traffic.
+	EventsPerSec float64 `json:"events_per_sec"`
+	// Sheds counts clients the server dropped under backpressure during
+	// the row (expected 0 in a healthy run).
+	Sheds uint64 `json:"sheds,omitempty"`
+}
+
+// ServeBench is the schema of BENCH_serve.json: the decision-serving
+// throughput trajectory emitted by cmd/ppfd -loadtest.
+type ServeBench struct {
+	GoVersion string     `json:"go_version"`
+	GOOS      string     `json:"goos"`
+	GOARCH    string     `json:"goarch"`
+	Rows      []ServeRow `json:"rows"`
+}
+
+// WriteFile marshals the snapshot as indented JSON to path.
+func (s ServeBench) WriteFile(path string) error { return writeJSON(path, s) }
+
 // WriteFile marshals the snapshot as indented JSON to path.
 func (k KernelBench) WriteFile(path string) error { return writeJSON(path, k) }
 
