@@ -2,15 +2,16 @@ GO ?= go
 
 .PHONY: check build vet test race determinism lint lint-fix bench bench-smoke serve-smoke serve-bench fuzz-smoke profile experiments clean
 
-# check is the full CI gate: static checks, build, race-enabled tests,
-# and the worker-count determinism proof.
-check: vet lint build race determinism
+# check is the full CI gate: static checks, build, the full test suite,
+# the focused race pass, and the worker-count determinism proof.
+check: vet lint build test race determinism
 
 # lint runs the repo's own analyzer suite (ppflint: determinism,
-# saturation, hwbudget, counterwiring, sentinel — see EXPERIMENTS.md),
-# then golangci-lint and govulncheck when those binaries are installed
-# (CI installs them; the dev container may not have network access, so
-# they are gated rather than required here).
+# saturation, hwbudget, counterwiring, sentinel, snapshot, guardedby,
+# wireproto, hotpath, errtyped — see EXPERIMENTS.md), then golangci-lint
+# and govulncheck when those binaries are installed (CI installs them;
+# the dev container may not have network access, so they are gated
+# rather than required here).
 lint:
 	$(GO) run ./cmd/ppflint ./...
 	@if command -v golangci-lint >/dev/null 2>&1; then \
@@ -40,10 +41,15 @@ vet:
 test:
 	$(GO) test ./...
 
-# race runs the whole suite under the race detector. The runner tests
-# are written to fail here if the worker pool ever shares state.
+# race runs the concurrency-bearing packages under the race detector:
+# the serving pipeline (reader/worker/writer per connection over the
+# striped registry), the engine sessions those pipelines drive, and the
+# runner's worker pool + memo cache. These are the packages guardedby
+# annotates; the race detector checks the same invariants dynamically
+# that ppflint checks statically. -count=1 defeats the test cache so
+# the schedules actually re-run.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -count=1 ./internal/serve/... ./internal/engine/... ./internal/runner/...
 
 # determinism re-runs only the golden tests that prove -j 1 and -j 8
 # produce byte-identical experiment reports.

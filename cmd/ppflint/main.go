@@ -1,6 +1,8 @@
 // Command ppflint runs the simulator's invariant analyzers over the
 // module: determinism of report output, saturating weight updates,
-// hardware-budget geometry, counter wiring, and zero-value sentinels.
+// hardware-budget geometry, counter wiring, zero-value sentinels,
+// snapshot completeness, mutex-guarded field access, wire-protocol op
+// coverage, hot-path allocation freedom, and typed-error discipline.
 // See internal/analysis for what each rule enforces and EXPERIMENTS.md
 // for the invariant catalogue.
 //

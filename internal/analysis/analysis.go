@@ -21,10 +21,25 @@
 //   - snapshot: snapshot walks must visit every field of their receiver
 //     struct, so machine state cannot silently go stale across
 //     snapshot/restore when a field is added later.
+//   - guardedby: fields annotated //ppflint:guardedby may only be
+//     accessed under their mutex (or, for receiver-guarded structs,
+//     from the struct's own methods), enforcing the serving stack's
+//     single-goroutine-by-construction claims.
+//   - wireproto: every wire op constant must be encoded, dispatched on
+//     a decode path, and covered by the frame-size bound table, and
+//     every wire error code must round-trip through both the String
+//     table and an exported sentinel.
+//   - hotpath: functions annotated //ppflint:hotpath must be
+//     allocation-free, proven against the compiler's own escape
+//     analysis (go build -gcflags=-m=2).
+//   - errtyped: exported Err* sentinels may only be wrapped with %w,
+//     never compared with ==, and boundary-package sentinels must be
+//     pinned by an errors.Is round-trip test.
 //
 // Diagnostics can be suppressed with a trailing or preceding
 // `//ppflint:allow <analyzer> [reason]` comment, or for a whole file
-// with the same comment above the package clause.
+// with the same comment above the package clause. All machine-readable
+// comments share the //ppflint:<name> grammar parsed in directives.go.
 package analysis
 
 import (
@@ -79,6 +94,11 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	// TestFiles are the package's _test.go files, parsed but not
+	// type-checked: analyzers never report into them, but errtyped reads
+	// them to verify each boundary sentinel is pinned by an errors.Is
+	// test reference.
+	TestFiles []*ast.File
 	// allow maps file name -> allow table parsed from ppflint comments.
 	allow map[string]*allowTable
 }
@@ -88,6 +108,14 @@ type Package struct {
 type Suite struct {
 	Fset     *token.FileSet
 	Packages []*Package
+	// Dir is the module root the suite was loaded from, when it was
+	// loaded with LoadModule. Analyzers that shell out to the go tool
+	// (hotpath) run there; fixture suites leave it empty and use
+	// simulated tool output instead.
+	Dir string
+
+	// marked indexes //ppflint:<name>-marked functions (facts.go).
+	marked map[string][]*MarkedFunc
 }
 
 // PathHas reports whether the package's import path contains the given
@@ -113,35 +141,51 @@ func (p *Package) PathHas(sub string) bool {
 }
 
 // Run executes the analyzers over the suite and returns surviving
-// (non-suppressed) diagnostics sorted by position.
+// (non-suppressed) diagnostics sorted by file, line, column — stable
+// across runs regardless of package load order or analyzer internals,
+// so CI lint output diffs cleanly.
 func (s *Suite) Run(analyzers []*Analyzer) []Diagnostic {
 	var out []Diagnostic
 	for _, a := range analyzers {
 		a.Run(s, func(d Diagnostic) {
 			d.Analyzer = a.Name
-			if !s.suppressed(d) {
+			if !s.Allowed(a.Name, d.Pos) {
 				out = append(out, d)
 			}
 		})
 	}
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].Pos != out[j].Pos {
-			return out[i].Pos < out[j].Pos
+		pi, pj := s.Fset.Position(out[i].Pos), s.Fset.Position(out[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
 		}
-		return out[i].Analyzer < out[j].Analyzer
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		if out[i].Analyzer != out[j].Analyzer {
+			return out[i].Analyzer < out[j].Analyzer
+		}
+		return out[i].Message < out[j].Message
 	})
 	return out
 }
 
-// suppressed reports whether an allow comment covers the diagnostic.
-func (s *Suite) suppressed(d Diagnostic) bool {
-	pos := s.Fset.Position(d.Pos)
-	for _, p := range s.Packages {
-		t, ok := p.allow[pos.Filename]
+// Allowed reports whether a //ppflint:allow comment covers the named
+// analyzer at pos. Every diagnostic flows through this one helper —
+// both line-level allows (trailing or own-line) and file-level allows
+// above the package clause resolve here, so no analyzer can honor the
+// escape hatch differently from the others.
+func (s *Suite) Allowed(analyzer string, pos token.Pos) bool {
+	p := s.Fset.Position(pos)
+	for _, pkg := range s.Packages {
+		t, ok := pkg.allow[p.Filename]
 		if !ok {
 			continue
 		}
-		return t.allows(d.Analyzer, pos.Line)
+		return t.allows(analyzer, p.Line)
 	}
 	return false
 }
@@ -201,42 +245,6 @@ func (p *Package) buildAllowTables(fset *token.FileSet) {
 	}
 }
 
-// parseAllow extracts the analyzer name from a `//ppflint:allow name
-// [reason...]` comment.
-func parseAllow(text string) (string, bool) {
-	// The directive form is rigid: no space before "allow", exactly one
-	// token for the analyzer name, whitespace-separated from the prefix
-	// (so //ppflint:allowfoo is not a directive).
-	const prefix = "//ppflint:allow"
-	if !strings.HasPrefix(text, prefix) {
-		return "", false
-	}
-	rest := strings.TrimPrefix(text, prefix)
-	if rest == "" || (rest[0] != ' ' && rest[0] != '\t') {
-		return "", false
-	}
-	rest = strings.TrimSpace(rest)
-	if rest == "" {
-		return "", false
-	}
-	fields := strings.Fields(rest)
-	return fields[0], true
-}
-
-// hasMarker reports whether a declaration's doc comment contains the
-// given //ppflint: marker (e.g. "//ppflint:saturating").
-func hasMarker(doc *ast.CommentGroup, marker string) bool {
-	if doc == nil {
-		return false
-	}
-	for _, c := range doc.List {
-		if strings.HasPrefix(c.Text, marker) {
-			return true
-		}
-	}
-	return false
-}
-
 // All is the full ppflint analyzer suite, in reporting order.
 func All() []*Analyzer {
 	return []*Analyzer{
@@ -246,5 +254,9 @@ func All() []*Analyzer {
 		CounterWiring,
 		Sentinel,
 		Snapshot,
+		GuardedBy,
+		WireProto,
+		HotPath,
+		ErrTyped,
 	}
 }

@@ -1,6 +1,9 @@
 package analysis
 
 import (
+	"io/fs"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -15,6 +18,10 @@ func TestHWBudgetFixture(t *testing.T)      { RunFixture(t, HWBudget) }
 func TestCounterWiringFixture(t *testing.T) { RunFixture(t, CounterWiring) }
 func TestSentinelFixture(t *testing.T)      { RunFixture(t, Sentinel) }
 func TestSnapshotFixture(t *testing.T)      { RunFixture(t, Snapshot) }
+func TestGuardedByFixture(t *testing.T)     { RunFixture(t, GuardedBy) }
+func TestWireProtoFixture(t *testing.T)     { RunFixture(t, WireProto) }
+func TestHotPathFixture(t *testing.T)       { RunFixture(t, HotPath) }
+func TestErrTypedFixture(t *testing.T)      { RunFixture(t, ErrTyped) }
 
 // TestPpflintRepo runs the full suite over the real module, pinning the
 // invariant `go run ./cmd/ppflint ./...` enforces in CI: the tree is
@@ -49,9 +56,52 @@ func TestAnalyzerMetadata(t *testing.T) {
 			t.Errorf("analyzer name %q must be a lowercase single token (it keys //ppflint:allow)", a.Name)
 		}
 	}
-	for _, want := range []string{"determinism", "saturation", "hwbudget", "counterwiring", "sentinel", "snapshot"} {
+	for _, want := range []string{
+		"determinism", "saturation", "hwbudget", "counterwiring", "sentinel",
+		"snapshot", "guardedby", "wireproto", "hotpath", "errtyped",
+	} {
 		if !seen[want] {
 			t.Errorf("expected analyzer %q to be registered", want)
+		}
+	}
+}
+
+// TestFixtureConventions enforces the fixture contract on every
+// registered analyzer: a tree under testdata/src/<name> exercising at
+// least one seeded violation (a `// want` expectation) and at least one
+// //ppflint:allow suppression for that analyzer. An analyzer without a
+// positive case is unproven; one without an allow case has an untested
+// escape hatch — the first real-world false positive would need it.
+func TestFixtureConventions(t *testing.T) {
+	for _, a := range All() {
+		root := filepath.Join("testdata", "src", a.Name)
+		info, err := os.Stat(root)
+		if err != nil || !info.IsDir() {
+			t.Errorf("analyzer %q has no fixture tree at %s", a.Name, root)
+			continue
+		}
+		wants, allows := 0, 0
+		err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+				return err
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			wants += strings.Count(string(data), "// want ")
+			allows += strings.Count(string(data), "//ppflint:allow "+a.Name)
+			return nil
+		})
+		if err != nil {
+			t.Errorf("walking %s: %v", root, err)
+			continue
+		}
+		if wants == 0 {
+			t.Errorf("analyzer %q fixture has no `// want` expectation: nothing proves it fires", a.Name)
+		}
+		if allows == 0 {
+			t.Errorf("analyzer %q fixture has no //ppflint:allow %s suppression: the escape hatch is untested", a.Name, a.Name)
 		}
 	}
 }

@@ -134,7 +134,9 @@ func collectCounterStructs(p *Package, fields map[types.Object]*counterField) {
 				if !ok || len(st.Fields.List) == 0 {
 					continue
 				}
-				marked := hasMarker(gd.Doc, "//ppflint:counters") || hasMarker(ts.Doc, "//ppflint:counters")
+				_, onGen := directiveIn(gd.Doc, "counters")
+				_, onSpec := directiveIn(ts.Doc, "counters")
+				marked := onGen || onSpec
 				if !marked && (ts.Name.Name != "Stats" || !allUnsignedFields(p, st)) {
 					continue
 				}

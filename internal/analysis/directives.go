@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Every machine-readable ppflint comment shares one grammar:
+//
+//	//ppflint:<name> [arg ...]
+//
+// parsed here and nowhere else, so the directive form cannot drift
+// between analyzers. The grammar is rigid on purpose: the name must
+// touch the prefix (`// ppflint:allow` is prose, not a directive) and
+// arguments are whitespace-separated tokens, with everything after the
+// tokens an analyzer cares about serving as free-form rationale.
+//
+// Directives in use:
+//
+//	allow <analyzer> [reason]   suppress diagnostics (see allowTable)
+//	saturating                  marks a weight clamp helper (saturation)
+//	hotpath                     marks a function that must not allocate (hotpath)
+//	guardedby <mu|receiver>     guards a field or struct (guardedby)
+//	locked <mu>                 asserts the caller holds mu (guardedby)
+//	framebound                  marks the wire-size bound table (wireproto)
+//	wireencode / wiredecode     mark op-constant encode/decode sinks (wireproto)
+//	escapes <diagnostic>        simulated escape output in fixtures (hotpath)
+
+// parseDirective splits one comment into directive name and argument
+// tokens. ok is false for ordinary comments.
+func parseDirective(text string) (name string, args []string, ok bool) {
+	const prefix = "//ppflint:"
+	rest, found := strings.CutPrefix(text, prefix)
+	if !found || rest == "" || rest[0] == ' ' || rest[0] == '\t' {
+		return "", nil, false
+	}
+	fields := strings.Fields(rest)
+	return fields[0], fields[1:], true
+}
+
+// parseAllow extracts the analyzer name from a `//ppflint:allow name
+// [reason...]` comment.
+func parseAllow(text string) (string, bool) {
+	name, args, ok := parseDirective(text)
+	if !ok || name != "allow" || len(args) == 0 {
+		return "", false
+	}
+	return args[0], true
+}
+
+// directiveIn returns the arguments of the first directive with the
+// given name in a comment group (a declaration's Doc or a field's
+// trailing Comment).
+func directiveIn(cg *ast.CommentGroup, name string) ([]string, bool) {
+	if cg == nil {
+		return nil, false
+	}
+	for _, c := range cg.List {
+		if n, args, ok := parseDirective(c.Text); ok && n == name {
+			return args, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Facts are suite-wide indexes computed once and shared by every
+// analyzer, the hermetic stand-in for x/tools export-data facts.
+// Before this index existed each analyzer re-walked every declaration
+// looking for its own markers; now saturation, hotpath, guardedby and
+// wireproto all read the same pass over the tree, and a marker attached
+// in one package is visible to a rule checking another.
+
+// A MarkedFunc is one function declaration whose doc comment carries a
+// //ppflint:<name> marker directive.
+type MarkedFunc struct {
+	Pkg  *Package
+	Decl *ast.FuncDecl
+	// Obj is the function's type object, used to recognize the function
+	// at call sites (including cross-package calls).
+	Obj types.Object
+	// Args are the directive's argument tokens, if the marker takes any.
+	Args []string
+}
+
+// MarkedFuncs returns every function in the suite marked with the named
+// directive, in load-then-source order (deterministic for one suite).
+func (s *Suite) MarkedFuncs(name string) []*MarkedFunc {
+	s.buildMarkerIndex()
+	return s.marked[name]
+}
+
+// MarkedObjs indexes the same functions by type object, for callee
+// lookups at call sites.
+func (s *Suite) MarkedObjs(name string) map[types.Object]*MarkedFunc {
+	s.buildMarkerIndex()
+	out := map[types.Object]*MarkedFunc{}
+	for _, m := range s.marked[name] {
+		if m.Obj != nil {
+			out[m.Obj] = m
+		}
+	}
+	return out
+}
+
+func (s *Suite) buildMarkerIndex() {
+	if s.marked != nil {
+		return
+	}
+	s.marked = map[string][]*MarkedFunc{}
+	for _, p := range s.Packages {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil {
+					continue
+				}
+				for _, c := range fd.Doc.List {
+					name, args, ok := parseDirective(c.Text)
+					if !ok || name == "allow" {
+						continue
+					}
+					s.marked[name] = append(s.marked[name], &MarkedFunc{
+						Pkg:  p,
+						Decl: fd,
+						Obj:  p.Info.Defs[fd.Name],
+						Args: args,
+					})
+				}
+			}
+		}
+	}
+}

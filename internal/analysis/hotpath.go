@@ -1,0 +1,219 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// HotPath proves annotated functions allocation-free at lint time. The
+// paper's pitch is a filter small and fast enough to sit in a
+// prefetcher's issue path, and the repo's kernels are written to match:
+// decide/record/train, the serve batch loop, and the snapshot walkers
+// are all zero-alloc by design. Until now that held only under the
+// bench harness's -failonalloc flag — a guard that runs when benchmarks
+// run, not when code merges. This analyzer moves the proof into tier-1:
+// a function annotated `//ppflint:hotpath` is checked against the
+// compiler's own escape analysis, driven via
+//
+//	go build -gcflags=-m=2 <packages with annotations>
+//
+// in the suite's module directory. Every "escapes to heap" / "moved to
+// heap" diagnostic landing inside an annotated body (closures included
+// — a closure does not leave the hot path by being a closure) is
+// reported at the escape site. Conditional error paths count too: the
+// fix is outlining the error constructor into a //go:noinline helper,
+// which both silences the diagnostic and keeps the happy path's frame
+// small.
+//
+// Fixture trees are not buildable modules, so when the suite has no
+// module directory the analyzer reads simulated compiler output from
+// `//ppflint:escapes <message>` comments instead; the attribution,
+// positioning, and allow plumbing are identical.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc: "functions annotated //ppflint:hotpath must be allocation-free: " +
+		"escape diagnostics from go build -gcflags=-m=2 attributed inside an " +
+		"annotated body fail the lint, turning the bench-only -failonalloc " +
+		"guard into a tier-1 static check",
+	Run: runHotPath,
+}
+
+// escapeDiag is one parsed compiler escape diagnostic.
+type escapeDiag struct {
+	file string
+	line int
+	col  int
+	msg  string
+}
+
+func runHotPath(s *Suite, report func(Diagnostic)) {
+	marked := s.MarkedFuncs("hotpath")
+	if len(marked) == 0 {
+		return
+	}
+	var escapes []escapeDiag
+	if s.Dir != "" {
+		var err error
+		escapes, err = compilerEscapes(s, marked)
+		if err != nil {
+			report(Diagnostic{Pos: marked[0].Decl.Pos(), Message: fmt.Sprintf(
+				"hotpath: escape analysis unavailable: %v", err)})
+			return
+		}
+	} else {
+		escapes = fixtureEscapes(s)
+	}
+
+	// Attribute each escape to the annotated body containing it.
+	type span struct {
+		m          *MarkedFunc
+		start, end int
+	}
+	spans := map[string][]span{}
+	for _, m := range marked {
+		p0 := s.Fset.Position(m.Decl.Pos())
+		p1 := s.Fset.Position(m.Decl.End())
+		spans[p0.Filename] = append(spans[p0.Filename], span{m: m, start: p0.Line, end: p1.Line})
+	}
+	seen := map[string]bool{}
+	for _, e := range escapes {
+		key := fmt.Sprintf("%s:%d:%d:%s", e.file, e.line, e.col, e.msg)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		for _, sp := range spans[e.file] {
+			if e.line < sp.start || e.line > sp.end {
+				continue
+			}
+			tf := s.Fset.File(sp.m.Decl.Pos())
+			pos := tf.LineStart(e.line)
+			if e.col > 1 {
+				pos += token.Pos(e.col - 1)
+			}
+			report(Diagnostic{Pos: pos, Message: fmt.Sprintf(
+				"hot path %s allocates: %s (outline the allocation — error "+
+					"constructors into a //go:noinline helper — or drop the "+
+					"//ppflint:hotpath annotation)", sp.m.Decl.Name.Name, e.msg)})
+		}
+	}
+}
+
+// escapeLineRE matches one compiler diagnostic line. Continuation lines
+// (flow traces) share the position prefix but indent the message.
+var escapeLineRE = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (\S.*)$`)
+
+// compilerEscapes shells out to the go compiler's escape analysis for
+// every package containing an annotation and parses the diagnostics.
+// The build cache replays -m output on cache hits, but an empty result
+// is rechecked with -a: a silently clean run must mean "no escapes",
+// never "no output".
+func compilerEscapes(s *Suite, marked []*MarkedFunc) ([]escapeDiag, error) {
+	pkgSet := map[string]bool{}
+	for _, m := range marked {
+		pkgSet[m.Pkg.Path] = true
+	}
+	var pkgs []string
+	for p := range pkgSet {
+		pkgs = append(pkgs, p)
+	}
+	sort.Strings(pkgs)
+
+	run := func(extra ...string) (string, error) {
+		args := append([]string{"build", "-gcflags=-m=2"}, extra...)
+		args = append(args, pkgs...)
+		cmd := exec.Command("go", args...)
+		cmd.Dir = s.Dir
+		var out bytes.Buffer
+		cmd.Stdout = &out
+		cmd.Stderr = &out
+		err := cmd.Run()
+		if err != nil {
+			text := out.String()
+			if len(text) > 400 {
+				text = text[:400] + "..."
+			}
+			return "", fmt.Errorf("go build -gcflags=-m=2: %v\n%s", err, text)
+		}
+		return out.String(), nil
+	}
+	text, err := run()
+	if err != nil {
+		return nil, err
+	}
+	diags := parseEscapes(s.Dir, text)
+	if len(diags) == 0 {
+		// No diagnostics at all is implausible for real packages (every
+		// fmt.Errorf prints one); force a rebuild to rule out a replay gap.
+		if text, err = run("-a"); err != nil {
+			return nil, err
+		}
+		diags = parseEscapes(s.Dir, text)
+	}
+	return diags, nil
+}
+
+// parseEscapes extracts heap-escape diagnostics from compiler output,
+// resolving file names against the module directory.
+func parseEscapes(dir, text string) []escapeDiag {
+	var out []escapeDiag
+	for _, line := range strings.Split(text, "\n") {
+		m := escapeLineRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		msg := strings.TrimSuffix(m[4], ":")
+		if !strings.Contains(msg, "escapes to heap") && !strings.HasPrefix(msg, "moved to heap") {
+			continue
+		}
+		// "leaking param" lines describe callers' values, not this body's
+		// allocations; the compiler phrases genuine ones as above.
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(dir, file)
+		}
+		line, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		out = append(out, escapeDiag{file: file, line: line, col: col, msg: msg})
+	}
+	return out
+}
+
+// fixtureEscapes reads simulated escape diagnostics from
+// //ppflint:escapes comments in fixture files.
+func fixtureEscapes(s *Suite) []escapeDiag {
+	var out []escapeDiag
+	for _, p := range s.Packages {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					name, args, ok := parseDirective(c.Text)
+					if !ok || name != "escapes" {
+						continue
+					}
+					// The simulated message ends at a nested comment, so
+					// fixtures can pair the directive with a // want.
+					msg := strings.Join(args, " ")
+					if cut, _, found := strings.Cut(msg, "//"); found {
+						msg = strings.TrimSpace(cut)
+					}
+					pos := s.Fset.Position(c.Pos())
+					out = append(out, escapeDiag{
+						file: pos.Filename,
+						line: pos.Line,
+						col:  pos.Column,
+						msg:  msg,
+					})
+				}
+			}
+		}
+	}
+	return out
+}

@@ -25,13 +25,15 @@ import (
 
 // listedPackage is the subset of `go list -json` output the loader uses.
 type listedPackage struct {
-	ImportPath string
-	Dir        string
-	Export     string
-	GoFiles    []string
-	Standard   bool
-	Module     *struct{ Main bool }
-	Error      *struct{ Err string }
+	ImportPath   string
+	Dir          string
+	Export       string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Standard     bool
+	Module       *struct{ Main bool }
+	Error        *struct{ Err string }
 }
 
 // goList runs `go list -deps -export -json args...` in dir and decodes
@@ -118,10 +120,16 @@ func checkPackage(fset *token.FileSet, imp types.Importer, path string, files []
 
 // LoadModule loads the main-module packages matched (directly or as
 // dependencies) by the go list patterns, run from dir. Test files are
-// excluded: the invariants govern shipped code, and a counter read only
-// by a test is not "surfaced".
+// not type-checked — the invariants govern shipped code, and a counter
+// read only by a test is not "surfaced" — but they are parsed into
+// Package.TestFiles so rules about test coverage itself (errtyped's
+// round-trip requirement) can see them.
 func LoadModule(dir string, patterns []string) (*Suite, error) {
 	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	abs, err := filepath.Abs(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -139,7 +147,7 @@ func LoadModule(dir string, patterns []string) (*Suite, error) {
 		exportFiles[lp.ImportPath] = lp.Export
 	}
 	imp := newExportImporter(fset, exportFiles)
-	suite := &Suite{Fset: fset}
+	suite := &Suite{Fset: fset, Dir: abs}
 	for _, lp := range mains { // already in dependency order
 		var files []string
 		for _, f := range lp.GoFiles {
@@ -148,6 +156,16 @@ func LoadModule(dir string, patterns []string) (*Suite, error) {
 		pkg, err := checkPackage(fset, imp, lp.ImportPath, files)
 		if err != nil {
 			return nil, err
+		}
+		var testFiles []string
+		testFiles = append(testFiles, lp.TestGoFiles...)
+		testFiles = append(testFiles, lp.XTestGoFiles...)
+		for _, f := range testFiles {
+			tf, err := parser.ParseFile(fset, filepath.Join(lp.Dir, f), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			pkg.TestFiles = append(pkg.TestFiles, tf)
 		}
 		imp.modules[lp.ImportPath] = pkg.Types
 		suite.Packages = append(suite.Packages, pkg)
@@ -162,6 +180,7 @@ func LoadModule(dir string, patterns []string) (*Suite, error) {
 // that lookup.
 func LoadTree(root, goListDir string) (*Suite, error) {
 	pkgFiles := map[string][]string{}
+	testFiles := map[string][]string{}
 	err := filepath.Walk(root, func(path string, fi os.FileInfo, err error) error {
 		if err != nil {
 			return err
@@ -174,6 +193,12 @@ func LoadTree(root, goListDir string) (*Suite, error) {
 			return err
 		}
 		ip := filepath.ToSlash(rel)
+		// _test.go files are parsed but never type-checked, mirroring
+		// LoadModule's treatment of the real tree.
+		if strings.HasSuffix(path, "_test.go") {
+			testFiles[ip] = append(testFiles[ip], path)
+			return nil
+		}
 		pkgFiles[ip] = append(pkgFiles[ip], path)
 		return nil
 	})
@@ -241,6 +266,13 @@ func LoadTree(root, goListDir string) (*Suite, error) {
 		pkg, err := checkPackage(fset, ei, ip, pkgFiles[ip])
 		if err != nil {
 			return err
+		}
+		for _, fn := range testFiles[ip] {
+			tf, err := parser.ParseFile(fset, fn, nil, parser.ParseComments)
+			if err != nil {
+				return err
+			}
+			pkg.TestFiles = append(pkg.TestFiles, tf)
 		}
 		ei.modules[ip] = pkg.Types
 		suite.Packages = append(suite.Packages, pkg)

@@ -35,6 +35,12 @@ var saturationScope = []string{"internal/core", "internal/branch"}
 var weightTableName = regexp.MustCompile(`(?i)weight|table|bias`)
 
 func runSaturation(s *Suite, report func(Diagnostic)) {
+	// Marked clamp helpers come from the shared marker index, so a
+	// helper exported by one package satisfies stores in another.
+	helpers := map[types.Object]string{}
+	for obj, m := range s.MarkedObjs("saturating") {
+		helpers[obj] = m.Decl.Name.Name
+	}
 	for _, p := range s.Packages {
 		inScope := false
 		for _, seg := range saturationScope {
@@ -45,7 +51,6 @@ func runSaturation(s *Suite, report func(Diagnostic)) {
 		if !inScope {
 			continue
 		}
-		helpers := saturatingHelpers(p)
 		for _, fd := range funcDecls(p) {
 			ast.Inspect(fd.Body, func(n ast.Node) bool {
 				switch n := n.(type) {
@@ -60,23 +65,6 @@ func runSaturation(s *Suite, report func(Diagnostic)) {
 			})
 		}
 	}
-}
-
-// saturatingHelpers collects the package's marked clamp helpers.
-func saturatingHelpers(p *Package) map[types.Object]string {
-	out := map[types.Object]string{}
-	for _, f := range p.Files {
-		for _, d := range f.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || !hasMarker(fd.Doc, "//ppflint:saturating") {
-				continue
-			}
-			if obj := p.Info.Defs[fd.Name]; obj != nil {
-				out[obj] = fd.Name.Name
-			}
-		}
-	}
-	return out
 }
 
 // isWeightElem reports whether e is an element of a weight table: an

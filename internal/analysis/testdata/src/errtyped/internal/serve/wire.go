@@ -1,0 +1,39 @@
+// Package serve (fixture) seeds sentinel-identity violations for the
+// errtyped analyzer: lossy wrapping, raw comparisons, and boundary
+// sentinels with no round-trip test pinning them. The directory path
+// matters — it places these sentinels on the wire/snapshot boundary.
+package serve
+
+import (
+	"errors"
+	"fmt"
+)
+
+var (
+	// ErrShed is the healthy shape: wrapped with %w, matched with
+	// errors.Is, pinned by the test file.
+	ErrShed = errors.New("serve: shed")
+	// ErrStarved has no errors.Is reference in any test.
+	ErrStarved = errors.New("serve: starved") // want "boundary sentinel ErrStarved has no errors.Is test reference"
+	// ErrParked demonstrates the escape hatch for a sentinel matched by
+	// code, not identity.
+	ErrParked = errors.New("serve: parked") //ppflint:allow errtyped matched by error code on the wire, identity never crosses
+)
+
+func wrapOK() error { return fmt.Errorf("reading frame: %w", ErrShed) }
+
+func wrapBad() error {
+	return fmt.Errorf("reading frame: %v", ErrShed) // want "sentinel ErrShed wrapped with %v flattens to text"
+}
+
+func wrapBadString() error {
+	return fmt.Errorf("op %d failed: %s", 3, ErrStarved) // want "sentinel ErrStarved wrapped with %s"
+}
+
+func compareBad(err error) bool {
+	return err == ErrShed // want "== comparison against sentinel ErrShed breaks as soon as a caller wraps"
+}
+
+func compareOK(err error) bool { return errors.Is(err, ErrShed) }
+
+func useParked() error { return ErrParked }

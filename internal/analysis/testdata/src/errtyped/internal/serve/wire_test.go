@@ -1,0 +1,15 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestShedRoundTrip is the reference the boundary rule looks for: an
+// errors.Is assertion against the sentinel. Its presence keeps ErrShed
+// clean while ErrStarved (no reference anywhere) is reported.
+func TestShedRoundTrip(t *testing.T) {
+	if !errors.Is(wrapOK(), ErrShed) {
+		t.Fatal("wrapped sentinel lost its identity")
+	}
+}

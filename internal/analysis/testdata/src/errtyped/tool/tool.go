@@ -1,0 +1,12 @@
+// Package tool sits off the wire/snapshot boundary: its sentinel needs
+// no round-trip test, but the wrap and compare rules still apply.
+package tool
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrNotReady = errors.New("tool: not ready")
+
+func annotate(op string) error { return fmt.Errorf("%s: %w", op, ErrNotReady) }

@@ -1,0 +1,64 @@
+// Package hotpath seeds allocation violations for the hotpath
+// analyzer. Fixture trees are not buildable modules, so the compiler's
+// escape output is simulated with //ppflint:escapes comments placed at
+// the would-be diagnostic positions; attribution into annotated bodies,
+// positioning, and allow handling are exactly the production paths.
+package hotpath
+
+// sum is the clean shape: annotated and escape-free.
+//
+//ppflint:hotpath
+func sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// boxed models the real bug class: an inlined error constructor boxes
+// its operand into fmt.Errorf's ...any slice, an allocation on what is
+// supposed to be a zero-alloc decode path.
+//
+//ppflint:hotpath
+func boxed(b byte) error {
+	if b > 9 {
+		return errBad(b) //ppflint:escapes b escapes to heap // want "hot path boxed allocates: b escapes to heap"
+	}
+	return nil
+}
+
+func errBad(b byte) error { return nil }
+
+// addressed pins the moved-to-heap message form.
+//
+//ppflint:hotpath
+func addressed() *int {
+	x := 0 //ppflint:escapes moved to heap: x // want "hot path addressed allocates: moved to heap: x"
+	return &x
+}
+
+// closureInside: a closure does not leave the hot path by being a
+// closure — escapes inside it still land in the annotated span.
+//
+//ppflint:hotpath
+func closureInside(xs []int) int {
+	f := func() int {
+		return len(xs) //ppflint:escapes func literal escapes to heap // want "hot path closureInside allocates: func literal escapes to heap"
+	}
+	return f()
+}
+
+// cold is not annotated: the same escape is none of our business.
+func cold(n int) []int {
+	return make([]int, n) //ppflint:escapes make([]int, n) escapes to heap
+}
+
+// amortized demonstrates the escape hatch for a measured, deliberate
+// allocation (growth amortized across calls).
+//
+//ppflint:hotpath
+func amortized(buf []byte, n int) []byte {
+	//ppflint:allow hotpath growth is amortized: one alloc per table doubling, measured by the bench harness
+	return append(buf, make([]byte, n)...) //ppflint:escapes make([]byte, n) escapes to heap
+}

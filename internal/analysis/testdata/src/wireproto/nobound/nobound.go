@@ -1,0 +1,14 @@
+// Package nobound declares wire ops with no frame-size table at all:
+// the analyzer reports the missing table once instead of one
+// missing-bound diagnostic per op.
+package nobound
+
+const (
+	opSolo uint8 = 1 // want "no //ppflint:framebound function"
+	opDuet uint8 = 2
+)
+
+func encodeSolo() []byte { return []byte{opSolo} }
+func encodeDuet() []byte { return []byte{opDuet} }
+
+func dispatch(op uint8) bool { return op == opSolo || op == opDuet }

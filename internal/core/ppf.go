@@ -68,11 +68,22 @@ func (d Decision) String() string {
 // boundary — a ppfd wire frame, a snapshot stream — and returns the
 // verdict it names, or ErrBadDecision (wrapped with the offending byte)
 // for anything out of range.
+//
+//ppflint:hotpath
 func ParseDecision(b uint8) (Decision, error) {
 	if b >= decisionCount {
-		return 0, fmt.Errorf("%w: byte 0x%02x", ErrBadDecision, b)
+		return 0, errBadDecisionByte(b)
 	}
 	return Decision(b), nil
+}
+
+// errBadDecisionByte is outlined so ParseDecision inlines into decode
+// walks without fmt.Errorf's argument boxing escaping on the (never
+// taken in healthy streams) error branch.
+//
+//go:noinline
+func errBadDecisionByte(b uint8) error {
+	return fmt.Errorf("%w: byte 0x%02x", ErrBadDecision, b)
 }
 
 // Config tunes the filter thresholds.
@@ -285,6 +296,8 @@ func (f *Filter) WeightsOf(i int) []int8 {
 
 // OnLoadPC records a retired load PC into the three-deep history used by
 // the PCPath feature. Call once per demand load, before OnDemand.
+//
+//ppflint:hotpath
 func (f *Filter) OnLoadPC(pc uint64) {
 	if pc == f.pcHist[0] {
 		return
@@ -299,6 +312,8 @@ func (f *Filter) OnLoadPC(pc uint64) {
 func (f *Filter) PCHist() PCHistory { return f.pcHist }
 
 // indexFor folds feature i's raw value for in onto its weight table.
+//
+//ppflint:hotpath
 func (f *Filter) indexFor(i int, in *FeatureInput) int {
 	raw := f.features[i].Index(in)
 	return int(mix(raw) % uint64(len(f.weights[i])))
@@ -311,6 +326,8 @@ func (f *Filter) indexFor(i int, in *FeatureInput) int {
 // stack value would force the whole 80-byte input to escape to the heap
 // on every event — pointing them at a field of the (already
 // heap-resident) Filter costs nothing.
+//
+//ppflint:hotpath
 func (f *Filter) computeScratch() {
 	in := &f.scratchFor
 	for i := range f.features {
@@ -324,6 +341,8 @@ func (f *Filter) computeScratch() {
 // the vector Decide just computed when the inputs match (the common
 // decide→record path). Index vectors are pure functions of the input, so
 // a stale hit is impossible.
+//
+//ppflint:hotpath
 func (f *Filter) ensureScratch(in *FeatureInput) {
 	if f.scratchValid && f.scratchFor == *in {
 		return
@@ -333,12 +352,16 @@ func (f *Filter) ensureScratch(in *FeatureInput) {
 }
 
 // Sum computes the perceptron output for a candidate's features.
+//
+//ppflint:hotpath
 func (f *Filter) Sum(in *FeatureInput) int {
 	f.ensureScratch(in)
 	return f.sumIndexed(&f.scratchIdx)
 }
 
 // sumIndexed sums the weights selected by a precomputed index vector.
+//
+//ppflint:hotpath
 func (f *Filter) sumIndexed(idx *indexVec) int {
 	sum := 0
 	for i := range f.features {
@@ -348,12 +371,14 @@ func (f *Filter) sumIndexed(idx *indexVec) int {
 }
 
 // observe reports a training example to OnTrainEvent.
+//
+//ppflint:hotpath
 func (f *Filter) observe(idx *indexVec, outcome int) {
 	if f.OnTrainEvent == nil {
 		return
 	}
 	if cap(f.trainBuf) < len(f.features) {
-		f.trainBuf = make([]int8, len(f.features))
+		f.trainBuf = make([]int8, len(f.features)) //ppflint:allow hotpath amortized: grows once, only when a training observer is attached
 	}
 	buf := f.trainBuf[:len(f.features)]
 	for i := range f.features {
@@ -364,12 +389,16 @@ func (f *Filter) observe(idx *indexVec, outcome int) {
 
 // adjust applies one perceptron learning step in the given direction
 // (+1 strengthen / -1 weaken), saturating each 5-bit weight.
+//
+//ppflint:hotpath
 func (f *Filter) adjust(in *FeatureInput, dir int) {
 	f.ensureScratch(in)
 	f.adjustIndexed(&f.scratchIdx, dir)
 }
 
 // adjustIndexed is adjust over a precomputed index vector.
+//
+//ppflint:hotpath
 func (f *Filter) adjustIndexed(idx *indexVec, dir int) {
 	for i := range f.features {
 		f.weights[i][idx[i]] = satAdd(f.weights[i][idx[i]], dir)
@@ -381,6 +410,7 @@ func (f *Filter) adjustIndexed(idx *indexVec, dir int) {
 // go through this helper — the saturation analyzer enforces it.
 //
 //ppflint:saturating
+//ppflint:hotpath
 func satAdd(w int8, delta int) int8 {
 	v := int(w) + delta
 	if v > WeightMax {
@@ -393,6 +423,8 @@ func satAdd(w int8, delta int) int8 {
 }
 
 // recordIndex computes the direct-mapped slot and tag for a block address.
+//
+//ppflint:hotpath
 func recordIndex(addr uint64) (idx int, tag uint16) {
 	block := addr >> 6
 	idx = int(block & (recordTableEntries - 1))
@@ -406,6 +438,8 @@ func recordIndex(addr uint64) (idx int, tag uint16) {
 // RecordSquashed once the prefetch's fate is known, so that candidates
 // squashed elsewhere (duplicate blocks, full MSHRs) neither thrash the
 // training tables nor inflate the issue counters.
+//
+//ppflint:hotpath
 func (f *Filter) Decide(in *FeatureInput) Decision {
 	f.stats.Inferences++
 	f.scratchFor = *in
@@ -436,6 +470,8 @@ func (f *Filter) Decide(in *FeatureInput) Decision {
 // table generation (1,024 issues) without a demand hit is treated as the
 // same signal when overwritten. Entries that churn faster are simply
 // lost, so useful long-lead prefetches are not punished.
+//
+//ppflint:hotpath
 func (f *Filter) RecordIssue(in *FeatureInput, d Decision) {
 	switch d {
 	case FillL2:
@@ -462,12 +498,16 @@ func (f *Filter) RecordIssue(in *FeatureInput, d Decision) {
 // squashed before issue (full MSHRs or an in-flight duplicate). The
 // candidate is not inserted into the Prefetch Table — it never became a
 // prefetch — and counts toward Squashed rather than IssuedL2/IssuedLLC.
+//
+//ppflint:hotpath
 func (f *Filter) RecordSquashed() {
 	f.stats.Squashed++
 }
 
 // RecordReject logs a filtered-out candidate in the Reject Table so a
 // later demand to the block can correct the false negative.
+//
+//ppflint:hotpath
 func (f *Filter) RecordReject(in *FeatureInput) {
 	idx, tag := recordIndex(in.Addr)
 	f.ensureScratch(in)
@@ -475,6 +515,8 @@ func (f *Filter) RecordReject(in *FeatureInput) {
 }
 
 // Filter is the one-shot convenience path: decide and record in one call.
+//
+//ppflint:hotpath
 func (f *Filter) Filter(in *FeatureInput) Decision {
 	d := f.Decide(in)
 	if d == Drop {
@@ -492,6 +534,8 @@ func (f *Filter) Filter(in *FeatureInput) Decision {
 //
 // Call before triggering the prefetcher for the same access so the
 // training uses the pre-trigger table state.
+//
+//ppflint:hotpath
 func (f *Filter) OnDemand(addr uint64) {
 	idx, tag := recordIndex(addr)
 	if e := &f.prefetchTable[idx]; e.valid && e.tag == tag {
@@ -519,6 +563,8 @@ func (f *Filter) OnDemand(addr uint64) {
 // OnEvict trains the filter when the L2 evicts a block (paper §3.1
 // "Training"): if the evicted block was brought in by a prefetch that was
 // never used, the filter mispredicted and the weights are pushed negative.
+//
+//ppflint:hotpath
 func (f *Filter) OnEvict(addr uint64, used bool) {
 	idx, tag := recordIndex(addr)
 	e := &f.prefetchTable[idx]

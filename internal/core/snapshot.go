@@ -42,6 +42,8 @@ func (e *recordEntry) snapshotWalk(w *snap.Walker) {
 // stream latches ErrBadDecision instead of restoring a verdict that
 // does not exist — record-table entries carry the perceptron decision,
 // making this part of every filter snapshot.
+//
+//ppflint:hotpath
 func (d *Decision) SnapshotWalk(w *snap.Walker) {
 	b := uint8(*d)
 	w.Uint8(&b)
@@ -58,6 +60,8 @@ func (d *Decision) SnapshotWalk(w *snap.Walker) {
 // is parked in Static — but the ppfd wire framing (internal/engine,
 // internal/serve) reuses this walk to move candidate events, so the
 // event encoding cannot drift from the snapshot codec's conventions.
+//
+//ppflint:hotpath
 func (in *FeatureInput) SnapshotWalk(w *snap.Walker) {
 	w.Uint64(&in.Addr)
 	w.Uint64(&in.PC)
@@ -69,6 +73,8 @@ func (in *FeatureInput) SnapshotWalk(w *snap.Walker) {
 }
 
 // SnapshotWalk round-trips every filter counter.
+//
+//ppflint:hotpath
 func (s *Stats) SnapshotWalk(w *snap.Walker) {
 	w.Uint64(&s.Inferences)
 	w.Uint64(&s.IssuedL2)

@@ -25,7 +25,12 @@ import (
 	"repro/internal/snap"
 )
 
-// Session is one leased filter instance with explicit lifecycle.
+// Session is one leased filter instance with explicit lifecycle. It is
+// single-goroutine by construction (one owner per lease; the server
+// gives each connection a dedicated worker), so its state is guarded by
+// ownership, not locks: only Session methods may touch the fields.
+//
+//ppflint:guardedby receiver
 type Session struct {
 	f *core.Filter
 }
@@ -99,6 +104,8 @@ func (s *Session) SnapshotWalk(w *snap.Walker) { s.f.SnapshotWalk(w) }
 // candidate is decided and recorded in one step (the one-shot
 // core.Filter path): the served protocol has no squash feedback, so an
 // accepted candidate is accounted as issued under its verdict.
+//
+//ppflint:hotpath
 func (s *Session) Apply(ev *Event) (core.Decision, bool) {
 	switch ev.Kind {
 	case KindCandidate:
@@ -122,7 +129,12 @@ func (s *Session) Apply(ev *Event) (core.Decision, bool) {
 // reorder work — so the returned decisions and the post-batch filter
 // state are bit-identical to Apply called once per event on the same
 // stream. TestBatchBitIdenticalToSequential pins this guarantee; the
-// server's batch endpoint inherits it.
+// server's batch endpoint inherits it. The loop itself is allocation
+// free; append growth is the caller's buffer policy (the server's
+// worker passes a reused MaxBatch-capacity buffer, so the served batch
+// path never grows it).
+//
+//ppflint:hotpath
 func (s *Session) ApplyBatch(events []Event, out []core.Decision) []core.Decision {
 	for i := range events {
 		if d, ok := s.Apply(&events[i]); ok {

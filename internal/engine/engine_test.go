@@ -153,8 +153,8 @@ func TestSessionRestoreRejectsCorruption(t *testing.T) {
 	}
 	for name, data := range cases {
 		r := New(core.DefaultConfig())
-		if err := r.Restore(data); err == nil {
-			t.Errorf("%s: restore accepted a corrupt blob", name)
+		if err := r.Restore(data); !errors.Is(err, ErrBadSessionSnapshot) {
+			t.Errorf("%s: restore of a corrupt blob: err = %v, want ErrBadSessionSnapshot", name, err)
 		}
 	}
 }

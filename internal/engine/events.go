@@ -34,11 +34,22 @@ const (
 var ErrBadKind = errors.New("engine: invalid event kind")
 
 // ParseKind validates an event-kind byte arriving from the wire.
+//
+//ppflint:hotpath
 func ParseKind(b uint8) (Kind, error) {
 	if b >= uint8(kindCount) {
-		return 0, fmt.Errorf("%w: byte 0x%02x", ErrBadKind, b)
+		return 0, errBadKindByte(b)
 	}
 	return Kind(b), nil
+}
+
+// errBadKindByte is outlined so ParseKind inlines into the batch decode
+// walk without fmt.Errorf's argument boxing escaping on the error
+// branch.
+//
+//go:noinline
+func errBadKindByte(b uint8) error {
+	return fmt.Errorf("%w: byte 0x%02x", ErrBadKind, b)
 }
 
 // String renders the kind for diagnostics.
@@ -86,6 +97,8 @@ func Evict(addr uint64, used bool) Event {
 // count followed by this walk per event. Decode validates the kind byte
 // through ParseKind, so a corrupt frame latches ErrBadKind instead of
 // dispatching an undefined event.
+//
+//ppflint:hotpath
 func (e *Event) SnapshotWalk(w *snap.Walker) {
 	b := uint8(e.Kind)
 	w.Uint8(&b)

@@ -20,10 +20,13 @@ import (
 // its keys from a canonical rendering of the full simulator
 // configuration.
 type Memo[V any] struct {
-	mu      sync.Mutex
+	mu sync.Mutex
+	//ppflint:guardedby mu
 	entries map[string]*memoEntry[V]
-	hits    uint64
-	misses  uint64
+	//ppflint:guardedby mu
+	hits uint64
+	//ppflint:guardedby mu
+	misses uint64
 }
 
 // memoEntry is one key's slot. The sync.Once gives single-flight

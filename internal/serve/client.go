@@ -54,7 +54,11 @@ func (c *Client) Close() error { return c.conn.Close() }
 // roundTrip sends one frame and decodes the response header, expecting
 // wantOp. An opErr response decodes into the typed *WireError it
 // carries. Returns a decoder positioned after the op byte plus the
-// frame length (for Len caps).
+// frame length (for Len caps). The wantOp argument is the client's
+// decode dispatch; ops passed here count as decoded for the wireproto
+// analyzer.
+//
+//ppflint:wiredecode
 func (c *Client) roundTrip(body []byte, wantOp uint8) (*responseFrame, error) {
 	if err := writeFrame(c.bw, body); err != nil {
 		return nil, err
@@ -77,6 +81,13 @@ func (c *Client) roundTrip(body []byte, wantOp uint8) (*responseFrame, error) {
 	}
 	if op != wantOp {
 		return nil, fmt.Errorf("%w: response op 0x%02x, want 0x%02x", ErrBadFrame, op, wantOp)
+	}
+	// Hold responses to the same bound table the server enforces. The
+	// client has no batch cap of its own, so the frame cap stands in;
+	// fixed-size ops (opOK, opStatsRep) still get their tight bounds —
+	// trailing garbage fails typed here even on paths that skip Finish.
+	if b := boundFor(op, c.maxFrame, c.maxFrame); len(resp) > b {
+		return nil, fmt.Errorf("%w: response op 0x%02x frame of %d bytes exceeds bound %d", ErrTooLarge, op, len(resp), b)
 	}
 	return &responseFrame{w: w, n: len(resp)}, nil
 }

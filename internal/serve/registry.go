@@ -16,13 +16,16 @@ const stripeCount = 64
 // connection currently owns it. Sessions outlive connections — a client
 // that reconnects with the same key resumes its trained filter.
 type lease struct {
-	sess  *engine.Session
+	//ppflint:guardedby stripe.mu
+	sess *engine.Session
+	//ppflint:guardedby stripe.mu
 	inUse bool
 }
 
 // stripe is one shard of the registry.
 type stripe struct {
-	mu       sync.Mutex
+	mu sync.Mutex
+	//ppflint:guardedby mu
 	sessions map[string]*lease
 }
 
@@ -35,6 +38,8 @@ type registry struct {
 
 // stripeFor hashes the key to its stripe (FNV-1a folded to the stripe
 // mask; stable and dependency-free).
+//
+//ppflint:hotpath
 func (r *registry) stripeFor(key string) *stripe {
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(key); i++ {

@@ -410,6 +410,77 @@ func TestWireErrorRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSentinelCodesSurviveWire pins each exported sentinel to its wire
+// code: encode the sentinel into an opErr frame, decode it back, and
+// the result must still satisfy errors.Is against the same sentinel —
+// the failure class survives the connection regardless of which side
+// produced it.
+func TestSentinelCodesSurviveWire(t *testing.T) {
+	overWire := func(we *WireError) error {
+		body := encodeError(we)
+		w := snap.NewDecoder(body)
+		var op uint8
+		w.Uint8(&op)
+		return decodeError(w, len(body))
+	}
+	if err := overWire(ErrBadFrame); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("ErrBadFrame lost its class over the wire: %v", err)
+	}
+	if err := overWire(ErrBadOrder); !errors.Is(err, ErrBadOrder) {
+		t.Errorf("ErrBadOrder lost its class over the wire: %v", err)
+	}
+	if err := overWire(ErrSessionBusy); !errors.Is(err, ErrSessionBusy) {
+		t.Errorf("ErrSessionBusy lost its class over the wire: %v", err)
+	}
+	if err := overWire(ErrOverloaded); !errors.Is(err, ErrOverloaded) {
+		t.Errorf("ErrOverloaded lost its class over the wire: %v", err)
+	}
+	if err := overWire(ErrTooLarge); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("ErrTooLarge lost its class over the wire: %v", err)
+	}
+	if err := overWire(ErrInternal); !errors.Is(err, ErrInternal) {
+		t.Errorf("ErrInternal lost its class over the wire: %v", err)
+	}
+}
+
+// TestWireSizeConstants pins the per-item wire sizes boundFor assumes
+// against the actual codec, so a snap or struct change that alters an
+// encoding cannot silently invalidate the frame-size bound table.
+func TestWireSizeConstants(t *testing.T) {
+	measure := func(name string, walk func(w *snap.Walker)) int {
+		t.Helper()
+		enc := snap.NewEncoder()
+		walk(enc)
+		b, err := enc.Bytes()
+		if err != nil {
+			t.Fatalf("encoding %s: %v", name, err)
+		}
+		return len(b)
+	}
+	if got := measure("Len", func(w *snap.Walker) { n := 0; w.Len(&n) }); got != lenFieldSize {
+		t.Errorf("Len field encodes to %d bytes, lenFieldSize = %d", got, lenFieldSize)
+	}
+	ev := syntheticEvents(1, 1)[0]
+	if got := measure("Event", ev.SnapshotWalk); got != eventWireSize {
+		t.Errorf("Event encodes to %d bytes, eventWireSize = %d", got, eventWireSize)
+	}
+	d := core.FillL2
+	if got := measure("Decision", d.SnapshotWalk); got != decisionWireSize {
+		t.Errorf("Decision encodes to %d bytes, decisionWireSize = %d", got, decisionWireSize)
+	}
+	var st core.Stats
+	if got := measure("Stats", st.SnapshotWalk); got != statsWireSize {
+		t.Errorf("Stats encodes to %d bytes, statsWireSize = %d", got, statsWireSize)
+	}
+	// Every op must fit its bound into the default frame cap, or the
+	// server would shed frames its own bounds call legal.
+	for _, op := range []uint8{opHello, opBatch, opStats, opSnapshot, opReset, opOK, opDecisions, opStatsRep, opSnapRep, opErr} {
+		if b := boundFor(op, DefaultMaxFrame, DefaultMaxBatch); b > DefaultMaxFrame {
+			t.Errorf("op 0x%02x bound %d exceeds DefaultMaxFrame %d", op, b, DefaultMaxFrame)
+		}
+	}
+}
+
 // TestLoadHarnessSmoke runs the miniature version of cmd/ppfd -loadtest
 // end to end and sanity-checks the emitted rows.
 func TestLoadHarnessSmoke(t *testing.T) {

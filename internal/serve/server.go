@@ -78,9 +78,12 @@ type Server struct {
 	cfg Config
 	reg registry
 
-	mu     sync.Mutex
-	lis    net.Listener
-	conns  map[net.Conn]struct{}
+	mu sync.Mutex
+	//ppflint:guardedby mu
+	lis net.Listener
+	//ppflint:guardedby mu
+	conns map[net.Conn]struct{}
+	//ppflint:guardedby mu
 	closed bool
 	wg     sync.WaitGroup
 
@@ -324,6 +327,9 @@ func (s *Server) readHello(br *bufio.Reader) (string, error) {
 	if w.Err() != nil || op != opHello {
 		return "", ErrBadOrder
 	}
+	if b := boundFor(op, s.cfg.MaxFrame, s.cfg.MaxBatch); len(body) > b {
+		return "", fmt.Errorf("%w: hello frame of %d bytes exceeds bound %d", ErrTooLarge, len(body), b)
+	}
 	key, err := decodeBytesField(w, len(body))
 	if err != nil {
 		return "", err
@@ -344,6 +350,12 @@ func (s *Server) parseRequest(body []byte) (request, error) {
 	w.Uint8(&op)
 	if err := w.Err(); err != nil {
 		return request{}, fmt.Errorf("%w: %w", ErrBadFrame, err)
+	}
+	// Reject oversized frames against the per-op bound table before any
+	// payload decoding: the batch decoder caps its own counts, but the
+	// bound check makes the limit structural for every op at once.
+	if b := boundFor(op, s.cfg.MaxFrame, s.cfg.MaxBatch); len(body) > b {
+		return request{}, fmt.Errorf("%w: op 0x%02x frame of %d bytes exceeds bound %d", ErrTooLarge, op, len(body), b)
 	}
 	switch op {
 	case opBatch:
@@ -425,6 +437,9 @@ func (s *Server) writeErrorFrame(conn net.Conn, bw *bufio.Writer, err error) {
 }
 
 // mustBody is encodeBody for payloads that cannot fail (fixed fields).
+// Ops passed here count as encoded for the wireproto analyzer.
+//
+//ppflint:wireencode
 func mustBody(op uint8, walk func(w *snap.Walker)) []byte {
 	body, err := encodeBody(op, walk)
 	if err != nil {

@@ -120,6 +120,7 @@ var (
 	ErrSessionBusy = &WireError{Code: CodeSessionBusy, Msg: "session key in use"}
 	ErrOverloaded  = &WireError{Code: CodeOverloaded, Msg: "client shed under backpressure"}
 	ErrTooLarge    = &WireError{Code: CodeTooLarge, Msg: "frame exceeds bound"}
+	ErrInternal    = &WireError{Code: CodeInternal, Msg: "server failed to execute request"}
 )
 
 // parseErrorCode validates a code byte from the wire.
@@ -132,6 +133,47 @@ func parseErrorCode(b uint8) (ErrorCode, error) {
 
 // frameHdrLen is the length prefix: one uint32.
 const frameHdrLen = 4
+
+// Per-item wire sizes, fixed by the snap walker conventions: Len writes
+// a uint64, an Event is kind byte + 66-byte FeatureInput walk + used
+// byte, a Decision is one validated byte, a Stats walk is eleven
+// uint64 counters. Pinned by TestWireSizeConstants against the codec.
+const (
+	lenFieldSize     = 8
+	eventWireSize    = 68
+	decisionWireSize = 1
+	statsWireSize    = 88
+	// maxSessionKey bounds the hello key: keys are short routing labels,
+	// and an unbounded key would make the hello frame's size bound
+	// vacuous.
+	maxSessionKey = 4096
+)
+
+// boundFor is the frame-size bound table: the maximum legal body size
+// for each op given the configured frame and batch caps. Both halves
+// consult it — the server rejects oversized requests with ErrTooLarge
+// before decoding, and the client rejects oversized responses instead
+// of trusting the peer. Variable-payload response ops (snapshot blobs,
+// error messages) are bounded by the frame cap alone.
+//
+//ppflint:framebound
+func boundFor(op uint8, maxFrame, maxBatch int) int {
+	switch op {
+	case opHello:
+		return 1 + lenFieldSize + maxSessionKey
+	case opBatch:
+		return 1 + lenFieldSize + maxBatch*eventWireSize
+	case opStats, opSnapshot, opReset, opOK:
+		return 1
+	case opDecisions:
+		return 1 + lenFieldSize + maxBatch*decisionWireSize
+	case opStatsRep:
+		return 1 + statsWireSize
+	case opSnapRep, opErr:
+		return maxFrame
+	}
+	return maxFrame
+}
 
 // writeFrame emits one length-prefixed frame.
 func writeFrame(w io.Writer, body []byte) error {

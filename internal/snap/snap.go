@@ -105,6 +105,8 @@ func (w *Walker) Finish() error {
 // neither walked nor parked here.
 func (w *Walker) Static(...any) {}
 
+//
+//ppflint:hotpath
 func (w *Walker) fail() {
 	if w.err == nil {
 		w.err = ErrTruncated
@@ -112,6 +114,8 @@ func (w *Walker) fail() {
 }
 
 // need reports whether n more input bytes are available to a decoder.
+//
+//ppflint:hotpath
 func (w *Walker) need(n int) bool {
 	if w.err != nil {
 		return false
@@ -124,6 +128,8 @@ func (w *Walker) need(n int) bool {
 }
 
 // Uint64 walks one 64-bit unsigned field.
+//
+//ppflint:hotpath
 func (w *Walker) Uint64(v *uint64) {
 	if w.encoding {
 		if w.err == nil {
@@ -152,6 +158,8 @@ func (w *Walker) Uint32(v *uint32) {
 }
 
 // Uint16 walks one 16-bit unsigned field.
+//
+//ppflint:hotpath
 func (w *Walker) Uint16(v *uint16) {
 	if w.encoding {
 		if w.err == nil {
@@ -166,6 +174,8 @@ func (w *Walker) Uint16(v *uint16) {
 }
 
 // Uint8 walks one byte-sized field.
+//
+//ppflint:hotpath
 func (w *Walker) Uint8(v *uint8) {
 	if w.encoding {
 		if w.err == nil {
@@ -188,6 +198,8 @@ func (w *Walker) Int64(v *int64) {
 
 // Int walks one int field at a fixed 64-bit width, so snapshots do not
 // depend on the platform's int size.
+//
+//ppflint:hotpath
 func (w *Walker) Int(v *int) {
 	u := uint64(int64(*v))
 	w.Uint64(&u)
@@ -210,6 +222,8 @@ func (w *Walker) Int8(v *int8) {
 
 // Bool walks one boolean field as a single 0/1 byte; any other decoded
 // value latches an error (it indicates stream misalignment).
+//
+//ppflint:hotpath
 func (w *Walker) Bool(v *bool) {
 	var u uint8
 	if *v {
@@ -223,9 +237,30 @@ func (w *Walker) Bool(v *bool) {
 		case 1:
 			*v = true
 		default:
-			w.err = fmt.Errorf("snap: invalid bool byte 0x%02x", u)
+			w.err = errBadBoolByte(u)
 		}
 	}
+}
+
+// The walker's decode validations construct errors through outlined
+// //go:noinline helpers: the primitives are on the served batch decode
+// hot path (//ppflint:hotpath), and an inline fmt.Errorf would box its
+// arguments on every call site even though the branch never runs on a
+// healthy stream.
+
+//go:noinline
+func errBadBoolByte(u uint8) error {
+	return fmt.Errorf("snap: invalid bool byte 0x%02x", u)
+}
+
+//go:noinline
+func errBadLen(n int) error {
+	return fmt.Errorf("snap: implausible length %d", n)
+}
+
+//go:noinline
+func errBadLenCap(n, max int) error {
+	return fmt.Errorf("snap: implausible length %d (cap %d)", n, max)
 }
 
 // Float64 walks one float64 field via its IEEE-754 bit pattern, so
@@ -239,10 +274,12 @@ func (w *Walker) Float64(v *float64) {
 // Len walks a variable-length count (for sequences whose length is not
 // pinned by configuration). Decoded values outside [0, maxLen] latch
 // an error so corrupt streams cannot drive huge allocations.
+//
+//ppflint:hotpath
 func (w *Walker) Len(v *int) {
 	w.Int(v)
 	if !w.encoding && w.err == nil && (*v < 0 || *v > maxLen) {
-		w.err = fmt.Errorf("snap: implausible length %d", *v)
+		w.err = errBadLen(*v)
 		// Walk methods are no-ops after an error, but the caller is about
 		// to size an allocation from *v — don't hand it the corrupt count.
 		*v = 0
@@ -252,15 +289,19 @@ func (w *Walker) Len(v *int) {
 // LenCapped is Len with a caller-supplied bound, for sequences whose
 // length is structurally limited (a per-core slice, say): a decoded
 // count beyond max latches an error before the caller allocates for it.
+//
+//ppflint:hotpath
 func (w *Walker) LenCapped(v *int, max int) {
 	w.Int(v)
 	if !w.encoding && w.err == nil && (*v < 0 || *v > max) {
-		w.err = fmt.Errorf("snap: implausible length %d (cap %d)", *v, max)
+		w.err = errBadLenCap(*v, max)
 		*v = 0
 	}
 }
 
 // Uint64s walks a fixed-length []uint64 in place.
+//
+//ppflint:hotpath
 func (w *Walker) Uint64s(v []uint64) {
 	if w.encoding {
 		if w.err == nil {
