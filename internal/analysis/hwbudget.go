@@ -34,7 +34,7 @@ var HWBudget = &Analyzer{
 	Run: runHWBudget,
 }
 
-var hwbudgetScope = []string{"internal/core", "internal/branch"}
+var hwbudgetScope = []string{"internal/core", "internal/branch", "internal/prefetch"}
 
 var sizeConstName = regexp.MustCompile(`(?i)(entries|tablesize)$|^table`)
 

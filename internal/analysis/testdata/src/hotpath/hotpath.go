@@ -54,6 +54,56 @@ func cold(n int) []int {
 	return make([]int, n) //ppflint:escapes make([]int, n) escapes to heap
 }
 
+// The index-matrix scratch shapes below pin the batch-kernel contract
+// from internal/core: the per-burst index matrix must live in the
+// filter (a receiver-resident fixed array reused across calls), never
+// per call. indexVec/filter mirror the production types in miniature.
+
+type indexVec [9]uint16
+
+type filter struct {
+	mat [16]indexVec
+}
+
+// decideBatchResident is the production shape: rows are written into
+// the receiver's fixed-size scratch and never escape the call.
+//
+//ppflint:hotpath
+func (f *filter) decideBatchResident(ins []uint64) int {
+	n := 0
+	for i := range ins {
+		row := &f.mat[i&15]
+		for j := range row {
+			row[j] = uint16(ins[i] >> uint(j))
+		}
+		n += int(row[0])
+	}
+	return n
+}
+
+// decideBatchEscapes is the regression the fixture exists to catch: a
+// per-burst matrix allocated inside the kernel, one heap allocation on
+// every decide call.
+//
+//ppflint:hotpath
+func decideBatchEscapes(ins []uint64) int {
+	mat := make([]indexVec, len(ins)) //ppflint:escapes make([]indexVec, len(ins)) escapes to heap // want "hot path decideBatchEscapes allocates: make.*indexVec.* escapes to heap"
+	for i := range ins {
+		mat[i][0] = uint16(ins[i])
+	}
+	return int(mat[0][0])
+}
+
+// rowLeaks models the subtler escape: a row pointer returned out of the
+// kernel forces the whole receiver scratch to the heap.
+//
+//ppflint:hotpath
+func (f *filter) rowLeaks(in uint64) *indexVec {
+	row := &f.mat[0] //ppflint:escapes f escapes to heap // want "hot path rowLeaks allocates: f escapes to heap"
+	row[0] = uint16(in)
+	return row
+}
+
 // amortized demonstrates the escape hatch for a measured, deliberate
 // allocation (growth amortized across calls).
 //

@@ -1,0 +1,37 @@
+// Package prefetch pins the hwbudget analyzer's scope over the
+// prefetcher package: SPP's signature, pattern and filter tables are
+// budgeted hardware (paper Table 2), so their geometry constants obey
+// the same named-power-of-two discipline as the core filter's.
+package prefetch
+
+const (
+	// Consistent geometry: a signature table whose size matches its
+	// declared index width must stay silent.
+	sigIndexBits    = 8
+	sigTableEntries = 1 << sigIndexBits
+
+	// The paper budgets 2048-entry pattern tables; a non-power-of-two
+	// size would alias under masked indexing.
+	patternTableEntries = 1000 // want "not a power of two"
+
+	// An Entries constant drifted from its index width.
+	zoneIndexBits = 6
+	zoneEntries   = 32 // want "drifted apart"
+)
+
+type sppTables struct {
+	sig     [sigTableEntries]uint16
+	pattern [64]int8 // want "magic number"
+}
+
+// offsetOf masks a block offset into a power-of-two page; the full-ones
+// mask form must stay silent.
+func offsetOf(addr uint64) uint64 {
+	return addr & (sigTableEntries - 1)
+}
+
+// confBucket extracts a tag field, not a table index; the allowlist is
+// the reviewed escape hatch for non-mask AND constants.
+func confBucket(c uint64) uint64 {
+	return c & 0x30 //ppflint:allow hwbudget confidence tag bits, not a table index
+}

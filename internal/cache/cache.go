@@ -174,6 +174,15 @@ type Cache struct {
 	flags   []uint8
 	owner   []int16
 
+	// wayHint caches the last way hit or filled per set, turning the
+	// associative scan into one compare for re-touched blocks (the
+	// common case: hot loads and block-granular reuse). Purely a lookup
+	// accelerator: a block lives in at most one way, so confirming the
+	// hinted tag returns the same index the scan would; a stale hint
+	// just falls through to the scan. Not serialized — a restored cache
+	// starts with cold hints and identical results.
+	wayHint []uint8
+
 	useTick uint64
 
 	// MSHR state, structure-of-arrays. A slot is in use iff
@@ -182,6 +191,15 @@ type Cache struct {
 	mshrBlock []uint64
 	mshrDone  []uint64
 	mshrLow   []bool
+
+	// mshrMaxDone is the latest completion cycle ever committed to the
+	// MSHR file (monotone; derived state, recomputed on snapshot decode).
+	// Once the current cycle passes it, every occupied slot is expired, so
+	// the per-hit pendingFill scan can return immediately: a scan could
+	// only lazily sweep slots, never match one. Expired slots are then
+	// cleared by the next reserve scan exactly as before — the fast path
+	// moves the sweep later, which no read can observe.
+	mshrMaxDone uint64
 
 	next Level
 
@@ -220,6 +238,7 @@ func New(cfg Config, next Level) (*Cache, error) {
 		lastUse:   make([]uint64, n),
 		flags:     make([]uint8, n),
 		owner:     make([]int16, n),
+		wayHint:   make([]uint8, sets),
 		mshrBlock: make([]uint64, cfg.MSHRs),
 		mshrDone:  make([]uint64, cfg.MSHRs),
 		mshrLow:   make([]bool, cfg.MSHRs),
@@ -260,10 +279,15 @@ func (c *Cache) setOf(block uint64) int { return int(block & c.setMask) }
 // lookup returns the line index of the block, or -1. Invalid slots hold
 // invalidTag, so a tag match alone proves residence.
 func (c *Cache) lookup(block uint64) int {
-	base := c.setOf(block) * c.ways
+	set := c.setOf(block)
+	base := set * c.ways
+	if h := int(c.wayHint[set]); h < c.ways && c.tags[base+h] == block {
+		return base + h
+	}
 	tags := c.tags[base : base+c.ways]
 	for w := range tags {
 		if tags[w] == block {
+			c.wayHint[set] = uint8(w)
 			return base + w
 		}
 	}
@@ -276,6 +300,9 @@ func (c *Cache) Contains(addr uint64) bool { return c.lookup(addr>>BlockBits) >=
 // pendingFill returns the MSHR slot index of the in-flight fill for
 // block, if one is outstanding and still in the future at cycle `at`.
 func (c *Cache) pendingFill(block, at uint64) (int, bool) {
+	if at >= c.mshrMaxDone {
+		return -1, false
+	}
 	for i, b := range c.mshrBlock {
 		if b == block {
 			if c.mshrDone[i] <= at {
@@ -294,6 +321,13 @@ func (c *Cache) pendingFill(block, at uint64) (int, bool) {
 // fill (a structural-hazard stall). The caller must fill the slot with
 // commitMSHR once the completion time is known.
 func (c *Cache) reserveMSHR(at uint64) (idx int, start uint64) {
+	if at >= c.mshrMaxDone {
+		// Quiescent file: every occupied slot is expired, so the scan
+		// below would sweep them all and hand back slot 0 at cycle `at`.
+		// Return that directly; the expired slots stay set, which no read
+		// can observe — every scan treats an expired slot as free.
+		return 0, at
+	}
 	freeIdx := -1
 	var minDone uint64 = ^uint64(0)
 	minIdx := 0
@@ -342,6 +376,9 @@ func (c *Cache) commitMSHR(idx int, block, done uint64) {
 	c.mshrBlock[idx] = block
 	c.mshrDone[idx] = done
 	c.mshrLow[idx] = false
+	if done > c.mshrMaxDone {
+		c.mshrMaxDone = done
+	}
 }
 
 // commitMSHRPrefetch records an outstanding prefetch-priority fill.
@@ -349,6 +386,9 @@ func (c *Cache) commitMSHRPrefetch(idx int, block, done uint64) {
 	c.mshrBlock[idx] = block
 	c.mshrDone[idx] = done
 	c.mshrLow[idx] = true
+	if done > c.mshrMaxDone {
+		c.mshrMaxDone = done
+	}
 }
 
 // reserveMSHRPrefetch claims a slot for a prefetch fill without ever
@@ -356,6 +396,11 @@ func (c *Cache) commitMSHRPrefetch(idx int, block, done uint64) {
 // under MSHR pressure rather than back-pressuring demands, and a quarter
 // of the file is kept free for demand traffic.
 func (c *Cache) reserveMSHRPrefetch(at uint64) (idx int, ok bool) {
+	if at >= c.mshrMaxDone {
+		// Quiescent file (see reserveMSHR): the whole file is free, which
+		// always clears the keep-a-quarter-free demand headroom check.
+		return 0, true
+	}
 	free := 0
 	freeIdx := -1
 	for i, b := range c.mshrBlock {
@@ -426,6 +471,7 @@ func (c *Cache) insert(block uint64, at uint64, prefetched bool, owner int) int 
 	}
 	c.flags[idx] = fl
 	c.owner[idx] = int16(owner)
+	c.wayHint[c.setOf(block)] = uint8(idx - c.setOf(block)*c.ways)
 	return idx
 }
 

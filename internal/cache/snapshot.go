@@ -18,7 +18,24 @@ func (c *Cache) SnapshotWalk(w *snap.Walker) {
 	w.Uint64s(c.mshrBlock)
 	w.Uint64s(c.mshrDone)
 	w.Bools(c.mshrLow)
+	// mshrMaxDone is derived (monotone max over committed fills), so it
+	// stays Static and decode recomputes a bound from the occupied slots:
+	// any value >= every occupied slot's completion keeps the pendingFill
+	// fast path exact.
+	w.Static(c.mshrMaxDone)
+	if w.Decoding() {
+		c.mshrMaxDone = 0
+		for i, b := range c.mshrBlock {
+			if b != invalidTag && c.mshrDone[i] > c.mshrMaxDone {
+				c.mshrMaxDone = c.mshrDone[i]
+			}
+		}
+	}
 	c.stats.SnapshotWalk(w)
+	// wayHint is a pure lookup accelerator: stale or cold hints are
+	// verified against the tag array before use, so a restored cache with
+	// zeroed hints behaves identically.
+	w.Static(c.wayHint)
 	w.Static(c.cfg, c.sets, c.ways, c.setMask, c.next,
 		c.EvictHook, c.UsefulHook, c.DemandHook)
 }

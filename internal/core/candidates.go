@@ -18,12 +18,14 @@ func CandidateFeatures() []FeatureSpec {
 			// alias together); PC⊕Depth supersedes it.
 			Name:      "DepthOnly",
 			TableSize: 128,
+			Kind:      KindDepthOnly,
 			Index:     func(in *FeatureInput) uint64 { return uint64(in.Depth) },
 		},
 		{
 			// Raw delta: captured better by PC⊕Delta and Sig⊕Delta.
 			Name:      "DeltaOnly",
 			TableSize: 256,
+			Kind:      KindDeltaOnly,
 			Index:     func(in *FeatureInput) uint64 { return deltaCode(in.Delta) },
 		},
 		{
@@ -31,12 +33,14 @@ func CandidateFeatures() []FeatureSpec {
 			// lookahead prefetcher since all depths alias to one PC.
 			Name:      "PCOnly",
 			TableSize: tableMedium,
+			Kind:      KindPCOnly,
 			Index:     func(in *FeatureInput) uint64 { return in.PC },
 		},
 		{
 			// Block offset within the page: subsumed by CacheLine.
 			Name:      "PageOffset",
 			TableSize: 64,
+			Kind:      KindPageOffset,
 			Index:     func(in *FeatureInput) uint64 { return in.Addr >> 6 & 63 },
 		},
 		{
@@ -45,6 +49,7 @@ func CandidateFeatures() []FeatureSpec {
 			// directly folding the address bits into half").
 			Name:      "AddrFold",
 			TableSize: tableLarge,
+			Kind:      KindAddrFold,
 			Index: func(in *FeatureInput) uint64 {
 				blk := in.Addr >> 6
 				return blk ^ blk>>16
@@ -54,6 +59,7 @@ func CandidateFeatures() []FeatureSpec {
 			// Confidence XOR depth: correlated with both parents.
 			Name:      "ConfXorDepth",
 			TableSize: tableSmall,
+			Kind:      KindConfXorDepth,
 			Index: func(in *FeatureInput) uint64 {
 				return uint64(in.Confidence) ^ uint64(in.Depth)<<7
 			},
@@ -62,6 +68,7 @@ func CandidateFeatures() []FeatureSpec {
 			// Signature XOR page: another page-centric composite.
 			Name:      "SigXorPage",
 			TableSize: tableMedium,
+			Kind:      KindSigXorPage,
 			Index: func(in *FeatureInput) uint64 {
 				return uint64(in.Signature) ^ in.Addr>>12
 			},
@@ -70,6 +77,7 @@ func CandidateFeatures() []FeatureSpec {
 			// Signature XOR depth.
 			Name:      "SigXorDepth",
 			TableSize: tableMedium,
+			Kind:      KindSigXorDepth,
 			Index: func(in *FeatureInput) uint64 {
 				return uint64(in.Signature) ^ uint64(in.Depth)<<9
 			},
@@ -78,18 +86,21 @@ func CandidateFeatures() []FeatureSpec {
 			// PC XOR page address.
 			Name:      "PCXorPage",
 			TableSize: tableMedium,
+			Kind:      KindPCXorPage,
 			Index:     func(in *FeatureInput) uint64 { return in.PC ^ in.Addr>>12 },
 		},
 		{
 			// PC XOR cache line.
 			Name:      "PCXorLine",
 			TableSize: tableMedium,
+			Kind:      KindPCXorLine,
 			Index:     func(in *FeatureInput) uint64 { return in.PC ^ in.Addr>>6 },
 		},
 		{
 			// Two-deep PC path (shallower variant of PCPath).
 			Name:      "PCPath2",
 			TableSize: tableMedium,
+			Kind:      KindPCPath2,
 			Index: func(in *FeatureInput) uint64 {
 				return in.PCHist[0] ^ in.PCHist[1]>>1
 			},
@@ -98,6 +109,7 @@ func CandidateFeatures() []FeatureSpec {
 			// Confidence XOR delta.
 			Name:      "ConfXorDelta",
 			TableSize: tableSmall,
+			Kind:      KindConfXorDelta,
 			Index: func(in *FeatureInput) uint64 {
 				return uint64(in.Confidence) ^ deltaCode(in.Delta)<<5
 			},
@@ -106,6 +118,7 @@ func CandidateFeatures() []FeatureSpec {
 			// Cache line XOR depth: the line view already dominates.
 			Name:      "LineXorDepth",
 			TableSize: tableLarge,
+			Kind:      KindLineXorDepth,
 			Index: func(in *FeatureInput) uint64 {
 				return in.Addr>>6 ^ uint64(in.Depth)<<10
 			},

@@ -50,10 +50,117 @@ type FeatureSpec struct {
 	Name string
 	// TableSize is the number of weights dedicated to the feature; the
 	// paper sizes tables by observed feature importance (Table 3:
-	// 4×4096, 2×2048, 2×1024, 1×128).
+	// 4×4096, 2×2048, 2×1024, 1×128). Must be a power of two: the
+	// filter folds hashes onto tables with a mask, matching the
+	// indexed-by-low-bits hardware the hwbudget analyzer audits.
 	TableSize int
-	// Index computes the raw feature value.
+	// Index computes the raw feature value. It remains the
+	// specification of record for the feature — equivalence tests and
+	// the feature-selection experiment read it — but the filter's hot
+	// path dispatches on Kind instead when one is declared, so bursts
+	// are computed without indirect calls.
 	Index func(in *FeatureInput) uint64
+	// Kind names the built-in index computation, letting the filter
+	// devirtualize the hot path (featureRaw's switch replaces the Index
+	// closure call). KindCustom (the zero value) keeps the closure
+	// path, so externally-constructed specs work unchanged.
+	Kind FeatureKind
+}
+
+// FeatureKind enumerates the built-in feature index computations so the
+// decide kernel can dispatch on a dense switch instead of an indirect
+// closure call per feature per candidate. KindCustom (zero) means "call
+// the Index func"; every spec returned by DefaultFeatures,
+// CandidateFeatures and LastSignatureFeature carries its kind, and
+// TestFeatureRawMatchesIndex pins the switch to the closures.
+type FeatureKind uint8
+
+// Built-in feature kinds, one per spec in the candidate pool.
+const (
+	KindCustom FeatureKind = iota
+	KindCacheLine
+	KindPageAddr
+	KindPhysAddr
+	KindConfXorPage
+	KindPCPath
+	KindSigXorDelta
+	KindPCXorDepth
+	KindPCXorDelta
+	KindConfidence
+	KindLastSignature
+	KindDepthOnly
+	KindDeltaOnly
+	KindPCOnly
+	KindPageOffset
+	KindAddrFold
+	KindConfXorDepth
+	KindSigXorPage
+	KindSigXorDepth
+	KindPCXorPage
+	KindPCXorLine
+	KindPCPath2
+	KindConfXorDelta
+	KindLineXorDepth
+)
+
+// featureRaw computes the raw feature value for a built-in kind. Each
+// case mirrors the corresponding Index closure expression exactly —
+// bit-for-bit, including shift and XOR order — so devirtualizing cannot
+// move a single table index.
+//
+//ppflint:hotpath
+func featureRaw(k FeatureKind, in *FeatureInput) uint64 {
+	switch k {
+	case KindCacheLine:
+		return in.Addr >> 6
+	case KindPageAddr:
+		return in.Addr >> 12
+	case KindPhysAddr:
+		return in.Addr >> 2
+	case KindConfXorPage:
+		return uint64(in.Confidence) ^ in.Addr>>12
+	case KindPCPath:
+		return in.PCHist[0] ^ in.PCHist[1]>>1 ^ in.PCHist[2]>>2
+	case KindSigXorDelta:
+		return uint64(in.Signature) ^ deltaCode(in.Delta)
+	case KindPCXorDepth:
+		return in.PC ^ uint64(in.Depth)<<5
+	case KindPCXorDelta:
+		return in.PC ^ deltaCode(in.Delta)<<3
+	case KindConfidence:
+		return uint64(in.Confidence)
+	case KindLastSignature:
+		return uint64(in.Signature)
+	case KindDepthOnly:
+		return uint64(in.Depth)
+	case KindDeltaOnly:
+		return deltaCode(in.Delta)
+	case KindPCOnly:
+		return in.PC
+	case KindPageOffset:
+		return in.Addr >> 6 & 63
+	case KindAddrFold:
+		blk := in.Addr >> 6
+		return blk ^ blk>>16
+	case KindConfXorDepth:
+		return uint64(in.Confidence) ^ uint64(in.Depth)<<7
+	case KindSigXorPage:
+		return uint64(in.Signature) ^ in.Addr>>12
+	case KindSigXorDepth:
+		return uint64(in.Signature) ^ uint64(in.Depth)<<9
+	case KindPCXorPage:
+		return in.PC ^ in.Addr>>12
+	case KindPCXorLine:
+		return in.PC ^ in.Addr>>6
+	case KindPCPath2:
+		return in.PCHist[0] ^ in.PCHist[1]>>1
+	case KindConfXorDelta:
+		return uint64(in.Confidence) ^ deltaCode(in.Delta)<<5
+	case KindLineXorDepth:
+		return in.Addr>>6 ^ uint64(in.Depth)<<10
+	default:
+		return 0
+	}
 }
 
 // mix is a 64-bit finaliser (splitmix64) used to fold raw feature values
@@ -84,6 +191,7 @@ func DefaultFeatures() []FeatureSpec {
 			// block size. Highest-importance address view.
 			Name:      "CacheLine",
 			TableSize: tableLarge,
+			Kind:      KindCacheLine,
 			Index:     func(in *FeatureInput) uint64 { return in.Addr >> 6 },
 		},
 		{
@@ -91,12 +199,14 @@ func DefaultFeatures() []FeatureSpec {
 			// size.
 			Name:      "PageAddr",
 			TableSize: tableLarge,
+			Kind:      KindPageAddr,
 			Index:     func(in *FeatureInput) uint64 { return in.Addr >> 12 },
 		},
 		{
 			// Lower bits of the physical address of the trigger access.
 			Name:      "PhysAddr",
 			TableSize: tableLarge,
+			Kind:      KindPhysAddr,
 			Index:     func(in *FeatureInput) uint64 { return in.Addr >> 2 },
 		},
 		{
@@ -105,6 +215,7 @@ func DefaultFeatures() []FeatureSpec {
 			// be prefetch friendly at the current confidence.
 			Name:      "ConfXorPage",
 			TableSize: tableLarge,
+			Kind:      KindConfXorPage,
 			Index: func(in *FeatureInput) uint64 {
 				return uint64(in.Confidence) ^ in.Addr>>12
 			},
@@ -114,6 +225,7 @@ func DefaultFeatures() []FeatureSpec {
 			// the trigger, blurred with age.
 			Name:      "PCPath",
 			TableSize: tableMedium,
+			Kind:      KindPCPath,
 			Index: func(in *FeatureInput) uint64 {
 				return in.PCHist[0] ^ in.PCHist[1]>>1 ^ in.PCHist[2]>>2
 			},
@@ -123,6 +235,7 @@ func DefaultFeatures() []FeatureSpec {
 			// next signature along the speculative path.
 			Name:      "SigXorDelta",
 			TableSize: tableMedium,
+			Kind:      KindSigXorDelta,
 			Index: func(in *FeatureInput) uint64 {
 				return uint64(in.Signature) ^ deltaCode(in.Delta)
 			},
@@ -132,6 +245,7 @@ func DefaultFeatures() []FeatureSpec {
 			// distinct value per speculation depth.
 			Name:      "PCXorDepth",
 			TableSize: tableSmall,
+			Kind:      KindPCXorDepth,
 			Index: func(in *FeatureInput) uint64 {
 				return in.PC ^ uint64(in.Depth)<<5
 			},
@@ -140,6 +254,7 @@ func DefaultFeatures() []FeatureSpec {
 			// PC XOR delta: whether this PC favours particular deltas.
 			Name:      "PCXorDelta",
 			TableSize: tableSmall,
+			Kind:      KindPCXorDelta,
 			Index: func(in *FeatureInput) uint64 {
 				return in.PC ^ deltaCode(in.Delta)<<3
 			},
@@ -148,6 +263,7 @@ func DefaultFeatures() []FeatureSpec {
 			// Raw SPP confidence on its 0–100 scale.
 			Name:      "Confidence",
 			TableSize: tableConf,
+			Kind:      KindConfidence,
 			Index:     func(in *FeatureInput) uint64 { return uint64(in.Confidence) },
 		},
 	}
@@ -161,6 +277,7 @@ func LastSignatureFeature() FeatureSpec {
 	return FeatureSpec{
 		Name:      "LastSignature",
 		TableSize: tableLarge,
+		Kind:      KindLastSignature,
 		Index:     func(in *FeatureInput) uint64 { return uint64(in.Signature) },
 	}
 }

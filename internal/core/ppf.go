@@ -192,10 +192,26 @@ type recordEntry struct {
 func (e *recordEntry) issued() bool { return e.decision != Drop }
 
 // Filter is the perceptron prefetch filter.
+//
+// The weight tables live in one contiguous int8 plane: feature i's
+// table occupies plane[base[i] : base[i]+TableSize]. The flat layout
+// keeps every per-candidate sum inside one allocation (one cache-line
+// stream instead of a pointer chase through a slice of slices), and the
+// precomputed per-feature masks replace the `mix % len` fold with a
+// single AND — legal because New enforces power-of-two table sizes.
 type Filter struct {
 	cfg      Config
 	features []FeatureSpec
-	weights  [][]int8
+
+	// nf caches len(features); base/fmask/kinds are the per-feature
+	// plane offsets, index masks (TableSize-1) and devirtualized index
+	// kinds, all derived from cfg in New and immutable afterwards.
+	nf         int
+	plane      []int8
+	base       [MaxFeatures]uint32
+	fmask      [MaxFeatures]uint32
+	kinds      [MaxFeatures]FeatureKind
+	defaultSet bool
 
 	prefetchTable [recordTableEntries]recordEntry
 	rejectTable   [recordTableEntries]recordEntry
@@ -212,6 +228,13 @@ type Filter struct {
 	scratchIdx   indexVec
 	scratchFor   FeatureInput
 	scratchValid bool
+
+	// mat is the index matrix the burst kernels fill: one row of
+	// feature-table indices per candidate in the current chunk. It is
+	// filter-resident scratch, not state — DecideBatch/FilterBatch
+	// overwrite it every chunk — so it never escapes per burst and is
+	// parked in Static by SnapshotWalk.
+	mat [batchChunk]indexVec
 
 	// OnTrainEvent, when non-nil, observes every training example: the
 	// weight each feature table currently holds for the example, and the
@@ -236,8 +259,8 @@ func New(cfg Config) *Filter {
 	if len(feats) > MaxFeatures {
 		panic(fmt.Sprintf("core: %d features exceeds MaxFeatures=%d", len(feats), MaxFeatures))
 	}
-	f := &Filter{cfg: cfg, features: feats}
-	f.weights = make([][]int8, len(feats))
+	f := &Filter{cfg: cfg, features: feats, nf: len(feats)}
+	total := 0
 	for i, spec := range feats {
 		if spec.TableSize <= 0 {
 			panic(fmt.Sprintf("core: feature %q has non-positive table size", spec.Name))
@@ -245,9 +268,54 @@ func New(cfg Config) *Filter {
 		if spec.TableSize > 1<<16 {
 			panic(fmt.Sprintf("core: feature %q table size %d exceeds the 1<<16 cached-index limit", spec.Name, spec.TableSize))
 		}
-		f.weights[i] = make([]int8, spec.TableSize)
+		if spec.TableSize&(spec.TableSize-1) != 0 {
+			panic(fmt.Sprintf("core: feature %q table size %d is not a power of two", spec.Name, spec.TableSize))
+		}
+		f.base[i] = uint32(total)
+		f.fmask[i] = uint32(spec.TableSize - 1)
+		f.kinds[i] = spec.Kind
+		total += spec.TableSize
 	}
+	f.plane = make([]int8, total)
+	f.defaultSet = isDefaultSet(feats)
 	return f
+}
+
+// defaultKinds/defaultSizes pin the geometry computeRowDefault is
+// compiled against; isDefaultSet gates the straight-line path on an
+// exact match so a custom set reusing built-in kinds at different table
+// sizes still takes the general masked path.
+var (
+	defaultKinds = [9]FeatureKind{
+		KindCacheLine, KindPageAddr, KindPhysAddr, KindConfXorPage,
+		KindPCPath, KindSigXorDelta, KindPCXorDepth, KindPCXorDelta,
+		KindConfidence,
+	}
+	defaultSizes = [9]int{
+		tableLarge, tableLarge, tableLarge, tableLarge,
+		tableMedium, tableMedium, tableSmall, tableSmall,
+		tableConf,
+	}
+)
+
+func isDefaultSet(feats []FeatureSpec) bool {
+	if len(feats) != len(defaultKinds) {
+		return false
+	}
+	for i := range feats {
+		if feats[i].Kind != defaultKinds[i] || feats[i].TableSize != defaultSizes[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// tableOf returns feature i's weight table as a view into the flat
+// plane (snapshot and observability paths; the hot path indexes the
+// plane directly through base/fmask).
+func (f *Filter) tableOf(i int) []int8 {
+	lo, hi := f.base[i], f.base[i]+f.fmask[i]+1
+	return f.plane[lo:hi:hi]
 }
 
 // Stats returns a copy of the accumulated counters.
@@ -289,8 +357,9 @@ func (f *Filter) FeatureNames() []string {
 // WeightsOf returns a copy of the trained weight table for feature i,
 // for the paper's feature-analysis methodology (Figures 6–8).
 func (f *Filter) WeightsOf(i int) []int8 {
-	out := make([]int8, len(f.weights[i]))
-	copy(out, f.weights[i])
+	t := f.tableOf(i)
+	out := make([]int8, len(t))
+	copy(out, t)
 	return out
 }
 
@@ -312,16 +381,24 @@ func (f *Filter) OnLoadPC(pc uint64) {
 func (f *Filter) PCHist() PCHistory { return f.pcHist }
 
 // indexFor folds feature i's raw value for in onto its weight table.
+// Masking is bit-identical to the former `mix % size` fold: New
+// enforces power-of-two sizes, and x % 2^k == x & (2^k - 1) for the
+// non-negative mix output.
 //
 //ppflint:hotpath
 func (f *Filter) indexFor(i int, in *FeatureInput) int {
-	raw := f.features[i].Index(in)
-	return int(mix(raw) % uint64(len(f.weights[i])))
+	var raw uint64
+	if k := f.kinds[i]; k != KindCustom {
+		raw = featureRaw(k, in)
+	} else {
+		raw = f.features[i].Index(in)
+	}
+	return int(mix(raw) & uint64(f.fmask[i]))
 }
 
 // computeScratch evaluates every feature's table index for the input
 // held in f.scratchFor, writing the vector into f.scratchIdx. All index
-// computation funnels through the filter-resident scratch pair: the
+// computation funnels through the filter-resident scratch pair: custom
 // feature Index funcs are indirect calls, so handing them a pointer to a
 // stack value would force the whole 80-byte input to escape to the heap
 // on every event — pointing them at a field of the (already
@@ -329,11 +406,7 @@ func (f *Filter) indexFor(i int, in *FeatureInput) int {
 //
 //ppflint:hotpath
 func (f *Filter) computeScratch() {
-	in := &f.scratchFor
-	for i := range f.features {
-		raw := f.features[i].Index(in)
-		f.scratchIdx[i] = uint16(mix(raw) % uint64(len(f.weights[i])))
-	}
+	f.computeRow(&f.scratchFor, &f.scratchIdx)
 	f.scratchValid = true
 }
 
@@ -359,13 +432,19 @@ func (f *Filter) Sum(in *FeatureInput) int {
 	return f.sumIndexed(&f.scratchIdx)
 }
 
-// sumIndexed sums the weights selected by a precomputed index vector.
+// sumIndexed sums the weights selected by a precomputed index vector:
+// nine loads from one flat plane, no per-table pointer chase. Slicing
+// base and the row to the same length lets the compiler drop the inner
+// bounds checks.
 //
 //ppflint:hotpath
 func (f *Filter) sumIndexed(idx *indexVec) int {
+	plane := f.plane
+	base := f.base[:f.nf]
+	row := idx[:f.nf]
 	sum := 0
-	for i := range f.features {
-		sum += int(f.weights[i][idx[i]])
+	for i := range base {
+		sum += int(plane[base[i]+uint32(row[i])])
 	}
 	return sum
 }
@@ -380,9 +459,9 @@ func (f *Filter) observe(idx *indexVec, outcome int) {
 	if cap(f.trainBuf) < len(f.features) {
 		f.trainBuf = make([]int8, len(f.features)) //ppflint:allow hotpath amortized: grows once, only when a training observer is attached
 	}
-	buf := f.trainBuf[:len(f.features)]
-	for i := range f.features {
-		buf[i] = f.weights[i][idx[i]]
+	buf := f.trainBuf[:f.nf]
+	for i := range buf {
+		buf[i] = f.plane[f.base[i]+uint32(idx[i])]
 	}
 	f.OnTrainEvent(buf, outcome)
 }
@@ -393,15 +472,21 @@ func (f *Filter) observe(idx *indexVec, outcome int) {
 //ppflint:hotpath
 func (f *Filter) adjust(in *FeatureInput, dir int) {
 	f.ensureScratch(in)
-	f.adjustIndexed(&f.scratchIdx, dir)
+	f.adjustBatch(&f.scratchIdx, dir)
 }
 
-// adjustIndexed is adjust over a precomputed index vector.
+// adjustBatch applies one learning step to the whole feature batch a
+// precomputed index row selects — nine saturating read-modify-writes on
+// the flat plane.
 //
 //ppflint:hotpath
-func (f *Filter) adjustIndexed(idx *indexVec, dir int) {
-	for i := range f.features {
-		f.weights[i][idx[i]] = satAdd(f.weights[i][idx[i]], dir)
+func (f *Filter) adjustBatch(idx *indexVec, dir int) {
+	plane := f.plane
+	base := f.base[:f.nf]
+	row := idx[:f.nf]
+	for i := range base {
+		j := base[i] + uint32(row[i])
+		plane[j] = satAdd(plane[j], dir)
 	}
 }
 
@@ -441,10 +526,17 @@ func recordIndex(addr uint64) (idx int, tag uint16) {
 //
 //ppflint:hotpath
 func (f *Filter) Decide(in *FeatureInput) Decision {
-	f.stats.Inferences++
 	f.scratchFor = *in
 	f.computeScratch()
-	sum := f.sumIndexed(&f.scratchIdx)
+	return f.decideSum(f.sumIndexed(&f.scratchIdx))
+}
+
+// decideSum thresholds one perceptron sum and accounts the inference —
+// the verdict logic shared by the scalar Decide and the burst kernels.
+//
+//ppflint:hotpath
+func (f *Filter) decideSum(sum int) Decision {
+	f.stats.Inferences++
 	if (sum >= f.cfg.TauHi-BoundaryMargin && sum <= f.cfg.TauHi+BoundaryMargin) ||
 		(sum >= f.cfg.TauLo-BoundaryMargin && sum <= f.cfg.TauLo+BoundaryMargin) {
 		f.stats.Boundary++
@@ -473,6 +565,17 @@ func (f *Filter) Decide(in *FeatureInput) Decision {
 //
 //ppflint:hotpath
 func (f *Filter) RecordIssue(in *FeatureInput, d Decision) {
+	f.ensureScratch(in)
+	f.recordIssueRow(in.Addr, d, &f.scratchIdx)
+}
+
+// recordIssueRow is RecordIssue over a precomputed index row — the form
+// the burst kernels call after filling the index matrix. The index row
+// is a pure function of the input, so taking it ready-made cannot
+// change which entry trains or what is stored.
+//
+//ppflint:hotpath
+func (f *Filter) recordIssueRow(addr uint64, d Decision, row *indexVec) {
 	switch d {
 	case FillL2:
 		f.stats.IssuedL2++
@@ -480,18 +583,17 @@ func (f *Filter) RecordIssue(in *FeatureInput, d Decision) {
 		f.stats.IssuedLLC++
 	}
 	f.issueSeq++
-	idx, tag := recordIndex(in.Addr)
+	idx, tag := recordIndex(addr)
 	if e := &f.prefetchTable[idx]; e.valid && e.issued() && !e.useful &&
 		f.issueSeq-e.seq >= recordTableEntries {
 		f.stats.EvictUnused++
 		f.observe(&e.idx, -1)
 		if f.sumIndexed(&e.idx) > f.cfg.ThetaN {
-			f.adjustIndexed(&e.idx, -1)
+			f.adjustBatch(&e.idx, -1)
 			f.stats.TrainNegative++
 		}
 	}
-	f.ensureScratch(in)
-	f.prefetchTable[idx] = recordEntry{valid: true, tag: tag, decision: d, seq: f.issueSeq, idx: f.scratchIdx}
+	f.prefetchTable[idx] = recordEntry{valid: true, tag: tag, decision: d, seq: f.issueSeq, idx: *row}
 }
 
 // RecordSquashed accounts a candidate the filter accepted but the cache
@@ -509,9 +611,16 @@ func (f *Filter) RecordSquashed() {
 //
 //ppflint:hotpath
 func (f *Filter) RecordReject(in *FeatureInput) {
-	idx, tag := recordIndex(in.Addr)
 	f.ensureScratch(in)
-	f.rejectTable[idx] = recordEntry{valid: true, tag: tag, idx: f.scratchIdx}
+	f.recordRejectRow(in.Addr, &f.scratchIdx)
+}
+
+// recordRejectRow is RecordReject over a precomputed index row.
+//
+//ppflint:hotpath
+func (f *Filter) recordRejectRow(addr uint64, row *indexVec) {
+	idx, tag := recordIndex(addr)
+	f.rejectTable[idx] = recordEntry{valid: true, tag: tag, idx: *row}
 }
 
 // Filter is the one-shot convenience path: decide and record in one call.
@@ -545,7 +654,7 @@ func (f *Filter) OnDemand(addr uint64) {
 			f.observe(&e.idx, +1)
 		}
 		if f.sumIndexed(&e.idx) < f.cfg.ThetaP {
-			f.adjustIndexed(&e.idx, +1)
+			f.adjustBatch(&e.idx, +1)
 			f.stats.TrainPositive++
 		}
 	}
@@ -553,7 +662,7 @@ func (f *Filter) OnDemand(addr uint64) {
 		f.stats.FalseNegatives++
 		f.observe(&e.idx, +1)
 		if f.sumIndexed(&e.idx) < f.cfg.ThetaP {
-			f.adjustIndexed(&e.idx, +1)
+			f.adjustBatch(&e.idx, +1)
 			f.stats.TrainPositive++
 		}
 		e.valid = false
@@ -575,7 +684,7 @@ func (f *Filter) OnEvict(addr uint64, used bool) {
 		f.stats.EvictUnused++
 		f.observe(&e.idx, -1)
 		if f.sumIndexed(&e.idx) > f.cfg.ThetaN {
-			f.adjustIndexed(&e.idx, -1)
+			f.adjustBatch(&e.idx, -1)
 			f.stats.TrainNegative++
 		}
 	}

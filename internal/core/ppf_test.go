@@ -225,7 +225,7 @@ func TestWeightSaturationProperty(t *testing.T) {
 			f.adjust(&in, d)
 		}
 		for i := range f.features {
-			w := f.weights[i][f.indexFor(i, &in)]
+			w := f.tableOf(i)[f.indexFor(i, &in)]
 			if w < WeightMin || w > WeightMax {
 				return false
 			}

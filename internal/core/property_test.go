@@ -61,8 +61,8 @@ func TestFilterPropertyInvariants(t *testing.T) {
 
 func checkInvariants(t *testing.T, f *Filter, probe *FeatureInput) {
 	t.Helper()
-	for i, table := range f.weights {
-		for j, w := range table {
+	for i := range f.features {
+		for j, w := range f.tableOf(i) {
 			if w < WeightMin || w > WeightMax {
 				t.Fatalf("feature %d slot %d weight %d outside [%d, %d]",
 					i, j, w, WeightMin, WeightMax)
@@ -74,7 +74,7 @@ func checkInvariants(t *testing.T, f *Filter, probe *FeatureInput) {
 	}
 	want := 0
 	for i := range f.features {
-		want += int(f.weights[i][f.indexFor(i, probe)])
+		want += int(f.tableOf(i)[f.indexFor(i, probe)])
 	}
 	if got := f.Sum(probe); got != want {
 		t.Fatalf("Sum = %d, manual feature-table sum = %d", got, want)

@@ -10,9 +10,14 @@ import "repro/internal/snap"
 // not match exactly — so restoring without it cannot change any
 // decision. OnTrainEvent and its buffer are observer wiring the
 // restoring caller re-attaches if it wants the training stream.
+// The weight plane is walked as per-feature sub-slices in table order —
+// the same byte stream the former slice-of-slices layout produced, so
+// flat-plane snapshots interchange with v2 snapshots without a version
+// bump (TestSnapshotStableAcrossLayout pins the encoding).
 func (f *Filter) SnapshotWalk(w *snap.Walker) {
-	for i := range f.weights {
-		w.Int8s(f.weights[i])
+	for i := 0; i < f.nf; i++ {
+		lo, hi := f.base[i], f.base[i]+f.fmask[i]+1
+		w.Int8s(f.plane[lo:hi])
 	}
 	for i := range f.prefetchTable {
 		f.prefetchTable[i].snapshotWalk(w)
@@ -24,7 +29,8 @@ func (f *Filter) SnapshotWalk(w *snap.Walker) {
 	w.Uint64(&f.issueSeq)
 	f.stats.SnapshotWalk(w)
 	w.Static(f.cfg, f.features,
-		f.scratchIdx, f.scratchFor, f.scratchValid,
+		f.nf, f.base, f.fmask, f.kinds, f.defaultSet,
+		f.scratchIdx, f.scratchFor, f.scratchValid, f.mat,
 		f.OnTrainEvent, f.trainBuf)
 }
 

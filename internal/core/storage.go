@@ -59,10 +59,9 @@ func (b StorageBreakdown) TotalKB() float64 {
 // Table 3 PPF rows: 113,280 bits of weights plus 87,040 + 86,016 bits of
 // prefetch/reject tables.
 func (f *Filter) Storage() StorageBreakdown {
-	weights := 0
-	for _, t := range f.weights {
-		weights += len(t) * weightBits
-	}
+	// The flat plane's length is the sum of all table sizes by
+	// construction, so the weight budget is one multiply.
+	weights := len(f.plane) * weightBits
 	return StorageBreakdown{
 		PerceptronWeightsBits: weights,
 		PrefetchTableBits:     recordTableEntries * PrefetchTableEntryBits,

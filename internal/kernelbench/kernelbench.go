@@ -85,15 +85,76 @@ func CacheReadMiss(b *testing.B) {
 }
 
 // SPPTrigger measures the prefetcher trigger path: one L2 demand access
-// through SPP's signature/pattern tables with candidate emission.
+// through SPP's signature/pattern tables with burst candidate hand-off
+// — the OnDemandBatch path the simulator drives. The accept-all sink
+// stands in for a downstream that takes every candidate.
 func SPPTrigger(b *testing.B) {
 	s := prefetch.NewSPP(prefetch.DefaultSPPConfig())
-	emit := func(prefetch.Candidate) bool { return true }
+	sink := acceptAllSink()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		addr := uint64(i%4096) << 6
-		s.OnDemand(prefetch.Access{PC: 0x400, Addr: addr}, emit)
+		s.OnDemandBatch(prefetch.Access{PC: 0x400, Addr: addr}, sink)
+	}
+}
+
+// acceptAllSink returns a BatchSink that accepts every candidate.
+func acceptAllSink() prefetch.BatchSink {
+	return func(_ []prefetch.Candidate, accepted []bool) {
+		for i := range accepted {
+			accepted[i] = true
+		}
+	}
+}
+
+// SPPLookaheadOnly measures the speculative pattern-table walk in
+// isolation: the tables are trained once on the same stride-1 stream
+// SPPTrigger uses, then each operation probes the current state through
+// SPP.Lookahead — no training, no signature advance. The spp_trigger
+// minus spp_lookahead_only gap is the table-maintenance cost.
+func SPPLookaheadOnly(b *testing.B) {
+	s := prefetch.NewSPP(prefetch.DefaultSPPConfig())
+	sink := acceptAllSink()
+	for i := 0; i < 4096; i++ {
+		addr := uint64(i%4096) << 6
+		s.OnDemandBatch(prefetch.Access{PC: 0x400, Addr: addr}, sink)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := uint64(i%4096) << 6
+		s.Lookahead(prefetch.Access{PC: 0x400, Addr: addr}, sink)
+	}
+}
+
+// PPFDecideBatch returns a kernel measuring the burst decide+record
+// path at the given burst width: each operation scores one candidate,
+// but the candidates reach the filter FilterBatch-at-a-time, so ns/op
+// is the amortized per-candidate cost including the producer's buffer
+// fill. Burst 1 is the degenerate batch — its gap against larger
+// bursts is the per-call overhead the batch path amortizes away.
+func PPFDecideBatch(burst int) func(b *testing.B) {
+	return func(b *testing.B) {
+		f := ppf.New(ppf.DefaultConfig())
+		base := ppf.FeatureInput{
+			PC:     0x400123,
+			PCHist: [3]uint64{0x400100, 0x400200, 0x400300},
+			Depth:  2, Signature: 0xABC, Confidence: 60, Delta: 1,
+		}
+		ins := make([]ppf.FeatureInput, burst)
+		out := make([]ppf.Decision, burst)
+		addr := uint64(0x1000000)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i += burst {
+			for j := range ins {
+				addr += 64
+				ins[j] = base
+				ins[j].Addr = addr
+			}
+			f.FilterBatch(ins, out)
+		}
 	}
 }
 

@@ -30,11 +30,16 @@ type ampmZone struct {
 	lastUse    uint64
 }
 
-// AMPM implements Prefetcher.
+// AMPM implements Prefetcher and BatchProducer.
 type AMPM struct {
 	cfg   AMPMConfig
 	zones [ampmZones]ampmZone
 	tick  uint64
+
+	// burst/acc are the per-trigger staging buffers for OnDemandBatch,
+	// sized to the Degree budget so a burst can never outrun it.
+	burst []Candidate
+	acc   []bool
 }
 
 // NewAMPM constructs a DA-AMPM prefetcher.
@@ -42,7 +47,11 @@ func NewAMPM(cfg AMPMConfig) *AMPM {
 	if cfg.Degree <= 0 {
 		cfg.Degree = 4
 	}
-	return &AMPM{cfg: cfg}
+	return &AMPM{
+		cfg:   cfg,
+		burst: make([]Candidate, cfg.Degree),
+		acc:   make([]bool, cfg.Degree),
+	}
 }
 
 // Name implements Prefetcher.
@@ -51,7 +60,7 @@ func (m *AMPM) Name() string { return "da-ampm" }
 // Reset implements Prefetcher.
 func (m *AMPM) Reset() {
 	cfg := m.cfg
-	*m = AMPM{cfg: cfg}
+	*m = *NewAMPM(cfg)
 }
 
 // OnPrefetchUseful implements Prefetcher.
@@ -85,8 +94,25 @@ func (m *AMPM) zoneFor(page uint64) *ampmZone {
 	return victim
 }
 
-// OnDemand implements Prefetcher.
+// OnDemand implements Prefetcher by adapting the batch path to a
+// per-candidate Emit; the candidate stream and all post-call state are
+// identical by the BatchProducer contract.
 func (m *AMPM) OnDemand(a Access, emit Emit) {
+	m.OnDemandBatch(a, func(cands []Candidate, accepted []bool) {
+		for i := range cands {
+			accepted[i] = emit(cands[i])
+		}
+	})
+}
+
+// OnDemandBatch implements BatchProducer. Candidate content is
+// acceptance-independent — the prefetched bitmap is marked at production
+// time, exactly where the scalar path marked it before emitting — so the
+// only sink feedback is the accepted count charged against Degree.
+// Bursts are capped at the remaining budget, making the cap bind only at
+// a burst boundary; between boundaries production matches the scalar
+// stride scan step for step.
+func (m *AMPM) OnDemandBatch(a Access, sink BatchSink) {
 	page := a.Addr >> pageBits
 	off := int(a.Addr>>blockBits) & (blocksPerPage - 1)
 	m.tick++
@@ -97,8 +123,10 @@ func (m *AMPM) OnDemand(a Access, emit Emit) {
 	// Collect candidates for every stride whose history matches, positive
 	// strides first (ascending |stride| keeps targets close to the
 	// current access, i.e. DRAM-row friendly ordering).
-	issued := 0
-	tryIssue := func(target, stride int) bool {
+	issued, nb := 0, 0
+	burst := m.burst
+	burstCap := m.cfg.Degree
+	stage := func(target, stride int) bool {
 		if target < 0 || target >= blocksPerPage {
 			return true
 		}
@@ -107,16 +135,19 @@ func (m *AMPM) OnDemand(a Access, emit Emit) {
 			return true
 		}
 		z.prefetched |= bit
-		addr := page<<pageBits | uint64(target)<<blockBits
-		c := Candidate{
-			Addr:   addr,
+		burst[nb] = Candidate{
+			Addr:   page<<pageBits | uint64(target)<<blockBits,
 			FillL2: true,
 			Meta:   Meta{Depth: 1, Confidence: 100 - 10*abs(stride), Delta: stride},
 		}
-		if emit(c) {
-			issued++
+		nb++
+		if nb < burstCap {
+			return true
 		}
-		return issued < m.cfg.Degree
+		issued += flushBurst(burst, m.acc, nb, sink)
+		nb = 0
+		burstCap = m.cfg.Degree - issued
+		return burstCap > 0
 	}
 
 	for s := 1; s <= ampmMaxStride; s++ {
@@ -130,11 +161,14 @@ func (m *AMPM) OnDemand(a Access, emit Emit) {
 			}
 			// Pattern match: issue the next strides ahead.
 			for k := 1; k <= 2; k++ {
-				if !tryIssue(off+stride*k, stride) {
+				if !stage(off+stride*k, stride) {
 					return
 				}
 			}
 		}
+	}
+	if nb > 0 {
+		flushBurst(burst, m.acc, nb, sink)
 	}
 }
 

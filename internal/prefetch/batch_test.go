@@ -1,0 +1,154 @@
+package prefetch
+
+import (
+	"testing"
+
+	"repro/internal/snap"
+)
+
+// The BatchProducer contract: for any acceptance policy that depends
+// only on candidate content, OnDemand (the per-candidate Emit adapter)
+// and OnDemandBatch (the burst path the simulator drives) must produce
+// the same candidate stream in the same order and leave the prefetcher
+// in byte-identical state. The tests here replay one pseudo-random
+// access trace through both paths of two same-config instances with a
+// content-keyed accept function and compare streams and snapshots after
+// every access, so a change that lets burst capping, flush placement or
+// acceptance feedback drift from the scalar semantics fails immediately.
+
+// acceptHash is a content-keyed acceptance policy: deterministic,
+// order-independent, and rejecting often enough (~1 in 3) to exercise
+// the degree-budget continuation logic in AMPM and BOP.
+func acceptHash(c Candidate) bool {
+	x := c.Addr>>6 ^ uint64(c.Meta.Depth)<<17 ^ uint64(uint32(c.Meta.Delta))<<33
+	x ^= x >> 21
+	x *= 0x9E3779B97F4A7C15
+	return x%3 != 0
+}
+
+// batchRNG is a tiny deterministic generator for the access trace; the
+// test owns it so the trace cannot drift with library changes.
+type batchRNG struct{ s uint64 }
+
+func (r *batchRNG) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+
+// genAccess mixes strided streams (which make SPP/AMPM/BOP productive)
+// with occasional random jumps (which roll zones and reset signatures).
+func genAccess(r *batchRNG, i int) Access {
+	x := r.next()
+	page := uint64(1000 + x%8)
+	var off uint64
+	switch x % 10 {
+	case 0, 1: // random block in a random page
+		off = r.next() % 64
+		page = x % 4096
+	default: // forward stride within a hot page
+		off = uint64(i) * (1 + page%3) % 64
+	}
+	return Access{
+		PC:    0x400000 + x%16*4,
+		Addr:  page<<12 | off<<6,
+		Cycle: uint64(i),
+		Hit:   x%4 != 0,
+	}
+}
+
+func prefetcherSnapshot(t *testing.T, p interface{ SnapshotWalk(*snap.Walker) }) []byte {
+	t.Helper()
+	w := snap.NewEncoder()
+	p.SnapshotWalk(w)
+	b, err := w.Bytes()
+	if err != nil {
+		t.Fatalf("encoding snapshot: %v", err)
+	}
+	return b
+}
+
+// batchable is the intersection the differential needs: both call paths
+// plus snapshot access.
+type batchable interface {
+	Prefetcher
+	BatchProducer
+	SnapshotWalk(w *snap.Walker)
+}
+
+func runBatchDifferential(t *testing.T, name string, scalar, batch batchable, degreeCap int) {
+	t.Helper()
+	r := &batchRNG{s: 0x5EED0000 + uint64(len(name))}
+	for i := 0; i < 5000; i++ {
+		a := genAccess(r, i)
+
+		var scalarStream []Candidate
+		scalar.OnDemand(a, func(c Candidate) bool {
+			scalarStream = append(scalarStream, c)
+			return acceptHash(c)
+		})
+
+		var batchStream []Candidate
+		accepted := 0
+		batch.OnDemandBatch(a, func(cands []Candidate, acc []bool) {
+			batchStream = append(batchStream, cands...)
+			for j := range cands {
+				acc[j] = acceptHash(cands[j])
+				if acc[j] {
+					accepted++
+				}
+			}
+		})
+
+		if len(scalarStream) != len(batchStream) {
+			t.Fatalf("%s access %d: scalar emitted %d candidates, batch %d",
+				name, i, len(scalarStream), len(batchStream))
+		}
+		for j := range scalarStream {
+			if scalarStream[j] != batchStream[j] {
+				t.Fatalf("%s access %d: candidate %d diverges: scalar %+v batch %+v",
+					name, i, j, scalarStream[j], batchStream[j])
+			}
+		}
+		if degreeCap > 0 && accepted > degreeCap {
+			t.Fatalf("%s access %d: %d accepted candidates exceed degree %d",
+				name, i, accepted, degreeCap)
+		}
+		if i%97 == 0 {
+			sb, bb := prefetcherSnapshot(t, scalar), prefetcherSnapshot(t, batch)
+			if string(sb) != string(bb) {
+				t.Fatalf("%s access %d: scalar and batch instance snapshots diverge", name, i)
+			}
+		}
+	}
+	sb, bb := prefetcherSnapshot(t, scalar), prefetcherSnapshot(t, batch)
+	if string(sb) != string(bb) {
+		t.Fatalf("%s: final snapshots diverge", name)
+	}
+}
+
+func TestSPPBatchMatchesScalar(t *testing.T) {
+	cfg := DefaultSPPConfig()
+	runBatchDifferential(t, "spp", NewSPP(cfg), NewSPP(cfg), 0)
+}
+
+func TestAMPMBatchMatchesScalar(t *testing.T) {
+	cfg := DefaultAMPMConfig()
+	runBatchDifferential(t, "ampm", NewAMPM(cfg), NewAMPM(cfg), cfg.Degree)
+}
+
+func TestAMPMBatchMatchesScalarDeepDegree(t *testing.T) {
+	cfg := AMPMConfig{Degree: 7}
+	runBatchDifferential(t, "ampm7", NewAMPM(cfg), NewAMPM(cfg), cfg.Degree)
+}
+
+func TestBOPBatchMatchesScalar(t *testing.T) {
+	cfg := DefaultBOPConfig()
+	runBatchDifferential(t, "bop", NewBOP(cfg), NewBOP(cfg), cfg.Degree)
+}
+
+func TestBOPBatchMatchesScalarDeepDegree(t *testing.T) {
+	cfg := BOPConfig{Degree: 5}
+	runBatchDifferential(t, "bop5", NewBOP(cfg), NewBOP(cfg), cfg.Degree)
+}

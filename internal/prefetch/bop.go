@@ -59,6 +59,11 @@ type BOP struct {
 	bestOff   int
 	bestScore int
 	enabled   bool
+
+	// burst/acc are the per-trigger staging buffers for OnDemandBatch,
+	// sized to the Degree budget so a burst can never outrun it.
+	burst []Candidate
+	acc   []bool
 }
 
 // NewBOP constructs a Best-Offset prefetcher.
@@ -68,6 +73,8 @@ func NewBOP(cfg BOPConfig) *BOP {
 	}
 	b := &BOP{cfg: cfg, offsets: bopOffsets(), bestOff: 1, enabled: true}
 	b.scores = make([]int, len(b.offsets))
+	b.burst = make([]Candidate, cfg.Degree)
+	b.acc = make([]bool, cfg.Degree)
 	return b
 }
 
@@ -115,8 +122,23 @@ func (b *BOP) OnPrefetchFill(addr uint64) {
 // OnPrefetchUseful implements Prefetcher (BOP learns from fills only).
 func (b *BOP) OnPrefetchUseful(uint64) {}
 
-// OnDemand implements Prefetcher.
+// OnDemand implements Prefetcher by adapting the batch path to a
+// per-candidate Emit; the candidate stream and all post-call state are
+// identical by the BatchProducer contract.
 func (b *BOP) OnDemand(a Access, emit Emit) {
+	b.OnDemandBatch(a, func(cands []Candidate, accepted []bool) {
+		for i := range cands {
+			accepted[i] = emit(cands[i])
+		}
+	})
+}
+
+// OnDemandBatch implements BatchProducer. Each candidate is a pure
+// function of the trigger block, the adopted offset and the loop index,
+// so the only sink feedback is the accepted count charged against
+// Degree. Bursts are capped at the remaining budget, making the cap
+// bind only at a burst boundary.
+func (b *BOP) OnDemandBatch(a Access, sink BatchSink) {
 	block := a.Addr >> blockBits
 
 	// Learning: test one offset per access, round-robin.
@@ -145,20 +167,32 @@ func (b *BOP) OnDemand(a Access, emit Emit) {
 	if !b.enabled {
 		return
 	}
-	issued := 0
-	for k := 1; issued < b.cfg.Degree && k <= 2*b.cfg.Degree; k++ {
+	issued, nb := 0, 0
+	burst := b.burst
+	burstCap := b.cfg.Degree
+	for k := 1; k <= 2*b.cfg.Degree; k++ {
 		target := block + uint64(b.bestOff*k)
 		if !samePage(block, target) {
-			return
+			break
 		}
-		c := Candidate{
+		burst[nb] = Candidate{
 			Addr:   target << blockBits,
 			FillL2: true,
 			Meta:   Meta{Depth: k, Confidence: 100 * b.bestScore / bopScoreMax, Delta: b.bestOff * k},
 		}
-		if emit(c) {
-			issued++
+		nb++
+		if nb < burstCap {
+			continue
 		}
+		issued += flushBurst(burst, b.acc, nb, sink)
+		nb = 0
+		burstCap = b.cfg.Degree - issued
+		if burstCap == 0 {
+			return
+		}
+	}
+	if nb > 0 {
+		flushBurst(burst, b.acc, nb, sink)
 	}
 }
 

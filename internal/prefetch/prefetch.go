@@ -57,6 +57,47 @@ type Candidate struct {
 // already-covered suggestions does not starve deeper lookahead.
 type Emit func(Candidate) (accepted bool)
 
+// BatchSink receives a burst of candidates from a BatchProducer. The
+// sink must set accepted[i] for every candidate (true when a fill
+// actually started — the same contract as Emit's return value); the
+// producer applies the acceptance feedback to its issue budgets after
+// the call. Both slices are producer-owned scratch, valid only for the
+// duration of the call.
+type BatchSink func(cands []Candidate, accepted []bool)
+
+// BatchProducer is implemented by prefetchers that can hand candidates
+// to the sink a burst at a time, amortizing per-candidate call overhead
+// across the batch decide path (core.Filter.DecideBatch). The candidate
+// stream and all post-call prefetcher state are bit-identical to
+// OnDemand with a per-candidate Emit: producers size bursts so their
+// per-trigger caps can only bind at a burst boundary, and production
+// between bursts never depends on acceptance feedback.
+type BatchProducer interface {
+	Prefetcher
+	// OnDemandBatch presents one L2 demand access; the prefetcher calls
+	// sink with one or more candidate bursts.
+	OnDemandBatch(a Access, sink BatchSink)
+}
+
+// flushBurst clears acc[:nb], hands burst[:nb] to the sink, and reports
+// how many candidates were accepted. Shared by the batch producers whose
+// only per-candidate feedback is the acceptance count (SPP carries its
+// own variant with depth accounting).
+func flushBurst(burst []Candidate, acc []bool, nb int, sink BatchSink) int {
+	acc = acc[:nb]
+	for i := range acc {
+		acc[i] = false
+	}
+	sink(burst[:nb], acc)
+	n := 0
+	for _, ok := range acc {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
 // Prefetcher is the interface all prefetch engines implement.
 type Prefetcher interface {
 	// Name identifies the prefetcher in reports.

@@ -31,7 +31,7 @@ func (s *SPP) SnapshotWalk(w *snap.Walker) {
 	w.Uint64(&s.depthSum)
 	w.Uint64(&s.depthCount)
 	w.Uint64(&s.issued)
-	w.Static(s.cfg)
+	w.Static(s.cfg, s.burst, s.acc)
 }
 
 func (e *sppSTEntry) snapshotWalk(w *snap.Walker) {
@@ -41,11 +41,19 @@ func (e *sppSTEntry) snapshotWalk(w *snap.Walker) {
 	w.Uint16(&e.signature)
 }
 
+// The derived confidence caches (cd/order/best*) are pure functions of
+// the walked fields, so they stay Static — the encoding is unchanged
+// from before they existed — and decode recomputes them. Zero entries
+// skip refresh so a restored table is field-identical to a fresh one.
 func (e *sppPTEntry) snapshotWalk(w *snap.Walker) {
 	w.Int(&e.cSig)
 	w.Ints(e.deltas[:])
 	w.Ints(e.cDelta[:])
 	w.Bools(e.used[:])
+	w.Static(e.cd, e.bestWay, e.bestC, e.bestEnc, e.bestDelta, e.order, e.nUsed, e.firstFree)
+	if w.Decoding() && e.cSig > 0 {
+		e.refresh()
+	}
 }
 
 func (e *sppGHREntry) snapshotWalk(w *snap.Walker) {
@@ -70,7 +78,7 @@ func (b *BOP) SnapshotWalk(w *snap.Walker) {
 	w.Int(&b.bestOff)
 	w.Int(&b.bestScore)
 	w.Bool(&b.enabled)
-	w.Static(b.cfg, b.offsets)
+	w.Static(b.cfg, b.offsets, b.burst, b.acc)
 }
 
 // SnapshotWalk serializes AMPM's zone table and LRU tick.
@@ -79,7 +87,7 @@ func (a *AMPM) SnapshotWalk(w *snap.Walker) {
 		a.zones[i].snapshotWalk(w)
 	}
 	w.Uint64(&a.tick)
-	w.Static(a.cfg)
+	w.Static(a.cfg, a.burst, a.acc)
 }
 
 func (z *ampmZone) snapshotWalk(w *snap.Walker) {

@@ -28,6 +28,14 @@ const (
 	sppPTWays     = 4
 	sppGHREntries = 8
 
+	// Index masks for the pow2 structure geometries: the hot lookups
+	// fold with AND instead of a signed modulo (the operands are always
+	// non-negative, so mask == mod; the hwbudget analyzer audits the
+	// geometry stays pow2).
+	sppSTMask  = sppSTEntries - 1
+	sppPTMask  = sppPTEntries - 1
+	sppGHRMask = sppGHREntries - 1
+
 	sppCSigMax   = 15   // 4-bit signature counter
 	sppCDeltaMax = 15   // 4-bit delta counter
 	sppCAccMax   = 1023 // 10-bit global accuracy counters
@@ -90,6 +98,86 @@ type sppPTEntry struct {
 	deltas [sppPTWays]int
 	cDelta [sppPTWays]int
 	used   [sppPTWays]bool
+
+	// Derived confidence caches, recomputed by refresh after every
+	// train and on snapshot decode (they are Static in snapshots, so
+	// the encoding is unchanged). The lookahead inner loop used to pay
+	// an integer division per way per depth for cd and a full way scan
+	// for the best path; both are now reads. The hot fields are narrow
+	// and adjacent so a depth step touches few cache lines, and the
+	// path advance (bestDelta/bestEnc) avoids the bestWay->deltas
+	// dependent load that serialized the walk.
+	//
+	//   cd[w]  = min(100, 100*cDelta[w]/cSig)  (used ways; else 0)
+	//   bestWay/bestC = first way achieving the max cd, and that cd
+	//   bestDelta = deltas[bestWay]
+	//   bestEnc   = encodeDelta(bestDelta), ready to XOR into the path
+	//               signature
+	//   order[:nUsed] lists the used ways in ascending way order, so
+	//   the lookahead iterates exactly the live ways instead of
+	//   scanning all four with a used-bit check each
+	nUsed     uint8
+	firstFree uint8 // lowest unused way, sppPTWays when all are used
+	order     [sppPTWays]uint8
+	cd        [sppPTWays]uint8
+	bestWay   int8
+	bestC     int16
+	bestEnc   uint16
+	bestDelta int32
+}
+
+// sppCdTab[s][c] = min(100, 100*c/s) for the 4-bit counter ranges, so
+// refresh replaces an integer division per used way with a table load.
+// Row 0 is unused (refresh requires cSig > 0).
+var sppCdTab = func() (t [sppCSigMax + 1][sppCDeltaMax + 1]uint8) {
+	for s := 1; s <= sppCSigMax; s++ {
+		for c := 0; c <= sppCDeltaMax; c++ {
+			cd := 100 * c / s
+			if cd > 100 {
+				cd = 100
+			}
+			t[s][c] = uint8(cd)
+		}
+	}
+	return
+}()
+
+// refresh recomputes the derived confidence caches. Callers must only
+// invoke it on trained entries (cSig > 0): zero-valued entries keep
+// their zero derived fields and the lookahead never reads them (it
+// stops on cSig == 0 first).
+func (e *sppPTEntry) refresh() {
+	bestW, bestC := int8(-1), int16(-1)
+	n := uint8(0)
+	ff := uint8(sppPTWays)
+	row := &sppCdTab[e.cSig]
+	for w := 0; w < sppPTWays; w++ {
+		if !e.used[w] {
+			e.cd[w] = 0
+			if ff == sppPTWays {
+				ff = uint8(w)
+			}
+			continue
+		}
+		e.order[n] = uint8(w)
+		n++
+		cd := int16(row[e.cDelta[w]])
+		e.cd[w] = uint8(cd)
+		if cd > bestC {
+			bestC = cd
+			bestW = int8(w)
+		}
+	}
+	e.nUsed = n
+	e.firstFree = ff
+	e.bestWay, e.bestC = bestW, bestC
+	if bestW >= 0 {
+		d := e.deltas[bestW]
+		e.bestDelta = int32(d)
+		e.bestEnc = uint16(encodeDelta(d))
+	} else {
+		e.bestDelta, e.bestEnc = 0, 0
+	}
 }
 
 type sppGHREntry struct {
@@ -119,6 +207,14 @@ type SPP struct {
 	// lastMeta captures the metadata of the most recent candidate, used
 	// by PPF's feature construction (exported via Meta on candidates).
 	issued uint64
+
+	// burst/acc stage candidates for the batch emit path: lookahead
+	// fills burst up to the current chunk capacity, hands both slices
+	// to the sink, then applies the acceptance feedback. Sized to
+	// MaxCandidates at construction — chunk capacity never exceeds the
+	// per-trigger accept cap — and reused across triggers.
+	burst []Candidate
+	acc   []bool
 }
 
 // NewSPP constructs an SPP instance with the given tuning.
@@ -129,15 +225,21 @@ func NewSPP(cfg SPPConfig) *SPP {
 	if cfg.MaxCandidates <= 0 {
 		cfg.MaxCandidates = 8
 	}
-	return &SPP{cfg: cfg}
+	return &SPP{
+		cfg:   cfg,
+		burst: make([]Candidate, cfg.MaxCandidates),
+		acc:   make([]bool, cfg.MaxCandidates),
+	}
 }
 
 // Name implements Prefetcher.
 func (s *SPP) Name() string { return "spp" }
 
-// Reset implements Prefetcher.
+// Reset implements Prefetcher. Reassigning from NewSPP keeps the
+// staging-buffer invariants (len == MaxCandidates) a field-wise clear
+// could silently break.
 func (s *SPP) Reset() {
-	*s = SPP{cfg: s.cfg}
+	*s = *NewSPP(s.cfg)
 }
 
 // Config returns the active tuning.
@@ -208,31 +310,39 @@ func encodeDelta(delta int) int {
 	return (-delta)&0x3F | 0x40
 }
 
-// ptIndex maps a signature onto a Pattern Table set.
-func ptIndex(sig uint16) int { return int(sig) % sppPTEntries }
+// ptIndex maps a signature onto a Pattern Table set. sig is unsigned
+// and sppPTEntries is a power of two, so the mask is the modulo.
+func ptIndex(sig uint16) int { return int(sig) & sppPTMask }
 
 // train records the observed delta for the signature that predicted it.
 func (s *SPP) train(sig uint16, delta int) {
 	e := &s.pt[ptIndex(sig)]
 	e.cSig++
+	// Match scan over the precomputed used set (order is ascending, so
+	// the first match here is the first match of a full way scan). The
+	// victim for a miss is the lowest unused way when one exists —
+	// maintained as firstFree, and correctly zero for never-refreshed
+	// entries — else the first way with the minimum delta counter,
+	// exactly the way the original used/cDelta scan broke ties.
 	way := -1
-	minWay, minC := 0, 1<<30
-	for w := 0; w < sppPTWays; w++ {
-		if e.used[w] && e.deltas[w] == delta {
+	for wi := 0; wi < int(e.nUsed); wi++ {
+		if w := int(e.order[wi]); e.deltas[w] == delta {
 			way = w
 			break
 		}
-		c := e.cDelta[w]
-		if !e.used[w] {
-			c = -1
-		}
-		if c < minC {
-			minC = c
-			minWay = w
-		}
 	}
 	if way < 0 {
-		way = minWay
+		if ff := int(e.firstFree); ff < sppPTWays {
+			way = ff
+		} else {
+			minC := 1 << 30
+			for w := 0; w < sppPTWays; w++ {
+				if c := e.cDelta[w]; c < minC {
+					minC = c
+					way = w
+				}
+			}
+		}
 		e.deltas[way] = delta
 		e.cDelta[way] = 0
 		e.used[way] = true
@@ -244,6 +354,7 @@ func (s *SPP) train(sig uint16, delta int) {
 			e.cDelta[w] = (e.cDelta[w] + 1) / 2
 		}
 	}
+	e.refresh()
 }
 
 // ghrLookup bootstraps a new page's signature from a recent page-crossing
@@ -254,7 +365,10 @@ func (s *SPP) ghrLookup(offset int) (uint16, bool) {
 		if !g.valid {
 			continue
 		}
-		if (g.lastOffset+g.delta+blocksPerPage)%blocksPerPage == offset {
+		// lastOffset is in [0, blocksPerPage) and |delta| < blocksPerPage,
+		// so the biased operand is non-negative and the pow2 mask equals
+		// the modulo the signed % used to compute.
+		if (g.lastOffset+g.delta+blocksPerPage)&(blocksPerPage-1) == offset {
 			return updateSignature(g.signature, g.delta), true
 		}
 	}
@@ -263,16 +377,27 @@ func (s *SPP) ghrLookup(offset int) (uint16, bool) {
 
 // ghrInsert records a pattern that ran off the end of its page.
 func (s *SPP) ghrInsert(sig uint16, conf, lastOffset, delta int) {
-	idx := int(sig) % sppGHREntries
+	idx := int(sig) & sppGHRMask
 	s.ghr[idx] = sppGHREntry{valid: true, signature: sig, confidence: conf, lastOffset: lastOffset, delta: delta}
 }
 
-// OnDemand implements Prefetcher: update the tables for the access, then
-// run the lookahead loop emitting candidates.
+// OnDemand implements Prefetcher: the scalar emit path is the batch
+// path with a per-candidate adapter sink, so there is exactly one
+// lookahead implementation to keep bit-exact.
 func (s *SPP) OnDemand(a Access, emit Emit) {
+	s.OnDemandBatch(a, func(cands []Candidate, accepted []bool) {
+		for i := range cands {
+			accepted[i] = emit(cands[i])
+		}
+	})
+}
+
+// OnDemandBatch implements BatchProducer: update the tables for the
+// access, then run the lookahead loop emitting candidate bursts.
+func (s *SPP) OnDemandBatch(a Access, sink BatchSink) {
 	page := a.Addr >> pageBits
 	offset := int(a.Addr>>blockBits) & (blocksPerPage - 1)
-	sti := int(page) % sppSTEntries
+	sti := int(page) & sppSTMask
 	st := &s.st[sti]
 
 	var sig uint16
@@ -296,12 +421,77 @@ func (s *SPP) OnDemand(a Access, emit Emit) {
 		*st = sppSTEntry{valid: true, tag: page, lastOffset: offset, signature: sig}
 	}
 
-	s.lookahead(a, page, offset, sig, emit)
+	s.lookahead(page, offset, sig, sink)
+}
+
+// Lookahead runs the speculative candidate walk for the access's
+// current signature-table state without advancing it: no training, no
+// signature update, no entry allocation. It is a probe of what SPP
+// would produce for the access right now — the spp_lookahead_only
+// kernel uses it to attribute trigger cost between table maintenance
+// and the walk itself. An access whose page has no signature-table
+// entry produces nothing. The walk still counts issued/depth
+// accounting and may insert GHR entries, exactly as the full trigger
+// path would.
+func (s *SPP) Lookahead(a Access, sink BatchSink) {
+	page := a.Addr >> pageBits
+	offset := int(a.Addr>>blockBits) & (blocksPerPage - 1)
+	st := &s.st[int(page)&sppSTMask]
+	if !st.valid || st.tag != page {
+		return
+	}
+	s.lookahead(page, offset, st.signature, sink)
+}
+
+// flushBurst hands the staged burst to the sink and applies the
+// acceptance feedback exactly as the scalar path did per candidate, in
+// candidate order. dsum is the sum of the staged candidates' depths,
+// accumulated at stage time so the common all-accepted burst skips
+// re-reading the burst for depth accounting. Returns the number of
+// acceptances.
+func (s *SPP) flushBurst(nb, dsum int, sink BatchSink) int {
+	acc := s.acc[:nb]
+	for i := range acc {
+		acc[i] = false
+	}
+	sink(s.burst[:nb], acc)
+	accepted := 0
+	for i := 0; i < nb; i++ {
+		if acc[i] {
+			accepted++
+		}
+	}
+	switch {
+	case accepted == nb:
+		s.depthSum += uint64(dsum)
+	case accepted > 0:
+		d := uint64(0)
+		for i := 0; i < nb; i++ {
+			if acc[i] {
+				d += uint64(s.burst[i].Meta.Depth)
+			}
+		}
+		s.depthSum += d
+	}
+	s.depthCount += uint64(accepted)
+	return accepted
 }
 
 // lookahead walks the pattern table speculatively from (page, offset, sig)
-// emitting prefetch candidates until confidence or depth runs out.
-func (s *SPP) lookahead(a Access, page uint64, offset int, sig uint16, emit Emit) {
+// emitting prefetch candidate bursts until confidence or depth runs out.
+//
+// Burst staging is bit-identical to per-candidate emission: candidate
+// production depends only on table state and path confidence — never on
+// acceptance feedback — except through the two per-trigger caps
+// (MaxCandidates acceptances, 4x that produced). Each burst is capped
+// at min(remaining acceptances, remaining production), so a cap can
+// only bind exactly at a burst boundary: the sequential path could not
+// have stopped mid-burst, and the post-flush cap check stops exactly
+// where it would have. Note alpha is hoisted once per trigger (as it
+// always was), so sink side effects on the accuracy counters —
+// OnPrefetchFill during a fill — cannot perturb this trigger's
+// confidence arithmetic.
+func (s *SPP) lookahead(page uint64, offset int, sig uint16, sink BatchSink) {
 	alpha := s.alpha()
 	pathConf := 100.0
 	curOffset := offset
@@ -311,96 +501,138 @@ func (s *SPP) lookahead(a Access, page uint64, offset int, sig uint16, emit Emit
 	// Bound total candidate production per trigger: accepted fills are
 	// capped at MaxCandidates, and streams of rejected/duplicate
 	// suggestions stop at 4x that (the prefetch queue is finite).
-	maxProduced := 4 * s.cfg.MaxCandidates
+	maxCand := s.cfg.MaxCandidates
+	maxProduced := 4 * maxCand
+	prefThresh := s.cfg.PrefetchThreshold
+	fillThresh := s.cfg.FillThreshold
+	forced := s.cfg.ForcedDepth
+	// α == 1 exactly (optimistic start, or a fully accurate stream) makes
+	// every α scale an exact identity — int(float64(conf)*1.0) == conf and
+	// pathConf*1.0 == pathConf for the finite values here — so the whole
+	// convert-multiply-convert chain can be skipped bit-identically.
+	scaleAlpha := alpha != 1
+	// Forced-depth mode issues regardless of confidence; folding that
+	// into the threshold keeps `forced` out of the way loop (conf is
+	// always >= 0, so every candidate clears the sentinel).
+	issueThresh := prefThresh
+	if forced > 0 {
+		issueThresh = -1 << 62
+	}
 
-	for depth := 1; depth <= s.cfg.MaxDepth; depth++ {
-		e := &s.pt[ptIndex(curSig)]
+	nb := 0
+	dsum := 0           // staged depth sum, for flushBurst's all-accepted fast path
+	burstCap := maxCand // == min(maxCand-emitted, maxProduced-produced) here
+	stop := false
+	// Hoisted like the staging buffer below: the sink call makes the
+	// compiler reload any s field on every iteration otherwise.
+	maxDepth := s.cfg.MaxDepth
+	// Hoist the staging buffer: nothing reassigns s.burst during a
+	// lookahead, but the compiler cannot prove that across the sink
+	// call and would reload the field (and re-check bounds) per store.
+	burst := s.burst
+	pageBase := page << pageBits
+
+	for depth := 1; !stop && depth <= maxDepth; depth++ {
+		e := &s.pt[int(curSig)&sppPTMask]
 		if e.cSig == 0 {
-			return
+			break
 		}
-		bestWay := -1
-		bestC := -1
-		for w := 0; w < sppPTWays; w++ {
-			if !e.used[w] {
-				continue
-			}
-			cd := 100 * e.cDelta[w] / e.cSig
-			if cd > 100 {
-				cd = 100
-			}
+		// Range over the used-way list with the way index masked into
+		// the provable [0, sppPTWays) range: both kill per-way bounds
+		// checks (order values are always < sppPTWays, so the mask is
+		// an identity).
+		for _, w8 := range e.order[:e.nUsed] {
+			w := int(w8 & (sppPTWays - 1))
 			// P_d = α·C_d·P_{d-1} (paper §2.1). As in the reference
 			// implementation, α scales speculative depths only: the
 			// depth-1 candidate is a direct (non-speculative) prediction.
-			conf := int(pathConf * float64(cd) / 100)
-			if depth > 1 {
+			// C_d's clamped ratio is precomputed at train time (e.cd).
+			var conf int
+			if pathConf == 100 {
+				// Exact fast path that skips the FP divide: cd is an
+				// integer in [0,100], so 100*cd is exact, /100 is exact,
+				// and int() recovers cd bit-for-bit. Always taken at
+				// depth 1 and along saturated-confidence paths.
+				conf = int(e.cd[w])
+			} else {
+				conf = int(pathConf * float64(e.cd[w]) / 100)
+			}
+			if depth > 1 && scaleAlpha {
 				conf = int(float64(conf) * alpha)
 			}
-			issueOK := conf >= s.cfg.PrefetchThreshold
-			if s.cfg.ForcedDepth > 0 {
-				issueOK = true
-			}
-			if issueOK {
-				target := curOffset + e.deltas[w]
+			if conf >= issueThresh {
+				delta := e.deltas[w]
+				target := curOffset + delta
 				if target >= 0 && target < blocksPerPage {
-					addr := page<<pageBits | uint64(target)<<blockBits
-					c := Candidate{
-						Addr:   addr,
-						FillL2: conf >= s.cfg.FillThreshold,
-						Meta: Meta{
-							Depth:      depth,
-							Signature:  curSig,
-							Confidence: conf,
-							Delta:      e.deltas[w],
-						},
-					}
-					s.issued++
 					produced++
-					if emit(c) {
-						s.depthSum += uint64(depth)
-						s.depthCount++
-						emitted++
-						if emitted >= s.cfg.MaxCandidates {
+					// Field-wise stores: a Candidate{...} literal here makes
+					// the compiler build a stack temp with 8-byte stores and
+					// copy it with 16-byte SSE loads, and those wide loads
+					// straddle the narrow stores (store-forwarding stalls
+					// that dominated the trigger profile).
+					c := &burst[nb]
+					c.Addr = pageBase | uint64(target)<<blockBits
+					c.FillL2 = conf >= fillThresh
+					c.Meta.Depth = depth
+					c.Meta.Signature = curSig
+					c.Meta.Confidence = conf
+					c.Meta.Delta = delta
+					dsum += depth
+					nb++
+					if nb == burstCap {
+						emitted += s.flushBurst(nb, dsum, sink)
+						nb, dsum = 0, 0
+						if emitted >= maxCand || produced >= maxProduced {
+							s.issued += uint64(produced)
 							return
 						}
-					}
-					if produced >= maxProduced {
-						return
+						burstCap = maxCand - emitted
+						if r := maxProduced - produced; r < burstCap {
+							burstCap = r
+						}
 					}
 				} else {
 					// Ran off the page: remember the stream so the next
 					// page can bootstrap.
-					s.ghrInsert(curSig, conf, curOffset, e.deltas[w])
+					s.ghrInsert(curSig, conf, curOffset, delta)
 				}
 			}
-			if cd > bestC {
-				bestC = cd
-				bestWay = w
-			}
 		}
-		if bestWay < 0 {
-			return
+		if e.bestWay < 0 {
+			break
 		}
-		// Follow the highest-confidence delta down the speculative path.
-		nextOffset := curOffset + e.deltas[bestWay]
+		// Follow the highest-confidence delta down the speculative path
+		// (argmax, its delta, and its encoded form all precomputed at
+		// train time — the walk's serial dependence per depth is just
+		// entry load -> bestEnc -> next signature).
+		nextOffset := curOffset + int(e.bestDelta)
 		if nextOffset < 0 || nextOffset >= blocksPerPage {
-			return
+			break
 		}
-		nextSig := updateSignature(curSig, e.deltas[bestWay])
-		pathConf = pathConf * float64(bestC) / 100
-		if depth >= 1 {
-			pathConf *= alpha
+		nextSig := (curSig<<sppShift ^ e.bestEnc) & sppSignatureMask
+		if pathConf != 100 || e.bestC != 100 {
+			pathConf = pathConf * float64(e.bestC) / 100
 		}
-		if s.cfg.ForcedDepth > 0 {
-			if depth >= s.cfg.ForcedDepth {
-				return
+		// else 100*100/100 == 100 exactly: skip the loop-carried divide.
+		if scaleAlpha {
+			pathConf *= alpha // α applies from depth 1 on: every followed hop is speculative
+		}
+		if forced > 0 {
+			if depth >= forced {
+				stop = true
 			}
-		} else if int(pathConf) < s.cfg.PrefetchThreshold {
-			return
+		} else if int(pathConf) < prefThresh {
+			stop = true
 		}
 		curOffset = nextOffset
 		curSig = nextSig
 	}
-	_ = a
+	if nb > 0 {
+		s.flushBurst(nb, dsum, sink)
+	}
+	// issued counts produced candidates one-for-one; a single add at the
+	// exits replaces a per-candidate memory increment.
+	s.issued += uint64(produced)
 }
 
 // SPPStorageBits returns the storage budget of the SPP structures per the

@@ -29,9 +29,11 @@ type Core struct {
 	l1d    *cache.Cache
 	l2     *cache.Cache
 	pf     prefetch.Prefetcher
+	bpf    prefetch.BatchProducer // pf's batch interface, nil if unsupported
 	filter *engine.Session
 
-	emit prefetch.Emit
+	emit  prefetch.Emit
+	bsink prefetch.BatchSink
 
 	rob      []uint64 // completion cycle per in-flight instruction
 	robHead  int
@@ -88,9 +90,24 @@ func (c *Core) L1D() *cache.Cache { return c.l1d }
 // environment to chase.
 func (c *Core) wire() {
 	c.emit = c.emitCandidate
+	c.bsink = c.sinkBurst
+	c.bpf, _ = c.pf.(prefetch.BatchProducer)
 	c.l2.DemandHook = c.onL2Demand
 	c.l2.UsefulHook = c.onL2Useful
 	c.l2.EvictHook = c.onL2Evict
+}
+
+// sinkBurst receives candidate bursts from a BatchProducer. Candidates
+// are sequenced through the scalar emitCandidate path: the lazy
+// l2.Contains duplicate check and the immediate l2.Prefetch insertion
+// make each candidate's fate depend on its predecessors in the burst,
+// so the batch boundary amortizes only the producer's per-candidate
+// call overhead — decisions, training and counters are bit-identical to
+// the Emit path by construction.
+func (c *Core) sinkBurst(cands []prefetch.Candidate, accepted []bool) {
+	for i := range cands {
+		accepted[i] = c.emitCandidate(cands[i])
+	}
 }
 
 // emitCandidate is the prefetcher's emission callback: it runs the PPF
@@ -151,7 +168,12 @@ func (c *Core) onL2Demand(addr uint64, at uint64, hit bool) {
 		// prefetches (paper Figure 5 steps 3–4 precede step 1).
 		c.filter.OnDemand(addr)
 	}
-	c.pf.OnDemand(prefetch.Access{PC: c.curPC, Addr: addr, Cycle: at, Hit: hit}, c.emit)
+	a := prefetch.Access{PC: c.curPC, Addr: addr, Cycle: at, Hit: hit}
+	if c.bpf != nil {
+		c.bpf.OnDemandBatch(a, c.bsink)
+	} else {
+		c.pf.OnDemand(a, c.emit)
+	}
 	if c.filter != nil {
 		c.filter.OnLoadPC(c.curPC)
 	}

@@ -181,7 +181,9 @@ func (c *Core) snapshotWalk(w *snap.Walker) {
 	w.Uint64(&c.finishCycle)
 	w.Uint64(&c.retiredStart)
 	w.Uint64(&c.startCycle)
-	w.Static(c.id, c.cfg, c.reader, c.emit)
+	// bpf/bsink are wiring (the batch view of pf and the burst sink
+	// closure), re-derived by wire() on restore like emit.
+	w.Static(c.id, c.cfg, c.reader, c.emit, c.bpf, c.bsink)
 }
 
 // SnapshotWalk serializes a Result; the disk-backed run cache stores

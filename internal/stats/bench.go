@@ -133,6 +133,20 @@ func (s ServeBench) WriteFile(path string) error { return writeJSON(path, s) }
 // WriteFile marshals the snapshot as indented JSON to path.
 func (k KernelBench) WriteFile(path string) error { return writeJSON(path, k) }
 
+// ReadKernelBench loads a previously written BENCH_kernel.json snapshot,
+// the baseline side of cmd/bench's -baseline comparison.
+func ReadKernelBench(path string) (KernelBench, error) {
+	var k KernelBench
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return k, err
+	}
+	if err := json.Unmarshal(blob, &k); err != nil {
+		return k, err
+	}
+	return k, nil
+}
+
 // WriteFile marshals the snapshot as indented JSON to path.
 func (s SimBench) WriteFile(path string) error { return writeJSON(path, s) }
 

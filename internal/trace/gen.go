@@ -101,6 +101,15 @@ type Generator struct {
 
 	stackPos    uint64
 	streamReuse int
+
+	// Cumulative instruction-mix thresholds, precomputed once so Next's
+	// kind dispatch is three compares against ready values instead of
+	// re-summing the config ratios per instruction. Same operands in the
+	// same order as the inline sums they replace, so the comparisons are
+	// bit-identical.
+	thrLoad   float64 // LoadRatio
+	thrStore  float64 // LoadRatio + StoreRatio
+	thrBranch float64 // LoadRatio + StoreRatio + BranchRatio
 }
 
 type genPhase struct {
@@ -180,6 +189,9 @@ func NewGenerator(cfg GenConfig) (*Generator, error) {
 	if g.cfg.BlockReuse <= 0 {
 		g.cfg.BlockReuse = 6
 	}
+	g.thrLoad = g.cfg.LoadRatio
+	g.thrStore = g.cfg.LoadRatio + g.cfg.StoreRatio
+	g.thrBranch = g.cfg.LoadRatio + g.cfg.StoreRatio + g.cfg.BranchRatio
 	return g, nil
 }
 
@@ -213,15 +225,18 @@ func (g *Generator) Next() (Inst, bool) {
 
 	x := g.r.Float64()
 	switch {
-	case x < g.cfg.LoadRatio:
+	case x < g.thrLoad:
 		return g.genLoad(ph, idx), true
-	case x < g.cfg.LoadRatio+g.cfg.StoreRatio:
+	case x < g.thrStore:
 		return g.genStore(), true
-	case x < g.cfg.LoadRatio+g.cfg.StoreRatio+g.cfg.BranchRatio:
+	case x < g.thrBranch:
 		return g.genBranch(), true
 	default:
 		pc := g.aluPCs[g.aluIdx]
-		g.aluIdx = (g.aluIdx + 1) % len(g.aluPCs)
+		g.aluIdx++
+		if g.aluIdx == len(g.aluPCs) {
+			g.aluIdx = 0
+		}
 		return Inst{PC: pc, Kind: KindALU}, true
 	}
 }
@@ -229,7 +244,10 @@ func (g *Generator) Next() (Inst, bool) {
 func (g *Generator) genLoad(ph *genPhase, idx uint64) Inst {
 	if g.r.Bool(g.cfg.HotLoadRatio) {
 		pc := g.hotPCs[g.hotIdx]
-		g.hotIdx = (g.hotIdx + 1) % len(g.hotPCs)
+		g.hotIdx++
+		if g.hotIdx == len(g.hotPCs) {
+			g.hotIdx = 0
+		}
 		// Hot accesses are reuse-heavy: mostly re-touch the same block
 		// (delta 0, invisible to delta prefetchers, like real locals and
 		// loop-carried scalars), occasionally move to a neighbour or
@@ -237,7 +255,9 @@ func (g *Generator) genLoad(ph *genPhase, idx uint64) Inst {
 		switch x := g.r.Float64(); {
 		case x < 0.70: // stay on the current block
 		case x < 0.90: // slide to the adjacent block
-			g.hotCur = (g.hotCur + 1) % g.hotBlocks
+			if g.hotCur++; g.hotCur == g.hotBlocks {
+				g.hotCur = 0
+			}
 		default: // jump within the hot set
 			g.hotCur = g.r.Uint64() % g.hotBlocks
 		}
@@ -263,7 +283,10 @@ func (g *Generator) genLoad(ph *genPhase, idx uint64) Inst {
 	addr := comp.curAddr + uint64(g.r.Intn(8))*8
 	dep := comp.curDep && comp.reuseLeft == g.cfg.BlockReuse-1
 	pc := comp.pcs[comp.pcIdx]
-	comp.pcIdx = (comp.pcIdx + 1) % len(comp.pcs)
+	comp.pcIdx++
+	if comp.pcIdx == len(comp.pcs) {
+		comp.pcIdx = 0
+	}
 	in := Inst{PC: pc, Kind: KindLoad, Addr: addr}
 	if dep && comp.hasLast {
 		d := idx - comp.lastLoad
@@ -297,7 +320,9 @@ func (g *Generator) genStore() Inst {
 	switch x := g.r.Float64(); {
 	case x < 0.75: // same block
 	case x < 0.92: // next block in the frame
-		g.stackPos = (g.stackPos + 1) % g.stackBlocks
+		if g.stackPos++; g.stackPos == g.stackBlocks {
+			g.stackPos = 0
+		}
 	default: // new frame
 		g.stackPos = g.r.Uint64() % g.stackBlocks
 	}

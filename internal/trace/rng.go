@@ -27,10 +27,16 @@ func (r *rng) Uint64() uint64 {
 	return x * 0x2545F4914F6CDD1D
 }
 
-// Intn returns a value in [0, n). n must be positive.
+// Intn returns a value in [0, n). n must be positive. Powers of two
+// take a mask instead of the hardware divide (x%n == x&(n-1) exactly),
+// which matters because the generator sits on the simulator's
+// per-instruction path and most call sites pass 8.
 func (r *rng) Intn(n int) int {
 	if n <= 0 {
 		panic("trace: rng.Intn with non-positive n")
+	}
+	if n&(n-1) == 0 {
+		return int(r.Uint64() & uint64(n-1))
 	}
 	return int(r.Uint64() % uint64(n))
 }
