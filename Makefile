@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race determinism lint lint-fix bench bench-smoke serve-smoke serve-bench fuzz-smoke profile experiments clean
+.PHONY: check build vet test race determinism lint lint-fix bench bench-smoke serve-smoke serve-bench sweep-smoke sweep-bench fuzz-smoke profile experiments clean
 
 # check is the full CI gate: static checks, build, the full test suite,
 # the focused race pass, and the worker-count determinism proof.
@@ -82,6 +82,20 @@ serve-smoke:
 # and sim-rate snapshots.
 serve-bench:
 	$(GO) run ./cmd/ppfd -loadtest -streams 1,8,64 -events 200000 -out BENCH_serve.json
+
+# sweep-smoke runs the distributed-sweep fabric's suite under the race
+# detector: the remote store round trips (corruption tolerance, tiering,
+# path escapes) and the fleet goldens — byte-identical tables at 1/2/4
+# workers, crash -> lease expiry -> exactly-once re-run, corrupt publish
+# -> reopen.
+sweep-smoke:
+	$(GO) test -race -count=1 ./internal/simstore/ ./internal/sweepfab/
+
+# sweep-bench measures distributed-sweep throughput over loopback (cold
+# cells/sec at 1, 2 and 4 workers plus the warm store-replay rate) and
+# writes BENCH_sweep.json, the fabric's trajectory snapshot.
+sweep-bench:
+	$(GO) run ./cmd/bench -sweeponly -sweepout BENCH_sweep.json
 
 # fuzz-smoke runs each native fuzz target briefly on top of its
 # committed seed corpus: the ChampSim trace decode path and the

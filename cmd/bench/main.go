@@ -15,6 +15,8 @@
 //	bench -failonalloc             # exit 1 if any kernel allocates
 //	bench -baseline old.json       # print per-kernel deltas vs a snapshot
 //	bench -baseline old.json -maxregress 15   # exit 1 on >15% slowdown
+//	bench -sweep                   # also run the distributed-sweep rows
+//	bench -sweeponly -sweepout BENCH_sweep.json
 //
 // Each micro-kernel runs under testing.Benchmark (the standard ~1s
 // auto-scaling harness); the sim rows time fixed Figure 9 cells end to
@@ -22,6 +24,12 @@
 // every row is measured N times and the median reported, so noisy CI
 // machines don't produce spurious BENCH deltas; the chosen count is
 // recorded in both snapshots.
+//
+// -sweep adds the distributed-sweep benchmark (BENCH_sweep.json, schema
+// internal/stats.SweepBench): the threshold sweep run cold through a
+// loopback coordinator/worker fleet at each listed fleet size, then
+// replayed warm from the published store. -sweeponly skips the kernel
+// and sim rows for a sweep-only run (the CI sweep-smoke job).
 //
 // -baseline diffs the run against an earlier kernel snapshot (typically
 // the committed BENCH_kernel.json) by kernel name; -maxregress turns any
@@ -41,8 +49,10 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/experiment"
 	"repro/internal/kernelbench"
 	"repro/internal/stats"
+	"repro/internal/sweepfab"
 )
 
 // pickBy returns one representative row out of n measurements: the
@@ -81,9 +91,17 @@ func run() int {
 	baseline := flag.String("baseline", "", "kernel snapshot to diff this run against (path to an earlier BENCH_kernel.json)")
 	maxRegress := flag.Float64("maxregress", 0, "with -baseline: exit nonzero if any kernel's ns/op regresses by more than this percentage (0 disables the gate)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering the whole measurement run to this file")
+	sweep := flag.Bool("sweep", false, "also run the distributed-sweep benchmark (coordinator + workers over loopback)")
+	sweepOnly := flag.Bool("sweeponly", false, "run only the distributed-sweep benchmark (implies -sweep, skips kernels and sim rows)")
+	sweepOut := flag.String("sweepout", "BENCH_sweep.json", "output path for the distributed-sweep JSON snapshot")
+	sweepWorkers := flag.String("sweepworkers", "1,2,4", "comma-separated fleet sizes for the sweep benchmark's cold rows")
 	flag.Parse()
 	if *count < 1 {
 		*count = 1
+	}
+	if *sweepOnly {
+		*sweep = true
+		*skipSim = true
 	}
 	useMin := false
 	switch *stat {
@@ -150,6 +168,9 @@ func run() int {
 			return 2
 		}
 		kernels = selected
+	}
+	if *sweepOnly {
+		kernels = nil
 	}
 
 	snap := stats.KernelBench{
@@ -237,6 +258,46 @@ func run() int {
 			return 1
 		}
 		fmt.Printf("wrote %s\n", *simOut)
+	}
+
+	if *sweep {
+		var fleets []int
+		for _, f := range strings.Split(*sweepWorkers, ",") {
+			n := 0
+			if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &n); err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "bad -sweepworkers entry %q\n", f)
+				return 2
+			}
+			fleets = append(fleets, n)
+		}
+		budget := experiment.Budget{Warmup: 1_000, Detail: 4_000}
+		if *quick {
+			budget = experiment.Budget{Warmup: 500, Detail: 2_000}
+		}
+		rows, err := sweepfab.Bench(sweepfab.BenchOptions{
+			Workers: fleets,
+			Budget:  budget,
+			Log:     os.Stdout,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep bench: %v\n", err)
+			return 1
+		}
+		sweepSnap := stats.SweepBench{
+			GoVersion: runtime.Version(),
+			GOOS:      runtime.GOOS,
+			GOARCH:    runtime.GOARCH,
+			Rows:      rows,
+		}
+		for _, r := range rows {
+			fmt.Printf("sweep %-4s %d worker(s) %12.1f cells/sec (%d cells in %.2fs)\n",
+				r.Mode, r.Workers, r.CellsPerSec, r.Cells, r.Seconds)
+		}
+		if err := sweepSnap.WriteFile(*sweepOut); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *sweepOut, err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", *sweepOut)
 	}
 
 	if len(snap.Kernels) > 0 || !*skipSim {

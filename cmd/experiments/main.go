@@ -16,12 +16,27 @@
 // so the rendered tables are byte-identical whether -j is 1 or 64.
 // -progress streams live done/total/ETA lines and a per-job wall-time
 // summary to stderr.
+//
+// Distributed mode spreads the same sweeps over a fleet:
+//
+//	ppfstored -addr :9401 -dir shared-store          # shared result store
+//	experiments -run thresholds -coordinate :9402 -storeurl http://host:9401
+//	experiments -worker host:9402 -storeurl http://host:9401   # on each box
+//
+// The coordinator runs the experiments normally; cells missing from the
+// shared store are leased to workers over a length-prefixed TCP
+// protocol (internal/sweepfab) and fetched back once published. Tables
+// are byte-identical to a local -j N run at any fleet size. -storeurl
+// alone (no -coordinate/-worker) reads and writes the remote store
+// directly; combined with -cachedir it layers the local disk store in
+// front as a read-through/write-through tier.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -33,6 +48,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/simstore"
 	"repro/internal/stats"
+	"repro/internal/sweepfab"
 )
 
 type runner struct {
@@ -104,7 +120,16 @@ func main() {
 	jsonDir := flag.String("json", "", "also write each result as JSON into this directory")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the selected experiments to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile after the selected experiments to this file")
+	storeURL := flag.String("storeurl", "", "remote PPFS store base URL (a ppfstored instance); with -cachedir, the local store tiers in front of it")
+	coordinate := flag.String("coordinate", "", "listen address for fleet workers: lease store-missed cells to them instead of simulating locally (requires a shared store)")
+	workerMode := flag.String("worker", "", "run as a fleet worker against the coordinator at this address (requires a shared store; ignores -run)")
+	workerName := flag.String("workername", "", "worker label in coordinator logs (default: hostname)")
+	leaseTimeout := flag.Duration("leasetimeout", 5*time.Minute, "coordinator lease lifetime before a cell requeues (size to the slowest expected cell)")
 	flag.Parse()
+
+	if *workerMode != "" {
+		os.Exit(runFleetWorker(*workerMode, *workerName, *storeURL, *cachedir, *nocache))
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -200,14 +225,31 @@ func main() {
 	var cache *experiment.RunCache
 	if !*nocache {
 		cache = experiment.NewRunCache()
-		if *cachedir != "" {
-			store, err := simstore.Open(*cachedir)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "opening sim store %s: %v (continuing without it)\n", *cachedir, err)
-			} else {
-				cache.AttachStore(store)
-			}
+		if st, err := openStore(*cachedir, *storeURL); err != nil {
+			fmt.Fprintf(os.Stderr, "opening sim store: %v (continuing without it)\n", err)
+		} else if st != nil {
+			cache.AttachStore(st)
 		}
+	}
+	// Coordinator mode: store-missed cells are leased to fleet workers
+	// instead of simulating in this process; everything else — budgets,
+	// enumeration order, rendering — is untouched, which is why the
+	// tables stay byte-identical at any fleet size.
+	var coord *sweepfab.Coordinator
+	if *coordinate != "" {
+		if cache == nil || cache.Store() == nil {
+			fmt.Fprintln(os.Stderr, "-coordinate needs a shared store (-storeurl and/or -cachedir) and the run cache enabled")
+			os.Exit(2)
+		}
+		coord = sweepfab.NewCoordinator(sweepfab.Config{Store: cache.Store(), LeaseTimeout: *leaseTimeout})
+		lis, err := net.Listen("tcp", *coordinate)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "coordinator listen %s: %v\n", *coordinate, err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "coordinating fleet on %s (lease timeout %s)\n", lis.Addr(), *leaseTimeout)
+		go coord.Serve(lis)
+		cache.SetCellRunner(coord.RunCell)
 	}
 	for _, r := range selected {
 		x := experiment.Exec{Workers: *jobs, Cache: cache}
@@ -239,9 +281,70 @@ func main() {
 			}
 		}
 	}
+	if coord != nil {
+		coord.Close() // polling workers receive shutdown on their next lease request
+		c := coord.Board().Counters()
+		fmt.Printf("fleet: %d unique cell(s) leased to workers (%d completion(s), %d requeue(s))\n",
+			c.Submitted-c.Deduped, c.Completions, c.Requeues)
+	}
 	if cache != nil {
 		fmt.Println(cache.ReportLine())
 	} else {
 		fmt.Println("run cache: disabled (-nocache)")
 	}
+}
+
+// openStore assembles the store backend from the -cachedir/-storeurl
+// pair: local disk, remote HTTP, or the local store tiered in front of
+// the remote one.
+func openStore(cachedir, storeURL string) (simstore.Backend, error) {
+	if storeURL == "" && cachedir == "" {
+		return nil, nil
+	}
+	if storeURL == "" {
+		return simstore.Open(cachedir)
+	}
+	remote := simstore.NewRemote(storeURL, nil)
+	if cachedir == "" {
+		return remote, nil
+	}
+	local, err := simstore.Open(cachedir)
+	if err != nil {
+		return nil, err
+	}
+	return simstore.NewTiered(local, remote), nil
+}
+
+// runFleetWorker is -worker mode: lease cells from the coordinator and
+// run them through a run cache whose save path publishes every result
+// (and warmup snapshot) to the shared store.
+func runFleetWorker(addr, name, storeURL, cachedir string, nocache bool) int {
+	if nocache {
+		fmt.Fprintln(os.Stderr, "-worker needs the run cache (its save path is how results publish); drop -nocache")
+		return 2
+	}
+	if storeURL == "" {
+		fmt.Fprintln(os.Stderr, "-worker needs -storeurl: the shared store is how results reach the coordinator")
+		return 2
+	}
+	if name == "" {
+		name, _ = os.Hostname()
+	}
+	st, err := openStore(cachedir, storeURL)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "opening sim store: %v\n", err)
+		return 1
+	}
+	rc := experiment.NewRunCache()
+	rc.AttachStore(st)
+	fmt.Fprintf(os.Stderr, "worker %s: leasing cells from %s, publishing to %s\n", name, addr, storeURL)
+	ws, err := sweepfab.RunWorker(addr, sweepfab.WorkerConfig{Name: name, Exec: experiment.Exec{Cache: rc}})
+	fmt.Fprintf(os.Stderr, "worker %s: ran %d cell(s) (%d failed, %d stale), %d idle poll(s)\n",
+		name, ws.Cells, ws.Failed, ws.StaleLeases, ws.Waits)
+	fmt.Fprintln(os.Stderr, rc.ReportLine())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "worker %s: %v\n", name, err)
+		return 1
+	}
+	return 0
 }

@@ -37,6 +37,7 @@ var ErrTyped = &Analyzer{
 // encode/decode round trip.
 var errtypedBoundary = []string{
 	"internal/serve", "internal/engine", "internal/snap", "internal/core", "internal/sim",
+	"internal/sweepfab",
 }
 
 func runErrTyped(s *Suite, report func(Diagnostic)) {

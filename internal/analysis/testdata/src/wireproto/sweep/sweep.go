@@ -1,0 +1,118 @@
+// Package sweep mirrors the sweep fabric's lease protocol: request ops
+// decoded by a coordinator dispatch switch, response ops decoded
+// through the variadic expected-op argument of a //ppflint:wiredecode
+// client helper, and a typed error enum behind the opErr frame. The
+// seeded violations cover the roles a lease-protocol extension is most
+// likely to half-wire: a worker request nobody encodes and a response
+// class no client ever expects.
+package sweep
+
+// Request ops (worker to coordinator). opDone deliberately ships
+// without an encode site.
+const (
+	opHello uint8 = 0x01
+	opLease uint8 = 0x02
+	opDone  uint8 = 0x03 // want "wire op opDone is missing an encode site"
+)
+
+// Response ops (coordinator to worker). opWait deliberately ships with
+// no decode half — the server would send a frame no client recognizes.
+const (
+	opWelcome uint8 = 0x81
+	opCell    uint8 = 0x82
+	opWait    uint8 = 0x83 // want "wire op opWait is missing a decode dispatch"
+	opErr     uint8 = 0xFF
+	opTrace   uint8 = 0x7E //ppflint:allow wireproto debug side-channel op, wired only behind a build tag
+)
+
+// boundFor is the frame-size table; ops used here take only the bound
+// role, never decode.
+//
+//ppflint:framebound
+func boundFor(op uint8, maxFrame int) int {
+	switch op {
+	case opHello:
+		return 1 + 8 + 4096
+	case opLease, opDone:
+		return 1 + 8 + 1
+	case opWelcome, opWait:
+		return 1 + 8
+	case opCell, opErr:
+		return maxFrame
+	}
+	return maxFrame
+}
+
+func encodeHello(name string) []byte  { return append([]byte{opHello}, name...) }
+func encodeLease() []byte             { return []byte{opLease} }
+func encodeWelcome(ms uint64) []byte  { return []byte{opWelcome, byte(ms)} }
+func encodeCell(id uint64) []byte     { return []byte{opCell, byte(id)} }
+func encodeWait(ms uint64) []byte     { return []byte{opWait, byte(ms)} }
+func encodeErr(code leaseCode) []byte { return []byte{opErr, byte(code)} }
+
+// dispatch is the coordinator's decode switch over request ops.
+func dispatch(op uint8) []byte {
+	switch op {
+	case opHello:
+		return encodeWelcome(300_000)
+	case opLease:
+		return encodeCell(1)
+	case opDone:
+		return encodeErr(CodeStale)
+	}
+	return encodeErr(CodeRogue)
+}
+
+// request is the worker's client helper: the variadic expected-op list
+// is the decode half of every response op passed through it.
+//
+//ppflint:wiredecode
+func request(req []byte, wantOps ...uint8) uint8 {
+	resp := dispatch(req[0])
+	for _, w := range wantOps {
+		if resp[0] == w {
+			return w
+		}
+	}
+	return resp[0]
+}
+
+// lease drives one protocol round; opErr decodes by comparison.
+func lease() bool {
+	op := request(encodeLease(), opWelcome, opCell)
+	return op != opErr
+}
+
+// leaseCode is the fabric's error enum; CodeRogue deliberately skips
+// the String case.
+type leaseCode uint8
+
+const (
+	CodeStale leaseCode = 1 + iota
+	CodeRogue           // want "wire error code CodeRogue has no case in leaseCode.String"
+)
+
+func (c leaseCode) String() string {
+	if c == CodeStale {
+		return "stale"
+	}
+	return "?"
+}
+
+// fabErr mirrors sweepfab.WireError.
+type fabErr struct {
+	Code leaseCode
+}
+
+func (e *fabErr) Error() string { return e.Code.String() }
+
+// Sentinels wire both codes back to errors.Is.
+var (
+	ErrStale = &fabErr{Code: CodeStale}
+	ErrRogue = &fabErr{Code: CodeRogue}
+)
+
+var _ = lease
+var _ = encodeHello
+var _ = encodeWait
+var _ = boundFor

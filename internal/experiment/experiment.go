@@ -43,6 +43,26 @@ func AllSchemes() []Scheme {
 	return []Scheme{SchemeBOP, SchemeAMPM, SchemeSPP, SchemePPF}
 }
 
+// PPFVariant names a PPF configuration with explicit filter thresholds.
+// The name is parametric — NewSetup parses it back — so threshold-grid
+// cells flow through the run cache, the store and the sweep fabric as
+// ordinary scheme-named cells instead of bypassing them with ad-hoc
+// machine construction.
+func PPFVariant(tauHi, tauLo int) Scheme {
+	return Scheme(fmt.Sprintf("ppf[tau_hi=%d,tau_lo=%d]", tauHi, tauLo))
+}
+
+// parsePPFVariant inverts PPFVariant; ok is false for any other scheme
+// name. Re-rendering rejects the near-misses Sscanf tolerates (trailing
+// garbage, "+4"-style signs), so only canonical names are accepted —
+// one cell, one key.
+func parsePPFVariant(s Scheme) (tauHi, tauLo int, ok bool) {
+	if _, err := fmt.Sscanf(string(s), "ppf[tau_hi=%d,tau_lo=%d]", &tauHi, &tauLo); err != nil {
+		return 0, 0, false
+	}
+	return tauHi, tauLo, PPFVariant(tauHi, tauLo) == s
+}
+
 // NewSetup builds a per-core simulator setup for a scheme. Each call
 // returns fresh prefetcher/filter state. A zero-value workload leaves
 // Trace nil for the caller to supply (cmd/ppfsim does this when driving
@@ -70,7 +90,14 @@ func NewSetup(s Scheme, w workload.Workload, seed uint64) sim.CoreSetup {
 	case SchemeSandbox:
 		setup.Prefetcher = prefetch.NewSandbox(prefetch.DefaultSandboxConfig())
 	default:
-		panic(fmt.Sprintf("experiment: unknown scheme %q", s))
+		tauHi, tauLo, ok := parsePPFVariant(s)
+		if !ok {
+			panic(fmt.Sprintf("experiment: unknown scheme %q", s))
+		}
+		cfg := ppf.DefaultConfig()
+		cfg.TauHi, cfg.TauLo = tauHi, tauLo
+		setup.Prefetcher = prefetch.NewSPP(prefetch.AggressiveSPPConfig())
+		setup.Filter = ppf.New(cfg)
 	}
 	return setup
 }

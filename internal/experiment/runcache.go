@@ -41,7 +41,14 @@ import (
 // across cold and warm store runs.
 type RunCache struct {
 	memo  *runner.Memo[sim.Result]
-	store *simstore.Store
+	store simstore.Backend
+	// fabric, when non-nil, replaces local simulation of store-missed
+	// cells: the cell is described by a CellSpec and handed to the fleet
+	// (internal/sweepfab's coordinator), which returns the result once a
+	// worker has published it to the shared store. The memo above still
+	// single-flights within this process; the fabric's lease board
+	// single-flights across the fleet.
+	fabric func(CellSpec) sim.Result
 }
 
 // NewRunCache returns an empty cache, ready to share across Execs.
@@ -49,13 +56,21 @@ func NewRunCache() *RunCache {
 	return &RunCache{memo: runner.NewMemo[sim.Result]()}
 }
 
-// AttachStore adds the on-disk layers rooted at st. The in-memory memo
-// still deduplicates within the process (and single-flights concurrent
-// requests); the store serves and persists the memo's misses.
-func (rc *RunCache) AttachStore(st *simstore.Store) { rc.store = st }
+// AttachStore adds the persistent layers behind st — the on-disk store,
+// the HTTP remote client, or the tiered composition; the run cache is
+// agnostic. The in-memory memo still deduplicates within the process
+// (and single-flights concurrent requests); the store serves and
+// persists the memo's misses.
+func (rc *RunCache) AttachStore(st simstore.Backend) { rc.store = st }
 
-// Store returns the attached disk store, or nil.
-func (rc *RunCache) Store() *simstore.Store { return rc.store }
+// Store returns the attached store backend, or nil.
+func (rc *RunCache) Store() simstore.Backend { return rc.store }
+
+// SetCellRunner routes store-missed cells through fn instead of the
+// local simulator. The coordinator of a distributed sweep installs its
+// lease-and-fetch path here; everything above this hook (experiments,
+// Exec, the memo) is unchanged.
+func (rc *RunCache) SetCellRunner(fn func(CellSpec) sim.Result) { rc.fabric = fn }
 
 // Stats reports cumulative in-memory cache hits and misses.
 func (rc *RunCache) Stats() (hits, misses uint64) { return rc.memo.Stats() }
@@ -111,6 +126,9 @@ func cloneResult(r sim.Result) sim.Result {
 // warmup snapshot when one exists) and the result is written back.
 func (rc *RunCache) computeCell(cfg sim.Config, s Scheme, w workload.Workload, seed uint64, b Budget) sim.Result {
 	if rc.store == nil {
+		if rc.fabric != nil {
+			return rc.fabric(NewCellSpec(cfg, s, w, seed, b))
+		}
 		return mustRunSingle(cfg, s, w, seed, b)
 	}
 	key := cellKey(cfg, s, w, seed, b)
@@ -120,6 +138,11 @@ func (rc *RunCache) computeCell(cfg sim.Config, s Scheme, w workload.Workload, s
 		}
 		// Undecodable past the store's checksum (an entry from a stale
 		// encoding): treat as a miss; the recomputation below rewrites it.
+	}
+	if rc.fabric != nil {
+		// The fleet simulates the cell; the worker that ran it published
+		// the result to the shared store, so there is nothing to save here.
+		return rc.fabric(NewCellSpec(cfg, s, w, seed, b))
 	}
 	r := rc.snapshotRun(cfg, s, w, seed, b)
 	if blob, err := sim.EncodeResult(r); err == nil {

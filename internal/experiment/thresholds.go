@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	ppf "repro/internal/core"
-	"repro/internal/prefetch"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -44,19 +43,13 @@ func ThresholdSweep(x Exec, b Budget) ThresholdSweepResult {
 			grid = append(grid, ThresholdPoint{TauHi: tauHi, TauLo: tauHi - gap})
 		}
 	}
+	// Each grid point is an ordinary PPFVariant-schemed cell, so the τ
+	// grid flows through the run cache, the disk/remote store and the
+	// sweep fabric like every other sweep — this grid is exactly the
+	// workload the distributed fabric exists to scale out.
 	ipcs := runJobs(x, "thresholds", len(grid)*len(ws), func(i int) float64 {
 		pt, w := grid[i/len(ws)], ws[i%len(ws)]
-		cfg := ppf.DefaultConfig()
-		cfg.TauHi, cfg.TauLo = pt.TauHi, pt.TauLo
-		sys, err := sim.NewSystem(sim.DefaultConfig(1), []sim.CoreSetup{{
-			Trace:      w.NewReader(1),
-			Prefetcher: prefetch.NewSPP(prefetch.AggressiveSPPConfig()),
-			Filter:     ppf.New(cfg),
-		}})
-		if err != nil {
-			panic(err)
-		}
-		return sys.Run(b.Warmup, b.Detail).PerCore[0].IPC
+		return x.runSingle(sim.DefaultConfig(1), PPFVariant(pt.TauHi, pt.TauLo), w, 1, b).PerCore[0].IPC
 	})
 
 	var res ThresholdSweepResult

@@ -36,6 +36,27 @@ const (
 	version = 1
 )
 
+// Backend is the store surface the experiment run cache layers over:
+// best-effort keyed loads (a false result means "recompute and Save")
+// and atomic saves. Three implementations share it — the on-disk Store,
+// the HTTP Remote client, and the Tiered local-cache-over-remote
+// composition — so a run cache works unchanged against any of them.
+type Backend interface {
+	// LoadResult returns the stored payload for a full cell key.
+	LoadResult(key string) ([]byte, bool)
+	// SaveResult stores a result payload under a full cell key.
+	SaveResult(key string, payload []byte) error
+	// LoadSnapshot returns the post-warmup machine snapshot stored under
+	// a warmup-prefix key.
+	LoadSnapshot(key string) ([]byte, bool)
+	// SaveSnapshot stores a machine snapshot under a warmup-prefix key.
+	SaveSnapshot(key string, payload []byte) error
+	// Stats returns a copy of the backend's traffic counters.
+	Stats() Stats
+	// ReportLine renders the backend's post-run summary.
+	ReportLine() string
+}
+
 const (
 	kindResult   uint8 = 1
 	kindSnapshot uint8 = 2
@@ -59,6 +80,28 @@ type Store struct {
 
 	mu    sync.Mutex
 	stats Stats
+	warn  warnOnce
+}
+
+// warnOnce rate-limits corruption warnings to one line per distinct
+// key: a fleet of workers hammering a shared corrupt entry would
+// otherwise emit one warning per worker per load. The corrupt counter
+// still advances on every rejected load — only the log line is deduped.
+// Callers must hold the owning backend's mutex.
+type warnOnce struct {
+	seen map[string]struct{}
+}
+
+// shouldWarn reports whether this is the first warning for key.
+func (w *warnOnce) shouldWarn(key string) bool {
+	if _, ok := w.seen[key]; ok {
+		return false
+	}
+	if w.seen == nil {
+		w.seen = make(map[string]struct{})
+	}
+	w.seen[key] = struct{}{}
+	return true
 }
 
 // Open creates (if needed) and returns the store rooted at dir.
@@ -92,14 +135,26 @@ func (s *Store) ReportLine() string {
 	return line
 }
 
+// kindDir maps an entry kind to its subdirectory (and remote URL
+// segment): results under r/, snapshots under w/.
+func kindDir(kind uint8) string {
+	if kind == kindSnapshot {
+		return "w"
+	}
+	return "r"
+}
+
+// entryName returns a key's content-addressed file (and URL) name: the
+// hex SHA-256 of the key. The full key is echoed inside the entry, so
+// hash aliasing can never serve the wrong cell.
+func entryName(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:])
+}
+
 // path maps a key to its entry file.
 func (s *Store) path(kind uint8, key string) string {
-	sub := "r"
-	if kind == kindSnapshot {
-		sub = "w"
-	}
-	sum := sha256.Sum256([]byte(key))
-	return filepath.Join(s.dir, sub, hex.EncodeToString(sum[:]))
+	return filepath.Join(s.dir, kindDir(kind), entryName(key))
 }
 
 // LoadResult returns the stored payload for a full cell key, if a
@@ -136,11 +191,14 @@ func (s *Store) load(kind uint8, key string, hits, misses *uint64) ([]byte, bool
 	}
 	payload, err := decodeEntry(raw, kind, key)
 	if err != nil {
-		log.Printf("simstore: dropping corrupt entry %s: %v", path, err)
 		s.mu.Lock()
 		s.stats.Corrupt++
 		*misses++
+		warn := s.warn.shouldWarn(path)
 		s.mu.Unlock()
+		if warn {
+			log.Printf("simstore: dropping corrupt entry %s: %v", path, err)
+		}
 		return nil, false
 	}
 	s.mu.Lock()
@@ -164,6 +222,13 @@ func (s *Store) save(kind uint8, key string, payload []byte) error {
 	if err != nil {
 		return fmt.Errorf("simstore: encoding %s: %w", path, err)
 	}
+	return writeAtomic(path, blob)
+}
+
+// writeAtomic lands blob at path via temp file + rename, so concurrent
+// readers (and processes sharing the directory) only ever observe
+// complete entries.
+func writeAtomic(path string, blob []byte) error {
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
 	if err != nil {
 		return fmt.Errorf("simstore: %w", err)

@@ -127,6 +127,45 @@ type ServeBench struct {
 	Rows      []ServeRow `json:"rows"`
 }
 
+// SweepRow is one distributed-sweep measurement of BENCH_sweep.json:
+// a fixed experiment grid run through a coordinator and N workers over
+// loopback, cold (every cell simulates) or warm (every cell replays
+// from the shared store).
+type SweepRow struct {
+	// Workers is the fleet size.
+	Workers int `json:"workers"`
+	// Mode is "cold" (fresh store, every cell simulates once fleet-wide)
+	// or "warm" (same store, every cell is a remote replay).
+	Mode string `json:"mode"`
+	// Cells is the number of unique cells in the grid.
+	Cells uint64 `json:"cells"`
+	// Seconds is the wall time of the sweep; CellsPerSec the headline
+	// rate (cold rows should scale with Workers, warm rows measure store
+	// round-trip latency).
+	Seconds     float64 `json:"seconds"`
+	CellsPerSec float64 `json:"cells_per_sec"`
+	// Lease-board counters proving single-flight: Leases should equal
+	// Cells on a clean cold run and be zero on a warm one.
+	Leases      uint64 `json:"leases"`
+	Completions uint64 `json:"completions"`
+	Requeues    uint64 `json:"requeues,omitempty"`
+	// WorkerCells sums the cells the workers actually simulated (cold:
+	// == Cells, the exactly-once proof; warm: 0).
+	WorkerCells uint64 `json:"worker_cells"`
+}
+
+// SweepBench is the schema of BENCH_sweep.json: the distributed-sweep
+// throughput trajectory emitted by cmd/bench -sweep.
+type SweepBench struct {
+	GoVersion string     `json:"go_version"`
+	GOOS      string     `json:"goos"`
+	GOARCH    string     `json:"goarch"`
+	Rows      []SweepRow `json:"rows"`
+}
+
+// WriteFile marshals the snapshot as indented JSON to path.
+func (s SweepBench) WriteFile(path string) error { return writeJSON(path, s) }
+
 // WriteFile marshals the snapshot as indented JSON to path.
 func (s ServeBench) WriteFile(path string) error { return writeJSON(path, s) }
 

@@ -1,0 +1,46 @@
+package sweepfab
+
+import (
+	"testing"
+
+	"repro/internal/experiment"
+)
+
+// TestBenchSmoke runs the smallest possible sweep benchmark and checks
+// the rows carry the single-flight proof: the cold row's worker cells
+// equal its unique cell count, and the warm row replayed everything
+// without a single lease.
+func TestBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench smoke runs a full (tiny) cold sweep")
+	}
+	rows, err := Bench(BenchOptions{
+		Workers: []int{2},
+		Budget:  experiment.Budget{Warmup: 500, Detail: 2_000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want cold+warm", len(rows))
+	}
+	cold, warm := rows[0], rows[1]
+	if cold.Mode != "cold" || warm.Mode != "warm" {
+		t.Fatalf("row modes = %q, %q", cold.Mode, warm.Mode)
+	}
+	if cold.Cells == 0 || cold.CellsPerSec <= 0 || warm.CellsPerSec <= 0 {
+		t.Fatalf("degenerate rows: %+v / %+v", cold, warm)
+	}
+	if cold.WorkerCells != cold.Cells {
+		t.Fatalf("cold run: fleet ran %d cells for %d unique keys", cold.WorkerCells, cold.Cells)
+	}
+	if cold.Completions != cold.Cells || cold.Requeues != 0 {
+		t.Fatalf("cold run: unclean counters %+v", cold)
+	}
+	if warm.Cells != cold.Cells {
+		t.Fatalf("warm replayed %d cells, cold ran %d", warm.Cells, cold.Cells)
+	}
+	if warm.Leases != 0 || warm.WorkerCells != 0 {
+		t.Fatalf("warm replay touched the fleet: %+v", warm)
+	}
+}
